@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: paper-style headers,
+ * tables with mean/stddev columns, and simple horizontal bars so the
+ * "figures" are recognizable on a terminal.
+ */
+
+#ifndef M3VSIM_BENCH_BENCH_UTIL_H_
+#define M3VSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace m3v::bench {
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s — %s\n", id.c_str(), title.c_str());
+    std::printf("==================================================="
+                "===========\n");
+}
+
+/** One labelled series value with spread. */
+struct Bar
+{
+    std::string label;
+    double value = 0;
+    double stddev = 0;
+};
+
+/** Render bars scaled to the maximum value. */
+inline void
+printBars(const std::vector<Bar> &bars, const std::string &unit,
+          int decimals = 1)
+{
+    double max = 0;
+    std::size_t label_w = 0;
+    for (const auto &b : bars) {
+        max = std::max(max, b.value);
+        label_w = std::max(label_w, b.label.size());
+    }
+    if (max <= 0)
+        max = 1;
+    for (const auto &b : bars) {
+        int width = static_cast<int>(b.value / max * 46);
+        std::printf("  %-*s %s%s  %.*f", static_cast<int>(label_w),
+                    b.label.c_str(), std::string(
+                        static_cast<std::size_t>(width), '#')
+                        .c_str(),
+                    std::string(static_cast<std::size_t>(46 - width),
+                                ' ')
+                        .c_str(),
+                    decimals, b.value);
+        if (b.stddev > 0)
+            std::printf(" +-%.*f", decimals, b.stddev);
+        std::printf(" %s\n", unit.c_str());
+    }
+}
+
+/** Cycles at @p freq_hz for a tick duration. */
+inline double
+ticksToCycles(sim::Tick t, std::uint64_t freq_hz)
+{
+    return static_cast<double>(t) / sim::kTicksPerSec *
+           static_cast<double>(freq_hz);
+}
+
+} // namespace m3v::bench
+
+#endif // M3VSIM_BENCH_BENCH_UTIL_H_

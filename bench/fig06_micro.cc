@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Figure 6: local/remote no-op RPC on M3v and similar primitives on
+ * Linux, plus the section 6.2 M3x tile-local reference number.
+ *
+ * Paper setup: 1000 runs on a warm system; M3v on one or two BOOM
+ * cores, Linux on a single BOOM core; M3x measured on gem5's 3 GHz
+ * x86 model (27k cycles, vs ~5k for M3v).
+ *
+ * Expected shape: M3v remote ~ Linux syscall; M3v local ~ 2x Linux
+ * yield ~ 5k cycles; M3x local ~5x M3v local (at 3 GHz).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "linuxref/kernel.h"
+#include "m3x/system.h"
+#include "os/system.h"
+
+namespace {
+
+using namespace m3v;
+using os::Bytes;
+
+constexpr int kWarmup = 50;
+constexpr int kRuns = 1000;
+
+struct Meas
+{
+    double meanUs = 0;
+    double stddevUs = 0;
+};
+
+/** M3v no-op RPC, local (same tile) or remote (two tiles). */
+Meas
+m3vRpc(bool local)
+{
+    sim::EventQueue eq;
+    os::SystemParams params;
+    params.userTiles = 2;
+    os::System sys(eq, params);
+
+    auto *client = sys.createApp(0, "client", 6 * 1024);
+    auto *server = sys.createApp(local ? 0 : 1, "server", 6 * 1024);
+    auto srv_rep = sys.makeRgate(server);
+    auto sg = sys.makeSgate(client, server, srv_rep.ep, 1, 4);
+    auto cli_rep = sys.makeRgate(client);
+
+    sys.start(server, [srv_rep](os::MuxEnv &env) -> sim::Task {
+        for (;;) {
+            int slot = -1;
+            co_await env.recvOn(srv_rep.ep, &slot);
+            dtu::Error err = dtu::Error::None;
+            co_await env.reply(srv_rep.ep, slot, Bytes{}, &err);
+        }
+    });
+
+    sim::Sampler lat;
+    sys.start(client, [&, sg, cli_rep](os::MuxEnv &env) -> sim::Task {
+        for (int i = 0; i < kWarmup; i++) {
+            Bytes resp;
+            dtu::Error err = dtu::Error::None;
+            co_await env.call(sg.ep, cli_rep.ep, Bytes{}, &resp,
+                              &err);
+        }
+        for (int i = 0; i < kRuns; i++) {
+            sim::Tick t0 = env.thread().core().now();
+            Bytes resp;
+            dtu::Error err = dtu::Error::None;
+            co_await env.call(sg.ep, cli_rep.ep, Bytes{}, &resp,
+                              &err);
+            lat.add(sim::ticksToUs(env.thread().core().now() - t0));
+        }
+    });
+    eq.run();
+    return Meas{lat.mean(), lat.stddev()};
+}
+
+/** Linux no-op system call. */
+sim::Tick
+linuxSyscall()
+{
+    sim::EventQueue eq;
+    tile::Core core(eq, "c", tile::CoreModel::boom(), 0);
+    linuxref::LinuxKernel kernel(eq, "k", core);
+    auto *p = kernel.createProcess("bench", 6 * 1024);
+    sim::Tick total = 0;
+    kernel.start(p, sim::invoke([&kernel, p, &total,
+                                 &eq]() -> sim::Task {
+        for (int i = 0; i < kWarmup; i++)
+            co_await kernel.sysNoop(*p);
+        sim::Tick t0 = eq.now();
+        for (int i = 0; i < kRuns; i++)
+            co_await kernel.sysNoop(*p);
+        total = eq.now() - t0;
+        co_await kernel.sysExit(*p);
+    }));
+    eq.run();
+    return total / kRuns;
+}
+
+/** Two Linux yields (two context switches between two processes). */
+sim::Tick
+linuxYield2x()
+{
+    sim::EventQueue eq;
+    tile::Core core(eq, "c", tile::CoreModel::boom(), 0);
+    linuxref::LinuxKernel kernel(eq, "k", core);
+    auto *a = kernel.createProcess("a", 6 * 1024);
+    auto *b = kernel.createProcess("b", 6 * 1024);
+    sim::Tick total = 0;
+    bool stop = false;
+    kernel.start(a, sim::invoke([&]() -> sim::Task {
+        for (int i = 0; i < kWarmup; i++)
+            co_await kernel.sysYield(*a);
+        sim::Tick t0 = eq.now();
+        for (int i = 0; i < kRuns; i++)
+            co_await kernel.sysYield(*a);
+        total = eq.now() - t0;
+        stop = true;
+        co_await kernel.sysExit(*a);
+    }));
+    kernel.start(b, sim::invoke([&]() -> sim::Task {
+        while (!stop)
+            co_await kernel.sysYield(*b);
+        co_await kernel.sysExit(*b);
+    }));
+    eq.run();
+    // One "a" yield round is two context switches (a->b->a).
+    return total / kRuns;
+}
+
+/** M3x tile-local RPC at 3 GHz (section 6.2 reference). */
+sim::Tick
+m3xLocalRpc()
+{
+    sim::EventQueue eq;
+    m3x::M3xParams params;
+    params.userTiles = 2;
+    m3x::M3xSystem sys(eq, params);
+    auto *client = sys.createAct(0, "client");
+    auto *server = sys.createAct(0, "server");
+    m3x::M3xChan chan = sys.makeChannel(server);
+    dtu::EpId sep = sys.addSender(chan, client);
+
+    sys.start(server, sim::invoke([&sys, server,
+                                   chan]() -> sim::Task {
+        for (;;) {
+            Bytes req;
+            m3x::MsgHdr rt;
+            co_await sys.serveNext(*server, chan, &req, &rt);
+            co_await sys.replyTo(*server, rt, Bytes{});
+        }
+    }));
+
+    sim::Tick total = 0;
+    constexpr int kM3xRuns = 100; // switches are slow; fewer reps
+    sys.start(client, sim::invoke([&, sep]() -> sim::Task {
+        for (int i = 0; i < 10; i++) {
+            Bytes resp;
+            co_await sys.rpc(*client, chan, sep, Bytes{}, &resp);
+        }
+        sim::Tick t0 = eq.now();
+        for (int i = 0; i < kM3xRuns; i++) {
+            Bytes resp;
+            co_await sys.rpc(*client, chan, sep, Bytes{}, &resp);
+        }
+        total = eq.now() - t0;
+        co_await sys.exit(*client);
+    }));
+    eq.run();
+    return total / kM3xRuns;
+}
+
+} // namespace
+
+int
+main()
+{
+    using m3v::bench::Bar;
+    using m3v::bench::banner;
+    using m3v::bench::printBars;
+    using m3v::bench::ticksToCycles;
+
+    banner("Figure 6",
+           "Local/remote communication on M3v and similar "
+           "primitives on Linux");
+
+    sim::Tick yield2 = linuxYield2x();
+    sim::Tick sysc = linuxSyscall();
+    Meas local = m3vRpc(true);
+    Meas remote = m3vRpc(false);
+
+    constexpr std::uint64_t kBoom = 80'000'000;
+    std::vector<Bar> us = {
+        {"Linux yield (2x)", sim::ticksToUs(yield2), 0},
+        {"Linux syscall", sim::ticksToUs(sysc), 0},
+        {"M3v local", local.meanUs, local.stddevUs},
+        {"M3v remote", remote.meanUs, remote.stddevUs},
+    };
+    printBars(us, "us");
+    std::printf("\n");
+    auto us_to_kcyc = [&](double us_val) {
+        return us_val * 1e-6 * kBoom / 1000.0;
+    };
+    std::vector<Bar> cycles = {
+        {"Linux yield (2x)", ticksToCycles(yield2, kBoom) / 1000, 0},
+        {"Linux syscall", ticksToCycles(sysc, kBoom) / 1000, 0},
+        {"M3v local", us_to_kcyc(local.meanUs), 0},
+        {"M3v remote", us_to_kcyc(remote.meanUs), 0},
+    };
+    printBars(cycles, "Kcycles", 2);
+
+    std::printf("\nSection 6.2 reference (gem5-style 3 GHz x86):\n");
+    sim::Tick m3x = m3xLocalRpc();
+    std::printf("  M3x tile-local RPC: %.1f us = %.1f Kcycles "
+                "(paper: ~9 us / ~27 Kcycles)\n",
+                sim::ticksToUs(m3x),
+                ticksToCycles(m3x, 3'000'000'000ULL) / 1000);
+    std::printf("  M3v tile-local RPC @80 MHz: %.1f Kcycles "
+                "(paper: ~5 Kcycles)\n",
+                us_to_kcyc(local.meanUs));
+    return 0;
+}

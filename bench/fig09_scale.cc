@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Figure 9: scalability of context-switch-heavy applications with
+ * tile multiplexing on M3x and M3v.
+ *
+ * Paper setup: gem5 with a 3 GHz out-of-order x86-64 core per tile;
+ * Linux system-call traces of "find" (24 directories x 40 files) and
+ * "SQLite" (32 inserts + selects) replayed by a trace player, with a
+ * file-system instance *on the same tile* — every file-system call
+ * needs a context switch there and back. One warmup run, then the
+ * application runs per second across 1..12 tiles.
+ *
+ * Expected shape: M3v ~2x M3x at one tile (84 vs 45 find, 111 vs 49
+ * SQLite) and near-linear up to 12 tiles; M3x barely improves (its
+ * single-threaded kernel performs every switch for every tile).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "m3x/system.h"
+#include "services/fs_proto.h"
+#include "services/m3fs.h"
+#include "sim/stats.h"
+#include "workloads/trace.h"
+#include "workloads/vfs_m3v.h"
+
+namespace {
+
+using namespace m3v;
+using services::FsReq;
+using services::FsResp;
+using workloads::Bytes;
+using workloads::Trace;
+
+constexpr int kWarmupRuns = 1;
+constexpr int kMeasuredRuns = 2;
+
+/** Application compute per trace entry (x86 cycles; calibrated so a
+ *  single M3v tile lands near the paper's 84 / 111 runs/s). */
+constexpr sim::Cycles kFindEntryCompute = 26'000;
+constexpr sim::Cycles kSqliteTxnCompute = 260'000;
+
+Trace
+benchTrace(bool find)
+{
+    return find ? workloads::makeFindTrace(24, 40, kFindEntryCompute)
+                : workloads::makeSqliteTrace(32, kSqliteTxnCompute);
+}
+
+//
+// M3v runner: per tile one trace player and one m3fs instance.
+//
+
+double
+m3vRunsPerSec(unsigned tiles, bool find)
+{
+    sim::EventQueue eq;
+    os::SystemParams params;
+    params.userTiles = tiles;
+    params.userModel = tile::CoreModel::x86Ooo();
+    params.ctrlModel = tile::CoreModel::x86Ooo();
+    params.dram.capacityBytes = (64u + tiles * 24u) << 20;
+    os::System sys(eq, params);
+
+    Trace trace = benchTrace(find);
+    std::vector<std::unique_ptr<services::M3fs>> fss;
+    std::vector<sim::Tick> warm_done(tiles, 0), all_done(tiles, 0);
+    unsigned finished = 0;
+
+    for (unsigned t = 0; t < tiles; t++) {
+        services::M3fsParams fsp;
+        fsp.storageBytes = 16 << 20;
+        fss.push_back(
+            std::make_unique<services::M3fs>(sys, t, fsp));
+        auto *player = sys.createApp(t, "player" + std::to_string(t));
+        auto client = fss.back()->addClient(player);
+        fss.back()->startService();
+
+        sys.start(player, [&eq, &trace, client, &warm_done,
+                           &all_done, &finished,
+                           t](os::MuxEnv &env) -> sim::Task {
+            workloads::M3vVfs vfs(env, client);
+            co_await workloads::traceSetup(vfs, trace);
+            for (int r = 0; r < kWarmupRuns; r++)
+                co_await workloads::tracePlay(vfs, trace, nullptr);
+            warm_done[t] = eq.now();
+            for (int r = 0; r < kMeasuredRuns; r++)
+                co_await workloads::tracePlay(vfs, trace, nullptr);
+            all_done[t] = eq.now();
+            finished++;
+        });
+    }
+    eq.run();
+    if (finished != tiles)
+        sim::panic("fig09: only %u/%u m3v players finished", finished,
+                   tiles);
+
+    sim::Tick start = 0, end = 0;
+    for (unsigned t = 0; t < tiles; t++) {
+        start = std::max(start, warm_done[t]);
+        end = std::max(end, all_done[t]);
+    }
+    double secs = sim::ticksToSec(end - start);
+    return tiles * kMeasuredRuns / secs;
+}
+
+//
+// M3x runner: per tile one trace player and one FS-server activity;
+// every operation is an RPC (and thus two context switches).
+//
+
+/** Vfs over the M3x RPC file protocol (data inline). */
+class M3xVfs : public workloads::Vfs
+{
+  public:
+    M3xVfs(m3x::M3xSystem &sys, m3x::M3xAct &self,
+           const m3x::M3xChan &chan, dtu::EpId sep)
+        : sys_(sys), self_(self), chan_(chan), sep_(sep)
+    {
+    }
+
+    tile::Thread &thread() override { return self_.thread(); }
+
+    sim::Task
+    rpc(FsReq req, Bytes data, FsResp *resp, Bytes *data_out)
+    {
+        Bytes payload(sizeof(FsReq) + data.size());
+        std::memcpy(payload.data(), &req, sizeof(FsReq));
+        std::memcpy(payload.data() + sizeof(FsReq), data.data(),
+                    data.size());
+        Bytes respb;
+        co_await sys_.rpc(self_, chan_, sep_, std::move(payload),
+                          &respb);
+        if (respb.size() < sizeof(FsResp))
+            sim::panic("m3x vfs: short response");
+        std::memcpy(resp, respb.data(), sizeof(FsResp));
+        if (data_out)
+            data_out->assign(
+                respb.begin() + static_cast<long>(sizeof(FsResp)),
+                respb.end());
+    }
+
+    sim::Task open(const std::string &path, std::uint32_t flags,
+                   std::unique_ptr<workloads::VfsFile> *out,
+                   bool *ok) override;
+
+    sim::Task
+    stat(const std::string &path, workloads::VfsStat *out) override
+    {
+        FsReq req;
+        req.op = FsReq::Op::Stat;
+        std::strncpy(req.path, path.c_str(), sizeof(req.path) - 1);
+        FsResp resp;
+        co_await rpc(req, {}, &resp, nullptr);
+        out->exists = resp.err == dtu::Error::None;
+        out->isDir = resp.isDir != 0;
+        out->size = resp.size;
+    }
+
+    sim::Task
+    readdir(const std::string &path, std::uint64_t idx,
+            std::string *name, bool *ok) override
+    {
+        if (path == cachePath_ && idx >= cacheStart_ &&
+            idx < cacheStart_ + cache_.size()) {
+            *name = cache_[idx - cacheStart_];
+            *ok = true;
+            co_return;
+        }
+        if (path == cachePath_ &&
+            idx == cacheStart_ + cache_.size() && !cacheMore_) {
+            *ok = false;
+            co_return;
+        }
+        FsReq req;
+        req.op = FsReq::Op::Readdir;
+        req.arg = idx;
+        std::strncpy(req.path, path.c_str(), sizeof(req.path) - 1);
+        FsResp resp;
+        co_await rpc(req, {}, &resp, nullptr);
+        if (resp.err != dtu::Error::None || resp.count == 0) {
+            *ok = false;
+            co_return;
+        }
+        cachePath_ = path;
+        cacheStart_ = idx;
+        cache_ = services::FileSession::readdirNames(resp);
+        cacheMore_ = resp.more != 0;
+        *name = cache_.front();
+        *ok = true;
+    }
+
+    sim::Task
+    unlink(const std::string &path, bool *ok) override
+    {
+        FsReq req;
+        req.op = FsReq::Op::Unlink;
+        std::strncpy(req.path, path.c_str(), sizeof(req.path) - 1);
+        FsResp resp;
+        co_await rpc(req, {}, &resp, nullptr);
+        *ok = resp.err == dtu::Error::None;
+    }
+
+    sim::Task
+    mkdir(const std::string &path, bool *ok) override
+    {
+        FsReq req;
+        req.op = FsReq::Op::Mkdir;
+        std::strncpy(req.path, path.c_str(), sizeof(req.path) - 1);
+        FsResp resp;
+        co_await rpc(req, {}, &resp, nullptr);
+        *ok = resp.err == dtu::Error::None;
+    }
+
+  private:
+    friend class M3xVfsFile;
+
+    m3x::M3xSystem &sys_;
+    m3x::M3xAct &self_;
+    m3x::M3xChan chan_;
+    dtu::EpId sep_;
+    std::string cachePath_;
+    std::uint64_t cacheStart_ = 0;
+    std::vector<std::string> cache_;
+    bool cacheMore_ = false;
+};
+
+class M3xVfsFile : public workloads::VfsFile
+{
+  public:
+    M3xVfsFile(M3xVfs &vfs, std::uint32_t fd) : vfs_(vfs), fd_(fd) {}
+
+    sim::Task
+    read(std::size_t want, Bytes *out, bool *ok) override
+    {
+        FsReq req;
+        req.op = FsReq::Op::ReadAt;
+        req.fd = fd_;
+        req.arg = off_;
+        req.size = static_cast<std::uint32_t>(want);
+        FsResp resp;
+        co_await vfs_.rpc(req, {}, &resp, out);
+        off_ += out->size();
+        *ok = resp.err == dtu::Error::None;
+    }
+
+    sim::Task
+    write(Bytes data, bool *ok) override
+    {
+        FsReq req;
+        req.op = FsReq::Op::WriteAt;
+        req.fd = fd_;
+        req.arg = off_;
+        req.size = static_cast<std::uint32_t>(data.size());
+        FsResp resp;
+        std::size_t n = data.size();
+        co_await vfs_.rpc(req, std::move(data), &resp, nullptr);
+        off_ += n;
+        *ok = resp.err == dtu::Error::None;
+    }
+
+    sim::Task
+    seek(std::uint64_t off) override
+    {
+        off_ = off;
+        co_return;
+    }
+
+    sim::Task
+    close() override
+    {
+        FsReq req;
+        req.op = FsReq::Op::Close;
+        req.fd = fd_;
+        FsResp resp;
+        co_await vfs_.rpc(req, {}, &resp, nullptr);
+    }
+
+    std::uint64_t size() const override { return 0; }
+
+  private:
+    M3xVfs &vfs_;
+    std::uint32_t fd_;
+    std::uint64_t off_ = 0;
+};
+
+sim::Task
+M3xVfs::open(const std::string &path, std::uint32_t flags,
+             std::unique_ptr<workloads::VfsFile> *out, bool *ok)
+{
+    FsReq req;
+    req.op = FsReq::Op::Open;
+    // Map VfsFlags to FsOpenFlags (identical values).
+    req.flags = flags;
+    std::strncpy(req.path, path.c_str(), sizeof(req.path) - 1);
+    FsResp resp;
+    co_await rpc(req, {}, &resp, nullptr);
+    if (resp.err != dtu::Error::None) {
+        *ok = false;
+        co_return;
+    }
+    *out = std::make_unique<M3xVfsFile>(*this, resp.fd);
+    *ok = true;
+}
+
+/** The M3x per-tile file server: FsImage + inline data. */
+sim::Task
+m3xFsServer(m3x::M3xSystem &sys, m3x::M3xAct &self,
+            m3x::M3xChan chan)
+{
+    services::FsImage img(4096); // 16 MiB worth of blocks
+    std::map<std::uint32_t, std::pair<services::Ino, bool>> fds;
+    std::map<services::Ino, Bytes> contents;
+    std::uint32_t next_fd = 3;
+
+    for (;;) {
+        Bytes reqb;
+        m3x::MsgHdr reply_to;
+        co_await sys.serveNext(self, chan, &reqb, &reply_to);
+        if (reqb.size() < sizeof(FsReq))
+            sim::panic("m3x fs: short request");
+        FsReq req;
+        std::memcpy(&req, reqb.data(), sizeof(FsReq));
+        Bytes data(reqb.begin() + static_cast<long>(sizeof(FsReq)),
+                   reqb.end());
+        req.path[sizeof(req.path) - 1] = '\0';
+        std::string path(req.path);
+
+        FsResp resp;
+        Bytes resp_data;
+        co_await self.thread().compute(250); // request decode
+
+        switch (req.op) {
+          case FsReq::Op::Open: {
+            services::Ino ino = img.lookup(path);
+            if (ino == services::kNoIno &&
+                (req.flags & workloads::kVfsCreate))
+                ino = img.create(path, false);
+            if (ino == services::kNoIno) {
+                resp.err = dtu::Error::InvalidEp;
+                break;
+            }
+            if (req.flags & workloads::kVfsTrunc)
+                contents[ino].clear();
+            fds[next_fd] = {ino,
+                            (req.flags & workloads::kVfsW) != 0};
+            resp.fd = next_fd++;
+            resp.size = contents[ino].size();
+            break;
+          }
+          case FsReq::Op::ReadAt: {
+            auto it = fds.find(req.fd);
+            if (it == fds.end()) {
+                resp.err = dtu::Error::InvalidEp;
+                break;
+            }
+            Bytes &file = contents[it->second.first];
+            std::uint64_t off = req.arg;
+            if (off < file.size()) {
+                std::size_t n = std::min<std::size_t>(
+                    req.size, file.size() - off);
+                resp_data.assign(
+                    file.begin() + static_cast<long>(off),
+                    file.begin() + static_cast<long>(off + n));
+            }
+            co_await self.thread().compute(400 +
+                                           resp_data.size() / 8);
+            break;
+          }
+          case FsReq::Op::WriteAt: {
+            auto it = fds.find(req.fd);
+            if (it == fds.end() || !it->second.second) {
+                resp.err = dtu::Error::InvalidEp;
+                break;
+            }
+            Bytes &file = contents[it->second.first];
+            std::uint64_t off = req.arg;
+            if (off + data.size() > file.size())
+                file.resize(off + data.size());
+            std::memcpy(file.data() + off, data.data(), data.size());
+            co_await self.thread().compute(600 + data.size() / 8);
+            break;
+          }
+          case FsReq::Op::Close:
+            fds.erase(req.fd);
+            break;
+          case FsReq::Op::Stat: {
+            services::Ino ino = img.lookup(path);
+            if (ino == services::kNoIno) {
+                resp.err = dtu::Error::InvalidEp;
+            } else {
+                resp.size = contents[ino].size();
+                resp.isDir = img.inode(ino)->dir ? 1 : 0;
+            }
+            break;
+          }
+          case FsReq::Op::Readdir: {
+            services::Ino dir = img.lookup(path);
+            if (dir == services::kNoIno) {
+                resp.err = dtu::Error::InvalidEp;
+                break;
+            }
+            std::size_t off = 0;
+            std::uint64_t idx = req.arg;
+            resp.count = 0;
+            while (resp.count < services::kReaddirBatch) {
+                std::string name;
+                services::Ino child;
+                if (!img.entryAt(dir, idx, &name, &child))
+                    break;
+                if (off + name.size() + 1 > sizeof(resp.name))
+                    break;
+                std::memcpy(resp.name + off, name.c_str(),
+                            name.size() + 1);
+                off += name.size() + 1;
+                resp.count++;
+                idx++;
+            }
+            resp.more = idx < img.entryCount(dir) ? 1 : 0;
+            break;
+          }
+          case FsReq::Op::Unlink: {
+            services::Ino ino = img.lookup(path);
+            if (img.unlink(path)) {
+                contents.erase(ino);
+            } else {
+                resp.err = dtu::Error::InvalidEp;
+            }
+            break;
+          }
+          case FsReq::Op::Mkdir:
+            resp.err = img.create(path, true) != services::kNoIno
+                           ? dtu::Error::None
+                           : dtu::Error::InvalidEp;
+            break;
+          default:
+            resp.err = dtu::Error::InvalidEp;
+            break;
+        }
+        co_await self.thread().compute(img.takeOpCost());
+
+        Bytes respb(sizeof(FsResp) + resp_data.size());
+        std::memcpy(respb.data(), &resp, sizeof(FsResp));
+        std::memcpy(respb.data() + sizeof(FsResp), resp_data.data(),
+                    resp_data.size());
+        co_await sys.replyTo(self, reply_to, std::move(respb));
+    }
+}
+
+double
+m3xRunsPerSec(unsigned tiles, bool find)
+{
+    sim::EventQueue eq;
+    m3x::M3xParams params;
+    params.userTiles = tiles;
+    m3x::M3xSystem sys(eq, params);
+
+    Trace trace = benchTrace(find);
+    std::vector<sim::Tick> warm_done(tiles, 0), all_done(tiles, 0);
+    unsigned finished = 0;
+
+    for (unsigned t = 0; t < tiles; t++) {
+        m3x::M3xAct *player =
+            sys.createAct(t, "player" + std::to_string(t));
+        m3x::M3xAct *server =
+            sys.createAct(t, "fs" + std::to_string(t));
+        m3x::M3xChan chan = sys.makeChannel(server, 4600, 8);
+        dtu::EpId sep = sys.addSender(chan, player, 4);
+
+        sys.start(server, sim::invoke([&sys, server,
+                                       chan]() -> sim::Task {
+            co_await m3xFsServer(sys, *server, chan);
+        }));
+        sys.start(player, sim::invoke([&eq, &sys, &trace, player,
+                                       chan, sep, &warm_done,
+                                       &all_done, &finished,
+                                       t]() -> sim::Task {
+            M3xVfs vfs(sys, *player, chan, sep);
+            co_await workloads::traceSetup(vfs, trace);
+            for (int r = 0; r < kWarmupRuns; r++)
+                co_await workloads::tracePlay(vfs, trace, nullptr);
+            warm_done[t] = eq.now();
+            for (int r = 0; r < kMeasuredRuns; r++)
+                co_await workloads::tracePlay(vfs, trace, nullptr);
+            all_done[t] = eq.now();
+            finished++;
+            co_await sys.exit(*player);
+        }));
+    }
+    eq.run();
+    if (finished != tiles)
+        sim::panic("fig09: only %u/%u m3x players finished", finished,
+                   tiles);
+
+    sim::Tick start = 0, end = 0;
+    for (unsigned t = 0; t < tiles; t++) {
+        start = std::max(start, warm_done[t]);
+        end = std::max(end, all_done[t]);
+    }
+    double secs = sim::ticksToSec(end - start);
+    return tiles * kMeasuredRuns / secs;
+}
+
+} // namespace
+
+int
+main()
+{
+    using m3v::bench::banner;
+
+    banner("Figure 9",
+           "Scalability of context-switch-heavy applications with "
+           "tile multiplexing");
+    std::printf("(3 GHz x86-style cores; traceplayer + file system "
+                "per tile; runs/s)\n\n");
+
+    const unsigned counts[] = {1, 2, 4, 8, 12};
+    sim::TablePrinter table({"# tiles", "M3x find", "M3v find",
+                             "M3x SQLite", "M3v SQLite"});
+    for (unsigned n : counts) {
+        double m3x_find = m3xRunsPerSec(n, true);
+        double m3v_find = m3vRunsPerSec(n, true);
+        double m3x_sql = m3xRunsPerSec(n, false);
+        double m3v_sql = m3vRunsPerSec(n, false);
+        table.addRow({std::to_string(n), sim::fmtDouble(m3x_find, 0),
+                      sim::fmtDouble(m3v_find, 0),
+                      sim::fmtDouble(m3x_sql, 0),
+                      sim::fmtDouble(m3v_sql, 0)});
+    }
+    table.print();
+    std::printf("\nPaper reference: M3x find 45/49/94 runs/s at "
+                "1/2/4 tiles; M3x SQLite 49/82/86/68 at 1/2/4/8;\n"
+                "M3v 84 (find) and 111 (SQLite) at 1 tile, scaling "
+                "almost linearly to 12 tiles.\n");
+    return 0;
+}

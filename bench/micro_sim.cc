@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator core itself:
+ * event-queue throughput, coroutine task overhead, NoC packet cost,
+ * codec speed. These measure *host* performance (how fast the
+ * simulator runs), complementing the figure benches, which report
+ * *simulated* time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "noc/noc.h"
+#include "sim/task.h"
+#include "workloads/flac.h"
+#include "workloads/zipf.h"
+
+namespace {
+
+using namespace m3v;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < state.range(0); i++)
+            eq.schedule(static_cast<sim::Tick>(i % 97),
+                        [&sink]() { sink++; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+sim::Task
+chainTask(sim::EventQueue &eq, int depth)
+{
+    if (depth > 0)
+        co_await chainTask(eq, depth - 1);
+    co_await sim::Delay{eq, 1};
+}
+
+void
+BM_TaskChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        sim::TaskPool pool(eq);
+        pool.spawn(chainTask(eq, static_cast<int>(state.range(0))));
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TaskChain)->Arg(16)->Arg(128);
+
+struct NullSink : noc::HopTarget
+{
+    bool
+    acceptPacket(noc::Packet &pkt, std::function<void()>) override
+    {
+        noc::Packet consumed = std::move(pkt);
+        return true;
+    }
+};
+
+void
+BM_NocPacket(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    noc::Noc fabric(eq, noc::NocParams{});
+    NullSink sinks[4];
+    for (unsigned i = 0; i < 4; i++)
+        fabric.attachTile(i, &sinks[i]);
+    fabric.finalize();
+    for (auto _ : state) {
+        noc::Packet pkt;
+        pkt.src = 0;
+        pkt.dst = 3;
+        pkt.bytes = 64;
+        fabric.inject(pkt, []() {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NocPacket);
+
+void
+BM_FlacEncode(benchmark::State &state)
+{
+    workloads::AudioParams params;
+    workloads::Samples audio = workloads::generateAudio(
+        static_cast<std::size_t>(state.range(0)), params, true);
+    for (auto _ : state) {
+        auto frames = workloads::flacEncode(audio);
+        benchmark::DoNotOptimize(frames);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_FlacEncode)->Arg(16000);
+
+void
+BM_Zipfian(benchmark::State &state)
+{
+    sim::Rng rng(7);
+    workloads::Zipfian z(1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(z.next(rng));
+}
+BENCHMARK(BM_Zipfian);
+
+} // namespace
+
+BENCHMARK_MAIN();

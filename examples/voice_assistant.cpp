@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The IoT voice assistant of paper section 6.5.1, end to end: a
+ * trigger-word scanner on an isolated Rocket tile, and a flac-lite
+ * compressor + net stack + pager sharing one BOOM tile. Detected
+ * audio is delegated by memory capability, compressed losslessly and
+ * shipped via UDP to a peer host.
+ *
+ *   $ ./examples/voice_assistant
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "os/system.h"
+#include "services/net.h"
+#include "services/pager.h"
+#include "workloads/flac.h"
+
+using namespace m3v;
+using os::Bytes;
+using workloads::Samples;
+
+int
+main()
+{
+    sim::EventQueue eq;
+    os::SystemParams params;
+    params.userTiles = 4;
+    params.tileModels[3] = tile::CoreModel::rocket();
+    params.dram.capacityBytes = 128 << 20;
+    os::System sys(eq, params);
+
+    services::Nic nic(eq, "nic");
+    services::ExtHost cloud(eq, "cloud",
+                            services::ExtHost::Mode::Sink);
+    nic.connect(&cloud);
+    cloud.connect(&nic);
+
+    // Shared BOOM tile 0: compressor + net + pager. Scanner alone on
+    // the Rocket tile to keep its trusted computing base minimal.
+    services::NetService net(sys, 0, nic);
+    services::PagerService pager(sys, 0);
+    auto *scanner = sys.createApp(3, "scanner", 6 * 1024);
+    auto *comp = sys.createApp(0, "compressor", 10 * 1024);
+    auto net_client = net.addClient(comp);
+    auto pager_client = pager.addClient(comp);
+
+    auto audio_mg = sys.makeMgate(scanner, 256 * 1024, dtu::kPermRW);
+    dtu::EpId comp_mep = sys.allocEp(0);
+    os::CapSel comp_cap = sys.grantActCap(scanner, comp);
+    auto comp_rep = sys.makeRgate(comp, 64, 4);
+    auto scan_sg = sys.makeSgate(scanner, comp, comp_rep.ep, 1, 2);
+
+    net.startService();
+    pager.startService();
+
+    constexpr std::size_t kSamples = 16000; // 1 s at 16 kHz
+    int chunks_uploaded = 0;
+
+    sys.start(comp, [&, net_client, pager_client,
+                     comp_rep](os::MuxEnv &env) -> sim::Task {
+        dtu::VirtAddr heap = 0;
+        dtu::Error err = dtu::Error::None;
+        co_await services::pagerAllocMap(env, pager_client, 16,
+                                         &heap, &err);
+        services::UdpSocket sock(env, net_client);
+        co_await sock.create(7000, &err);
+
+        for (;;) {
+            int slot = -1;
+            co_await env.recvOn(comp_rep.ep, &slot);
+            co_await env.ackMsg(comp_rep.ep, slot);
+
+            // Pull the delegated samples through the memory gate.
+            Bytes raw;
+            for (std::size_t off = 0; off < kSamples * 2;
+                 off += dtu::kPageSize) {
+                Bytes page;
+                co_await env.readMem(
+                    comp_mep, off,
+                    std::min<std::size_t>(dtu::kPageSize,
+                                          kSamples * 2 - off),
+                    &page, &err);
+                raw.insert(raw.end(), page.begin(), page.end());
+            }
+            Samples samples(kSamples);
+            std::memcpy(samples.data(), raw.data(),
+                        samples.size() * 2);
+
+            auto frames = workloads::flacEncode(samples);
+            sim::Cycles cost = 0;
+            for (const auto &f : frames)
+                cost += workloads::flacEncodeCost(f);
+            co_await env.thread().compute(cost);
+
+            std::size_t enc = workloads::flacBytes(frames);
+            for (std::size_t off = 0; off < enc; off += 1200) {
+                co_await sock.sendTo(
+                    0x0a000001, 9,
+                    Bytes(std::min<std::size_t>(1200, enc - off),
+                          0xaa),
+                    &err);
+            }
+            chunks_uploaded++;
+            std::printf("[%8.2f ms] compressor: chunk %d, %zu -> "
+                        "%zu bytes (%.0f%%), uploaded\n",
+                        sim::ticksToMs(eq.now()), chunks_uploaded,
+                        kSamples * 2, enc,
+                        100.0 * static_cast<double>(enc) /
+                            (kSamples * 2));
+        }
+    });
+
+    sys.start(scanner, [&, scan_sg,
+                        audio_mg](os::MuxEnv &env) -> sim::Task {
+        workloads::AudioParams ap;
+        for (int chunk = 0; chunk < 6; chunk++) {
+            ap.seed = static_cast<std::uint64_t>(chunk) + 1;
+            bool trigger = chunk % 2 == 1; // every other second
+            Samples audio =
+                workloads::generateAudio(kSamples, ap, trigger);
+            co_await env.thread().compute(
+                workloads::scanCost(audio.size()));
+            bool hit =
+                workloads::scanForTrigger(audio, ap.sampleRate);
+            std::printf("[%8.2f ms] scanner: chunk %d %s\n",
+                        sim::ticksToMs(eq.now()), chunk,
+                        hit ? "TRIGGER detected" : "silence");
+            if (!hit)
+                continue;
+
+            // Ship samples to the shared buffer and delegate it.
+            Bytes raw(audio.size() * 2);
+            std::memcpy(raw.data(), audio.data(), raw.size());
+            dtu::Error err = dtu::Error::None;
+            for (std::size_t off = 0; off < raw.size();
+                 off += dtu::kPageSize) {
+                std::size_t n = std::min<std::size_t>(
+                    dtu::kPageSize, raw.size() - off);
+                co_await env.writeMem(
+                    audio_mg.ep, off,
+                    Bytes(raw.begin() + static_cast<long>(off),
+                          raw.begin() + static_cast<long>(off + n)),
+                    &err);
+            }
+            os::SyscallReq sc;
+            os::SyscallResp sr;
+            sc.op = os::SyscallReq::Op::ActivateFor;
+            sc.arg0 = comp_cap;
+            sc.arg1 = comp_mep;
+            sc.arg2 = audio_mg.sel;
+            co_await env.syscall(sc, &sr);
+            co_await env.send(scan_sg.ep, Bytes(1, 1),
+                              dtu::kInvalidEp, &err);
+        }
+    });
+
+    eq.run();
+    std::printf("\n%d chunks compressed and uploaded; %llu frames "
+                "reached the cloud host.\n",
+                chunks_uploaded,
+                static_cast<unsigned long long>(
+                    cloud.framesReceived()));
+    return 0;
+}

@@ -1,0 +1,469 @@
+#include "core/tilemux.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace m3v::core {
+
+using dtu::ActId;
+using dtu::kInvalidAct;
+using dtu::kTileMuxAct;
+
+Activity::Activity(TileMux &mux, tile::Core &core, ActId id,
+                   std::string name, std::size_t footprint)
+    : mux_(mux), id_(id), name_(name), footprint_(footprint),
+      thread_(core, name + ".thread", id)
+{
+}
+
+TileMux::TileMux(sim::EventQueue &eq, std::string name,
+                 tile::Core &core, VDtu &vdtu, TileMuxParams params)
+    : SimObject(eq, std::move(name)), core_(core), vdtu_(vdtu),
+      params_(params),
+      l1i_(core.model().l1iBytes, 64, core.model().lineFillCycles)
+{
+    core_.setIrqHandler([this](tile::IrqKind k) { onIrq(k); });
+    vdtu_.setCoreReqIrq(
+        [this]() { core_.raiseIrq(tile::IrqKind::CoreRequest); });
+    vdtu_.setMsgNotify([this](dtu::EpId, ActId owner) {
+        auto it = pollers_.find(owner);
+        if (it != pollers_.end()) {
+            Activity *a = it->second;
+            pollers_.erase(it);
+            a->thread().wake();
+        }
+    });
+    // Start in the idle state.
+    vdtu_.xchgAct(params_.idleAct);
+}
+
+sim::Cycles
+TileMux::touchMux()
+{
+    return l1i_.touch(0, params_.muxFootprint);
+}
+
+Activity *
+TileMux::createActivity(ActId id, std::string name,
+                        std::size_t footprint)
+{
+    if (acts_.count(id))
+        sim::panic("%s: duplicate activity id %u", this->name().c_str(),
+                   id);
+    auto act = std::make_unique<Activity>(*this, core_, id,
+                                          std::move(name), footprint);
+    Activity *ptr = act.get();
+    acts_.emplace(id, std::move(act));
+    return ptr;
+}
+
+void
+TileMux::startActivity(Activity *act, sim::Task body)
+{
+    act->thread_.start(std::move(body));
+    act->state_ = Activity::State::Ready;
+    ready_.push_back(act);
+    // If another activity is on the core without a slice timer (it
+    // was running alone), arm one now so the newcomer gets its turn.
+    if (core_.current() && !core_.timerArmed())
+        core_.setTimer(params_.timeSlice);
+    kickScheduler();
+}
+
+void
+TileMux::killActivity(ActId id)
+{
+    Activity *act = activity(id);
+    if (!act || act->state_ == Activity::State::Dead)
+        return;
+    act->state_ = Activity::State::Dead;
+    if (current_ == act)
+        current_ = nullptr;
+    if (hint_ == act)
+        hint_ = nullptr;
+    pollers_.erase(id);
+    vdtu_.tlbFlushAct(id);
+    if (act->onExit)
+        eq_.schedule(0, [act]() { act->onExit(); });
+}
+
+Activity *
+TileMux::activity(ActId id)
+{
+    auto it = acts_.find(id);
+    return it == acts_.end() ? nullptr : it->second.get();
+}
+
+void
+TileMux::mapPage(ActId id, dtu::VirtAddr va, dtu::PhysAddr pa,
+                 std::uint8_t perms)
+{
+    Activity *act = activity(id);
+    if (!act)
+        sim::panic("%s: mapPage for unknown activity %u",
+                   name().c_str(), id);
+    act->as_.map(va, pa, perms);
+}
+
+void
+TileMux::setPageFaultHandler(PageFaultHandler h)
+{
+    pageFault_ = std::move(h);
+}
+
+void
+TileMux::setSidecallEp(dtu::EpId rep, SidecallHandler h)
+{
+    sidecallEp_ = rep;
+    sidecall_ = std::move(h);
+}
+
+bool
+TileMux::othersReady(const Activity &act) const
+{
+    for (const Activity *a : ready_)
+        if (a != &act && a->state() == Activity::State::Ready)
+            return true;
+    if (hint_ && hint_ != &act &&
+        hint_->state() == Activity::State::Ready)
+        return true;
+    return false;
+}
+
+void
+TileMux::registerPoller(Activity &act)
+{
+    pollers_[act.id()] = &act;
+}
+
+//
+// TMCall awaitables.
+//
+
+sim::Task
+TileMux::waitForMsg(Activity &act, dtu::EpId ep)
+{
+    // Check the shared-memory "others ready" flag (a couple of loads).
+    co_await act.thread().compute(4);
+
+    auto has_msg = [this, &act, ep]() {
+        if (ep != dtu::kInvalidEp)
+            return vdtu_.unread(act.id(), ep) > 0;
+        return vdtu_.unreadOf(act.id()) > 0;
+    };
+
+    if (has_msg())
+        co_return;
+
+    if (!othersReady(act)) {
+        // Nobody else wants the core: poll the vDTU (section 3.7's
+        // "current implementation polls if no other activities are
+        // ready"). The wake comes straight from the vDTU.
+        registerPoller(act);
+        co_await act.thread().externalWait();
+        co_return;
+    }
+
+    // Others are ready: block via TMCall so they can run.
+    tmCalls_.inc();
+    co_await act.thread().trapCall([this, &act, has_msg]() {
+        core_.kernelWork(params_.entryCost + touchMux(), [this, &act,
+                                                          has_msg]() {
+            if (has_msg()) {
+                // The message raced with the TMCall; return at once.
+                act.state_ = Activity::State::Running;
+                core_.kernelExitTo(&act.thread_);
+                return;
+            }
+            act.state_ = Activity::State::BlockedMsg;
+            current_ = nullptr;
+            scheduleNext();
+        });
+    });
+}
+
+sim::Task
+TileMux::translCall(Activity &act, dtu::VirtAddr va, bool write)
+{
+    tmCalls_.inc();
+    co_await act.thread().trapCall([this, &act, va, write]() {
+        sim::Cycles cost =
+            params_.entryCost + params_.translCost + touchMux();
+        core_.kernelWork(cost, [this, &act, va, write]() {
+            const PageMapping *pm = act.as_.lookup(va);
+            sim::Cycles extra = 0;
+            dtu::PhysAddr pa = 0;
+            std::uint8_t perms = 0;
+            if (pm) {
+                pa = pm->phys;
+                perms = pm->perms;
+            } else if (pageFault_ &&
+                       pageFault_(act, va, pa, perms, extra)) {
+                act.as_.map(va, pa, perms);
+            } else {
+                sim::panic("%s: unresolvable page fault for %s at "
+                           "0x%llx",
+                           name().c_str(), act.name().c_str(),
+                           static_cast<unsigned long long>(va));
+            }
+            (void)write;
+            core_.kernelWork(extra, [this, &act, va, pa, perms]() {
+                vdtu_.tlbInsert(act.id(), va, pa, perms);
+                act.state_ = Activity::State::Running;
+                core_.kernelExitTo(&act.thread_);
+            });
+        });
+    });
+}
+
+sim::Task
+TileMux::yieldCall(Activity &act)
+{
+    tmCalls_.inc();
+    co_await act.thread().trapCall([this, &act]() {
+        core_.kernelWork(params_.entryCost + touchMux(), [this,
+                                                          &act]() {
+            act.state_ = Activity::State::Ready;
+            ready_.push_back(&act);
+            current_ = nullptr;
+            scheduleNext();
+        });
+    });
+}
+
+sim::Task
+TileMux::exitCall(Activity &act)
+{
+    tmCalls_.inc();
+    co_await act.thread().trapCall([this, &act]() {
+        core_.kernelWork(params_.entryCost + touchMux(), [this,
+                                                          &act]() {
+            act.state_ = Activity::State::Dead;
+            current_ = nullptr;
+            pollers_.erase(act.id());
+            vdtu_.tlbFlushAct(act.id());
+            if (act.onExit) {
+                // Run the harness hook outside the kernel path.
+                eq_.schedule(0, [&act]() { act.onExit(); });
+            }
+            scheduleNext();
+        });
+    });
+    sim::panic("%s: exited activity resumed", act.name().c_str());
+}
+
+//
+// Interrupts and scheduling.
+//
+
+void
+TileMux::onIrq(tile::IrqKind kind)
+{
+    // The core preempted the current thread; reconcile our state.
+    if (current_ && current_->state_ == Activity::State::Running) {
+        auto pit = pollers_.find(current_->id());
+        if (pit != pollers_.end() &&
+            vdtu_.unreadOf(current_->id()) == 0 &&
+            !current_->thread().wakePending()) {
+            // An idle poller (section 3.7's poll-instead-of-block
+            // only holds while nobody else wants the core): demote
+            // it to blocked; a message for it raises a core request
+            // like any blocked activity.
+            pollers_.erase(pit);
+            current_->state_ = Activity::State::BlockedMsg;
+        } else {
+            current_->state_ = Activity::State::Ready;
+            if (kind == tile::IrqKind::Timer) {
+                ready_.push_back(current_); // slice over: go last
+            } else {
+                ready_.push_front(current_); // keep its turn
+            }
+        }
+        current_ = nullptr;
+    }
+
+    core_.kernelWork(params_.entryCost + touchMux(), [this, kind]() {
+        switch (kind) {
+          case tile::IrqKind::Timer:
+            timerIrqs_.inc();
+            scheduleNext();
+            break;
+          case tile::IrqKind::CoreRequest:
+            coreReqIrqs_.inc();
+            handleCoreRequest();
+            break;
+          case tile::IrqKind::Device:
+            // Tile-local device interrupts wake the driver activity,
+            // which registered itself as a message poller for its
+            // own id via waitForMsg-like blocking. Drivers in this
+            // simulator use message-based wakeups instead; a raw
+            // device IRQ just reschedules.
+            scheduleNext();
+            break;
+        }
+    });
+}
+
+void
+TileMux::handleCoreRequest()
+{
+    if (!vdtu_.coreReqPending()) {
+        // The request may have been consumed by an earlier handler
+        // invocation (IRQ was already pended).
+        scheduleNext();
+        return;
+    }
+    CoreReq req = vdtu_.coreReqGet();
+    vdtu_.coreReqAck();
+
+    if (req.act == kTileMuxAct) {
+        handleSidecall();
+        return;
+    }
+
+    Activity *act = activity(req.act);
+    if (act && act->state_ == Activity::State::BlockedMsg) {
+        act->state_ = Activity::State::Ready;
+        ready_.push_back(act);
+    }
+    if (params_.switchOnMsg && act &&
+        act->state_ == Activity::State::Ready) {
+        // "As soon as a non-running activity received a message and
+        // has time left to execute, TileMux switches to it."
+        hint_ = act;
+    }
+    scheduleNext();
+}
+
+void
+TileMux::handleSidecall()
+{
+    // TileMux must briefly switch to its own activity id to use its
+    // endpoints (section 4.2): model the two exchanges plus handler.
+    const auto &m = core_.model();
+    sim::Cycles cost = params_.sidecallCost +
+                       2 * (m.mmioReadCycles + m.mmioWriteCycles);
+    core_.kernelWork(cost, [this]() {
+        if (sidecallEp_ != dtu::kInvalidEp && sidecall_) {
+            for (;;) {
+                int slot = vdtu_.fetch(kTileMuxAct, sidecallEp_);
+                if (slot < 0)
+                    break;
+                dtu::Message msg = vdtu_.slotMsg(sidecallEp_, slot);
+                // The handler replies (or acks) the slot itself.
+                sidecall_(msg, slot);
+            }
+        }
+        scheduleNext();
+    });
+}
+
+void
+TileMux::kickScheduler()
+{
+    if (core_.inKernel() || core_.current())
+        return;
+    core_.kernelEnter(params_.entryCost + touchMux(),
+                      [this]() { scheduleNext(); });
+}
+
+Activity *
+TileMux::pickNext()
+{
+    if (hint_ && hint_->state_ == Activity::State::Ready) {
+        Activity *h = hint_;
+        hint_ = nullptr;
+        // Drop it from the ready queue if it is queued there.
+        for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+            if (*it == h) {
+                ready_.erase(it);
+                break;
+            }
+        }
+        return h;
+    }
+    hint_ = nullptr;
+    while (!ready_.empty()) {
+        Activity *a = ready_.front();
+        ready_.pop_front();
+        if (a->state_ == Activity::State::Ready)
+            return a;
+    }
+    return nullptr;
+}
+
+void
+TileMux::scheduleNext()
+{
+    core_.kernelWork(params_.schedCost, [this]() {
+        Activity *next = pickNext();
+        if (next) {
+            switchTo(next);
+            return;
+        }
+        // Nothing to run: become idle, but re-check the activity we
+        // are switching away from for lost wake-ups (section 3.7).
+        CurAct old = vdtu_.xchgAct(params_.idleAct);
+        if (old.act != params_.idleAct && old.msgCount > 0) {
+            Activity *oa = activity(old.act);
+            if (oa && oa->state_ == Activity::State::BlockedMsg) {
+                oa->state_ = Activity::State::Ready;
+                switchTo(oa);
+                return;
+            }
+        }
+        current_ = nullptr;
+        core_.cancelTimer();
+        core_.kernelExitIdle();
+    });
+}
+
+void
+TileMux::switchTo(Activity *next)
+{
+    const auto &m = core_.model();
+    CurAct old = vdtu_.xchgAct(next->id());
+
+    // Lost-wakeup check for the activity we switched away from.
+    if (old.act != next->id() && old.msgCount > 0) {
+        Activity *oa = activity(old.act);
+        if (oa && oa->state_ == Activity::State::BlockedMsg) {
+            oa->state_ = Activity::State::Ready;
+            ready_.push_back(oa);
+        }
+    }
+
+    sim::Cycles cost =
+        2 * (m.mmioReadCycles + m.mmioWriteCycles); // CUR_ACT xchg
+    if (old.act != next->id()) {
+        // Full switch: register contexts, address space, cache
+        // competition with the incoming activity's footprint.
+        cost += 2 * m.regContextCycles + m.addrSpaceSwitchCycles;
+        cost += l1i_.touch(
+            static_cast<tile::RegionId>(next->id()) + 1,
+            next->footprint_ /
+                std::max<std::size_t>(1,
+                                      params_.switchTouchDivisor));
+        switches_.inc();
+    }
+
+    core_.kernelWork(cost, [this, next]() {
+        current_ = next;
+        next->state_ = Activity::State::Running;
+        // If messages arrived while the activity was switched out
+        // (e.g. it was demoted from a poll-wait), latch a wake so a
+        // thread parked in externalWait re-checks its endpoints.
+        if (vdtu_.unreadOf(next->id()) > 0)
+            next->thread().wake();
+        // Tickless: only arm the slice timer when someone else is
+        // waiting for the core (keeps idle phases event-free).
+        if (!ready_.empty())
+            core_.setTimer(params_.timeSlice);
+        else
+            core_.cancelTimer();
+        core_.kernelExitTo(&next->thread_);
+    });
+}
+
+} // namespace m3v::core

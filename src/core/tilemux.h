@@ -1,0 +1,254 @@
+/**
+ * @file
+ * TileMux — the tile-local multiplexer of M3v (paper sections 3.3 and
+ * 4.2), the software half of the contribution.
+ *
+ * TileMux runs in the core's privileged mode on every multiplexed
+ * general-purpose tile. It:
+ *  - schedules the tile-local activities round-robin with time slices
+ *    (timer interrupts preempt; interrupts are disabled while TileMux
+ *    itself runs);
+ *  - handles TMCalls (ecall traps) from activities: wait-for-message,
+ *    yield, exit, and transl (vDTU TLB refill);
+ *  - handles core-request interrupts from the vDTU when messages
+ *    arrive for non-running activities, and switches to the recipient
+ *    ("as soon as a non-running activity received a message and has
+ *    time left to execute, TileMux switches to that activity");
+ *  - switches activities through the vDTU's atomic exchange command
+ *    and re-checks the old CUR_ACT message count so that no wake-up
+ *    is lost (section 3.7);
+ *  - performs page-table manipulation on behalf of the controller
+ *    (section 4.3) — TileMux has no control beyond its own tile;
+ *  - processes sidecalls from the controller, which arrive as regular
+ *    messages on TileMux's own receive endpoint (TileMux has its own
+ *    activity id and briefly switches to it, section 4.2).
+ *
+ * Waiting strategy (section 3.7): before blocking, an activity checks
+ * via shared memory whether other activities are ready. If none are,
+ * it polls the vDTU for new messages instead of blocking, avoiding
+ * the kernel entirely (the common case on dedicated tiles).
+ */
+
+#ifndef M3VSIM_CORE_TILEMUX_H_
+#define M3VSIM_CORE_TILEMUX_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/addrspace.h"
+#include "core/vdtu.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+#include "tile/cache_model.h"
+#include "tile/core.h"
+
+namespace m3v::core {
+
+class TileMux;
+
+/** TileMux tuning parameters. */
+struct TileMuxParams
+{
+    /** Round-robin time slice (a fresh slice per dispatch). */
+    sim::Tick timeSlice = sim::kTicksPerMs;
+
+    /** Handler prologue cost after trap entry. */
+    sim::Cycles entryCost = 200;
+
+    /** Scheduling decision cost. */
+    sim::Cycles schedCost = 100;
+
+    /** Page-table walk on a transl TMCall. */
+    sim::Cycles translCost = 90;
+
+    /** Fixed cost of processing one controller sidecall. */
+    sim::Cycles sidecallCost = 150;
+
+    /** TileMux's own instruction footprint (cache model). */
+    std::size_t muxFootprint = 5 * 1024;
+
+    /**
+     * Fraction of an activity's footprint its dispatch touches
+     * (immediate hot path); the rest refills lazily during later
+     * compute and is not charged to the switch.
+     */
+    std::size_t switchTouchDivisor = 3;
+
+    /** Switch to a message's recipient immediately (section 3.9). */
+    bool switchOnMsg = true;
+
+    /** Activity id representing the idle loop in CUR_ACT. */
+    dtu::ActId idleAct = 0xfffd;
+};
+
+/**
+ * An activity on a multiplexed tile: an execution context with its
+ * own address space, scheduled by TileMux.
+ */
+class Activity
+{
+  public:
+    enum class State
+    {
+        Init,       ///< created, body not started
+        Ready,      ///< runnable
+        Running,    ///< currently dispatched
+        BlockedMsg, ///< blocked in a wait TMCall
+        Dead,       ///< exited
+    };
+
+    Activity(TileMux &mux, tile::Core &core, dtu::ActId id,
+             std::string name, std::size_t footprint);
+
+    dtu::ActId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    State state() const { return state_; }
+    tile::Thread &thread() { return thread_; }
+    AddrSpace &addrSpace() { return as_; }
+    std::size_t footprint() const { return footprint_; }
+    TileMux &mux() { return mux_; }
+
+    /** Completion hook (app exit, used by benchmarks). */
+    std::function<void()> onExit;
+
+  private:
+    friend class TileMux;
+
+    TileMux &mux_;
+    dtu::ActId id_;
+    std::string name_;
+    std::size_t footprint_;
+    State state_ = State::Init;
+    tile::Thread thread_;
+    AddrSpace as_;
+};
+
+/** The tile-local multiplexer. */
+class TileMux : public sim::SimObject
+{
+  public:
+    /** Resolves a page fault during a transl TMCall (set by the OS
+     *  layer; models the pager interaction, see DESIGN.md). Returns
+     *  false if the address is truly unmapped (activity is killed). */
+    using PageFaultHandler = std::function<bool(
+        Activity &, dtu::VirtAddr, dtu::PhysAddr &, std::uint8_t &,
+        sim::Cycles &)>;
+
+    /**
+     * Handles a controller sidecall message (set by the OS layer).
+     * The handler receives the message and its receive-buffer slot
+     * and must reply (or acknowledge) the slot itself.
+     */
+    using SidecallHandler =
+        std::function<void(const dtu::Message &, int slot)>;
+
+    TileMux(sim::EventQueue &eq, std::string name, tile::Core &core,
+            VDtu &vdtu, TileMuxParams params = {});
+
+    tile::Core &core() { return core_; }
+    VDtu &vdtu() { return vdtu_; }
+    const TileMuxParams &params() const { return params_; }
+
+    //
+    // Activity management (driven by the OS layer / controller).
+    //
+
+    /** Create an activity record. The body starts via startActivity. */
+    Activity *createActivity(dtu::ActId id, std::string name,
+                             std::size_t footprint = 8 * 1024);
+
+    /** Install the body and make the activity runnable. */
+    void startActivity(Activity *act, sim::Task body);
+
+    /** Forcefully terminate an activity (controller kill sidecall). */
+    void killActivity(dtu::ActId id);
+
+    Activity *activity(dtu::ActId id);
+
+    /** Install a page-table mapping (controller map sidecall). */
+    void mapPage(dtu::ActId id, dtu::VirtAddr va, dtu::PhysAddr pa,
+                 std::uint8_t perms);
+
+    void setPageFaultHandler(PageFaultHandler h);
+
+    /**
+     * Register the endpoint on which controller sidecalls arrive and
+     * the handler processing them.
+     */
+    void setSidecallEp(dtu::EpId rep, SidecallHandler h);
+
+    //
+    // TMCall awaitables (used by the libm3 layer from activity
+    // coroutines; all must be awaited by the activity's own thread).
+    //
+
+    /**
+     * Wait until this activity has an unread message — on @p ep if
+     * given, on any of its endpoints otherwise (the TMCall's EP
+     * filter). Blocks via TMCall if other activities are ready;
+     * polls the vDTU otherwise. The in-kernel check against the
+     * vDTU's counters is atomic with the blocking decision
+     * (section 3.7's lost-wake-up protection).
+     */
+    sim::Task waitForMsg(Activity &act,
+                         dtu::EpId ep = dtu::kInvalidEp);
+
+    /** Refill the vDTU TLB for @p va (transl TMCall). */
+    sim::Task translCall(Activity &act, dtu::VirtAddr va, bool write);
+
+    /** Give up the rest of the time slice. */
+    sim::Task yieldCall(Activity &act);
+
+    /** Voluntary exit; never returns to the activity. */
+    sim::Task exitCall(Activity &act);
+
+    /** Shared-memory flag: are other activities ready? (section 3.7) */
+    bool othersReady(const Activity &act) const;
+
+    // Statistics for the evaluation.
+    std::uint64_t ctxSwitches() const { return switches_.value(); }
+    std::uint64_t coreReqIrqs() const { return coreReqIrqs_.value(); }
+    std::uint64_t timerIrqs() const { return timerIrqs_.value(); }
+    std::uint64_t tmCalls() const { return tmCalls_.value(); }
+
+  private:
+    void onIrq(tile::IrqKind kind);
+    void handleCoreRequest();
+    void handleSidecall();
+    /** Pick next and switch (kernel context). */
+    void scheduleNext();
+    void switchTo(Activity *next);
+    Activity *pickNext();
+    void requeueCurrent();
+    void kickScheduler();
+    void registerPoller(Activity &act);
+    sim::Cycles touchMux();
+
+    tile::Core &core_;
+    VDtu &vdtu_;
+    TileMuxParams params_;
+    tile::CacheModel l1i_;
+
+    std::unordered_map<dtu::ActId, std::unique_ptr<Activity>> acts_;
+    std::deque<Activity *> ready_;
+    Activity *current_ = nullptr;
+    Activity *hint_ = nullptr;
+    std::unordered_map<dtu::ActId, Activity *> pollers_;
+
+    PageFaultHandler pageFault_;
+    SidecallHandler sidecall_;
+    dtu::EpId sidecallEp_ = dtu::kInvalidEp;
+
+    sim::Counter switches_;
+    sim::Counter coreReqIrqs_;
+    sim::Counter timerIrqs_;
+    sim::Counter tmCalls_;
+};
+
+} // namespace m3v::core
+
+#endif // M3VSIM_CORE_TILEMUX_H_

@@ -1,0 +1,228 @@
+#include "core/vdtu.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace m3v::core {
+
+using dtu::ActId;
+using dtu::EpId;
+using dtu::Error;
+
+VDtu::VDtu(sim::EventQueue &eq, std::string name, noc::Noc &noc,
+           noc::TileId tile, std::uint64_t freq_hz, VDtuParams params,
+           dtu::DtuTiming timing)
+    : Dtu(eq, std::move(name), noc, tile, freq_hz, timing),
+      params_(params), tlb_(params.tlbEntries)
+{
+}
+
+CurAct
+VDtu::xchgAct(ActId next)
+{
+    CurAct old = cur_;
+    old.msgCount = static_cast<std::uint16_t>(unreadOf(old.act));
+    cur_.act = next;
+    cur_.msgCount = static_cast<std::uint16_t>(unreadOf(next));
+    return old;
+}
+
+void
+VDtu::tlbInsert(ActId act, dtu::VirtAddr virt, dtu::PhysAddr phys,
+                std::uint8_t perms)
+{
+    dtu::VirtAddr page = virt & ~(dtu::kPageSize - 1);
+    // Replace an existing entry for the same (act, page) if present.
+    TlbEntry *victim = nullptr;
+    for (auto &e : tlb_) {
+        if (e.act == act && e.page == page) {
+            victim = &e;
+            break;
+        }
+        if (e.act == dtu::kInvalidAct && !victim)
+            victim = &e;
+    }
+    if (!victim) {
+        // Evict the least-recently-used entry.
+        victim = &tlb_[0];
+        for (auto &e : tlb_)
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+    }
+    victim->act = act;
+    victim->page = page;
+    victim->phys = phys & ~(dtu::kPageSize - 1);
+    victim->perms = perms;
+    victim->lastUse = ++tlbClock_;
+}
+
+void
+VDtu::tlbFlushAct(ActId act)
+{
+    for (auto &e : tlb_)
+        if (e.act == act)
+            e = TlbEntry();
+}
+
+std::size_t
+VDtu::tlbFill() const
+{
+    std::size_t n = 0;
+    for (const auto &e : tlb_)
+        n += e.act != dtu::kInvalidAct ? 1 : 0;
+    return n;
+}
+
+const TlbEntry *
+VDtu::tlbLookup(ActId act, dtu::VirtAddr page) const
+{
+    for (const auto &e : tlb_)
+        if (e.act == act && e.page == page)
+            return &e;
+    return nullptr;
+}
+
+CoreReq
+VDtu::coreReqGet() const
+{
+    if (coreReqs_.empty())
+        sim::panic("%s: coreReqGet on empty queue", name().c_str());
+    return coreReqs_.front();
+}
+
+void
+VDtu::coreReqAck()
+{
+    if (coreReqs_.empty())
+        sim::panic("%s: coreReqAck on empty queue", name().c_str());
+    coreReqs_.pop_front();
+    notifySpaceWaiters();
+    if (!coreReqs_.empty() && coreReqIrq_)
+        coreReqIrq_();
+}
+
+std::size_t
+VDtu::unreadOf(ActId act) const
+{
+    auto it = unread_.find(act);
+    return it == unread_.end() ? 0 : it->second;
+}
+
+bool
+VDtu::acceptPacket(noc::Packet &pkt, std::function<void()> on_space)
+{
+    // Backpressure: a message that will require a core request cannot
+    // be accepted while the core-request queue is full. The NoC's
+    // packet-level flow control holds it at the last hop (section 3.8).
+    auto *wd = dynamic_cast<dtu::WireData *>(pkt.data.get());
+    if (wd && wd->kind == dtu::WireKind::MsgXfer &&
+        coreReqs_.size() >= params_.coreReqQueue &&
+        wd->dstEp < dtu::kNumEps) {
+        const dtu::Endpoint &rep = ep(wd->dstEp);
+        if (rep.kind == dtu::EpKind::Receive && rep.act != cur_.act) {
+            spaceWaiters_.push_back(std::move(on_space));
+            return false;
+        }
+    }
+    return Dtu::acceptPacket(pkt, std::move(on_space));
+}
+
+void
+VDtu::notifySpaceWaiters()
+{
+    if (spaceWaiters_.empty())
+        return;
+    auto waiters = std::move(spaceWaiters_);
+    spaceWaiters_.clear();
+    for (auto &cb : waiters)
+        cb();
+}
+
+Error
+VDtu::checkEpAccess(ActId act, const dtu::Endpoint &ep) const
+{
+    if (ep.act != act) {
+        // Report "unknown endpoint" (section 3.5): an activity must
+        // not learn about endpoints it does not own.
+        const_cast<sim::Counter &>(foreignDenials_).inc();
+        return Error::ForeignEp;
+    }
+    return Error::None;
+}
+
+Error
+VDtu::translate(ActId act, dtu::VirtAddr buf, bool write,
+                dtu::PhysAddr &phys)
+{
+    // TileMux runs with physical addressing (it owns the first PMP
+    // region); its commands bypass the TLB.
+    if (act == dtu::kTileMuxAct) {
+        phys = buf;
+        return pmpCheck(phys, write);
+    }
+    dtu::VirtAddr page = buf & ~(dtu::kPageSize - 1);
+    const TlbEntry *e = tlbLookup(act, page);
+    if (!e) {
+        tlbMisses_.inc();
+        return Error::TlbMiss;
+    }
+    std::uint8_t need = write ? dtu::kPermW : dtu::kPermR;
+    if (!(e->perms & need)) {
+        tlbMisses_.inc();
+        return Error::TlbMiss;
+    }
+    const_cast<TlbEntry *>(e)->lastUse = ++tlbClock_;
+    tlbHits_.inc();
+    phys = e->phys | (buf & (dtu::kPageSize - 1));
+    return pmpCheck(phys, write);
+}
+
+Error
+VDtu::pmpCheck(dtu::PhysAddr phys, bool write) const
+{
+    // The PMP endpoint is selected by the upper two bits of the
+    // physical address (section 4.1).
+    EpId pmp_ep = static_cast<EpId>(phys >> 62);
+    dtu::PhysAddr offset = phys & ((1ULL << 62) - 1);
+    const dtu::Endpoint &mep = ep(pmp_ep);
+    if (mep.kind != dtu::EpKind::Memory)
+        return Error::PmpFault;
+    if (offset >= mep.mem.size)
+        return Error::PmpFault;
+    std::uint8_t need = write ? dtu::kPermW : dtu::kPermR;
+    if (!(mep.mem.perms & need))
+        return Error::PmpFault;
+    return Error::None;
+}
+
+void
+VDtu::onMessageStored(EpId, ActId owner)
+{
+    unread_[owner]++;
+    if (owner == cur_.act) {
+        cur_.msgCount++;
+        return;
+    }
+    // Message for a non-running activity: enqueue a core request and
+    // inject an interrupt if the queue was empty (section 3.8).
+    bool was_empty = coreReqs_.empty();
+    coreReqs_.push_back(CoreReq{owner});
+    coreReqCount_.inc();
+    if (was_empty && coreReqIrq_)
+        coreReqIrq_();
+}
+
+void
+VDtu::onMessageFetched(EpId, ActId owner)
+{
+    auto it = unread_.find(owner);
+    if (it == unread_.end() || it->second == 0)
+        sim::panic("%s: fetch with zero unread count", name().c_str());
+    it->second--;
+    if (owner == cur_.act && cur_.msgCount > 0)
+        cur_.msgCount--;
+}
+
+} // namespace m3v::core

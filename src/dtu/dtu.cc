@@ -1,0 +1,828 @@
+#include "dtu/dtu.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace m3v::dtu {
+
+const char *
+errorName(Error e)
+{
+    switch (e) {
+      case Error::None: return "None";
+      case Error::InvalidEp: return "InvalidEp";
+      case Error::ForeignEp: return "ForeignEp";
+      case Error::NoCredits: return "NoCredits";
+      case Error::TlbMiss: return "TlbMiss";
+      case Error::OutOfBounds: return "OutOfBounds";
+      case Error::RecvGone: return "RecvGone";
+      case Error::NoReplyAllowed: return "NoReplyAllowed";
+      case Error::PmpFault: return "PmpFault";
+      case Error::MsgTooBig: return "MsgTooBig";
+      case Error::Aborted: return "Aborted";
+    }
+    return "Unknown";
+}
+
+Dtu::Dtu(sim::EventQueue &eq, std::string name, noc::Noc &noc,
+         noc::TileId tile, std::uint64_t freq_hz, DtuTiming timing)
+    : SimObject(eq, std::move(name)), clk_(freq_hz), noc_(noc),
+      tile_(tile), timing_(timing), eps_(kNumEps)
+{
+    noc_.attachTile(tile, this);
+}
+
+//
+// External interface.
+//
+
+void
+Dtu::configEp(EpId id, Endpoint ep)
+{
+    if (id >= eps_.size())
+        sim::panic("%s: configEp %u out of range", name().c_str(), id);
+    eps_[id] = std::move(ep);
+}
+
+void
+Dtu::invalidateEp(EpId id)
+{
+    if (id >= eps_.size())
+        sim::panic("%s: invalidateEp %u out of range",
+                   name().c_str(), id);
+    eps_[id] = Endpoint();
+}
+
+const Endpoint &
+Dtu::ep(EpId id) const
+{
+    if (id >= eps_.size())
+        sim::panic("%s: ep %u out of range", name().c_str(), id);
+    return eps_[id];
+}
+
+Endpoint &
+Dtu::epMut(EpId id)
+{
+    if (id >= eps_.size())
+        sim::panic("%s: ep %u out of range", name().c_str(), id);
+    return eps_[id];
+}
+
+void
+Dtu::extRequest(noc::TileId dst, ExtOp op, EpId ep_start,
+                std::vector<Endpoint> eps, std::uint16_t count,
+                ExtCallback cb)
+{
+    auto wd = std::make_unique<WireData>();
+    wd->kind = WireKind::ExtReq;
+    wd->reqId = nextReqId_++;
+    wd->extOp = op;
+    wd->epStart = ep_start;
+    wd->epCount = count;
+    wd->eps = std::move(eps);
+    Inflight inf;
+    inf.extCb = std::move(cb);
+    inflight_.emplace(wd->reqId, std::move(inf));
+    if (dst == tile_) {
+        deliverLocal(std::move(wd));
+    } else {
+        sendPacket(dst, std::move(wd));
+    }
+}
+
+//
+// Command engine.
+//
+
+void
+Dtu::enqueueCmd(std::function<void()> run)
+{
+    if (cmdBusy_) {
+        cmdQueue_.push_back(PendingCmd{std::move(run)});
+        return;
+    }
+    cmdBusy_ = true;
+    run();
+}
+
+void
+Dtu::cmdFinished()
+{
+    if (!cmdBusy_)
+        sim::panic("%s: cmdFinished while idle", name().c_str());
+    if (cmdQueue_.empty()) {
+        cmdBusy_ = false;
+        return;
+    }
+    auto next = std::move(cmdQueue_.front());
+    cmdQueue_.pop_front();
+    next.run();
+}
+
+void
+Dtu::cmdSend(ActId act, EpId ep_id, VirtAddr buf,
+             std::vector<std::uint8_t> payload, EpId reply_ep,
+             CmdCallback cb)
+{
+    enqueueCmd([this, act, ep_id, buf, payload = std::move(payload),
+                reply_ep, cb = std::move(cb)]() mutable {
+        doSend(act, ep_id, buf, std::move(payload), reply_ep,
+               std::move(cb));
+    });
+}
+
+void
+Dtu::doSend(ActId act, EpId ep_id, VirtAddr buf,
+            std::vector<std::uint8_t> payload, EpId reply_ep,
+            CmdCallback cb)
+{
+    sim::Tick t0 =
+        clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
+    eq_.schedule(t0, [this, act, ep_id, buf,
+                      payload = std::move(payload), reply_ep,
+                      cb = std::move(cb)]() mutable {
+        auto fail = [&](Error e) {
+            cb(e);
+            cmdFinished();
+        };
+        if (ep_id >= eps_.size())
+            return fail(Error::InvalidEp);
+        Endpoint &sep = eps_[ep_id];
+        if (sep.kind != EpKind::Send)
+            return fail(Error::InvalidEp);
+        if (Error e = checkEpAccess(act, sep); e != Error::None)
+            return fail(e);
+        if (payload.size() > sep.send.maxMsgSize)
+            return fail(Error::MsgTooBig);
+        if (sep.send.credits == 0)
+            return fail(Error::NoCredits);
+        PhysAddr phys = 0;
+        if (Error e = translate(act, buf, false, phys);
+            e != Error::None)
+            return fail(e);
+
+        // DMA the message out of the core's cache.
+        sim::Cycles dma =
+            timing_.localMemFixed +
+            payload.size() / timing_.localMemBytesPerCycle;
+        eq_.schedule(clk_.cyclesToTicks(dma), [this, act, ep_id,
+                                               payload =
+                                                   std::move(payload),
+                                               reply_ep,
+                                               cb = std::move(cb)]()
+                                                  mutable {
+            Endpoint &sep2 = eps_[ep_id];
+            sep2.send.credits--;
+
+            auto wd = std::make_unique<WireData>();
+            wd->kind = WireKind::MsgXfer;
+            wd->reqId = nextReqId_++;
+            wd->dstEp = sep2.send.destEp;
+            wd->dstAct = sep2.send.destAct;
+            wd->isReply = sep2.send.isReply;
+            wd->msg.label = sep2.send.label;
+            wd->msg.srcTile = tile_;
+            wd->msg.srcAct = act;
+            wd->msg.replyEp = reply_ep;
+            wd->msg.creditEp = ep_id;
+            wd->msg.canReply = reply_ep != kInvalidEp;
+            wd->msg.payload = std::move(payload);
+
+            noc::TileId dst = sep2.send.destTile;
+            Inflight inf;
+            inf.cmdCb = [this, ep_id, cb = std::move(cb)](Error e) {
+                if (e != Error::None) {
+                    // Restore the credit on failed delivery.
+                    Endpoint &s = eps_[ep_id];
+                    if (s.kind == EpKind::Send &&
+                        s.send.credits < s.send.maxCredits)
+                        s.send.credits++;
+                    nacks_.inc();
+                } else {
+                    msgsSent_.inc();
+                }
+                cb(e);
+                cmdFinished();
+            };
+            inflight_.emplace(wd->reqId, std::move(inf));
+            if (dst == tile_) {
+                deliverLocal(std::move(wd));
+            } else {
+                sendPacket(dst, std::move(wd));
+            }
+        });
+    });
+}
+
+void
+Dtu::cmdReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
+              std::vector<std::uint8_t> payload, CmdCallback cb)
+{
+    enqueueCmd([this, act, rep_id, slot, buf,
+                payload = std::move(payload), cb = std::move(cb)]()
+                   mutable {
+        doReply(act, rep_id, slot, buf, std::move(payload),
+                std::move(cb));
+    });
+}
+
+void
+Dtu::doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
+             std::vector<std::uint8_t> payload, CmdCallback cb)
+{
+    sim::Tick t0 =
+        clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
+    eq_.schedule(t0, [this, act, rep_id, slot, buf,
+                      payload = std::move(payload),
+                      cb = std::move(cb)]() mutable {
+        auto fail = [&](Error e) {
+            cb(e);
+            cmdFinished();
+        };
+        if (rep_id >= eps_.size())
+            return fail(Error::InvalidEp);
+        Endpoint &rep = eps_[rep_id];
+        if (rep.kind != EpKind::Receive)
+            return fail(Error::InvalidEp);
+        if (Error e = checkEpAccess(act, rep); e != Error::None)
+            return fail(e);
+        if (slot < 0 ||
+            static_cast<std::size_t>(slot) >= rep.recv.slots.size())
+            return fail(Error::InvalidEp);
+        RecvSlot &rs = rep.recv.slots[static_cast<std::size_t>(slot)];
+        if (!rs.occupied || !rs.msg.canReply)
+            return fail(Error::NoReplyAllowed);
+        PhysAddr phys = 0;
+        if (Error e = translate(act, buf, false, phys);
+            e != Error::None)
+            return fail(e);
+
+        sim::Cycles dma =
+            timing_.localMemFixed +
+            payload.size() / timing_.localMemBytesPerCycle;
+        eq_.schedule(clk_.cyclesToTicks(dma), [this, act, rep_id, slot,
+                                               payload =
+                                                   std::move(payload),
+                                               cb = std::move(cb)]()
+                                                  mutable {
+            Endpoint &rep2 = eps_[rep_id];
+            RecvSlot &rs2 =
+                rep2.recv.slots[static_cast<std::size_t>(slot)];
+            noc::TileId dst = rs2.msg.srcTile;
+            EpId dst_ep = rs2.msg.replyEp;
+            EpId credit_ep = rs2.msg.creditEp;
+
+            auto wd = std::make_unique<WireData>();
+            wd->kind = WireKind::MsgXfer;
+            wd->reqId = nextReqId_++;
+            wd->dstEp = dst_ep;
+            wd->isReply = true;
+            wd->msg.label = rs2.msg.label;
+            wd->msg.srcTile = tile_;
+            wd->msg.srcAct = act;
+            wd->msg.replyEp = kInvalidEp;
+            wd->msg.creditEp = kInvalidEp;
+            wd->msg.canReply = false;
+            wd->msg.payload = std::move(payload);
+
+            // Replying acknowledges the original message: free the
+            // slot and return the credit to the sender.
+            rs2.occupied = false;
+            rs2.unread = false;
+
+            auto cr = std::make_unique<WireData>();
+            cr->kind = WireKind::CreditReturn;
+            cr->creditEp = credit_ep;
+            if (dst == tile_) {
+                deliverLocal(std::move(cr));
+            } else {
+                sendPacket(dst, std::move(cr));
+            }
+
+            Inflight inf;
+            inf.cmdCb = [this, cb = std::move(cb)](Error e) {
+                if (e == Error::None)
+                    msgsSent_.inc();
+                else
+                    nacks_.inc();
+                cb(e);
+                cmdFinished();
+            };
+            inflight_.emplace(wd->reqId, std::move(inf));
+            if (dst == tile_) {
+                deliverLocal(std::move(wd));
+            } else {
+                sendPacket(dst, std::move(wd));
+            }
+        });
+    });
+}
+
+void
+Dtu::cmdRead(ActId act, EpId mep_id, std::uint64_t offset,
+             std::size_t size, VirtAddr buf, ReadCallback cb)
+{
+    enqueueCmd([this, act, mep_id, offset, size, buf,
+                cb = std::move(cb)]() mutable {
+        doRead(act, mep_id, offset, size, buf, std::move(cb));
+    });
+}
+
+void
+Dtu::doRead(ActId act, EpId mep_id, std::uint64_t offset,
+            std::size_t size, VirtAddr buf, ReadCallback cb)
+{
+    sim::Tick t0 =
+        clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
+    eq_.schedule(t0, [this, act, mep_id, offset, size, buf,
+                      cb = std::move(cb)]() mutable {
+        auto fail = [&](Error e) {
+            cb(e, {});
+            cmdFinished();
+        };
+        if (mep_id >= eps_.size())
+            return fail(Error::InvalidEp);
+        Endpoint &mep = eps_[mep_id];
+        if (mep.kind != EpKind::Memory)
+            return fail(Error::InvalidEp);
+        if (Error e = checkEpAccess(act, mep); e != Error::None)
+            return fail(e);
+        if (!(mep.mem.perms & kPermR))
+            return fail(Error::PmpFault);
+        if (offset + size > mep.mem.size)
+            return fail(Error::OutOfBounds);
+        if (size > kPageSize)
+            return fail(Error::OutOfBounds);
+        PhysAddr phys = 0;
+        if (Error e = translate(act, buf, true, phys);
+            e != Error::None)
+            return fail(e);
+
+        auto wd = std::make_unique<WireData>();
+        wd->kind = WireKind::MemReadReq;
+        wd->reqId = nextReqId_++;
+        wd->addr = mep.mem.addr + offset;
+        wd->size = size;
+
+        Inflight inf;
+        inf.readCb = [this, cb = std::move(cb)](
+                         Error e, std::vector<std::uint8_t> data) {
+            // DMA the data into the core's cache, then complete.
+            sim::Cycles dma =
+                timing_.localMemFixed +
+                data.size() / timing_.localMemBytesPerCycle;
+            eq_.schedule(clk_.cyclesToTicks(dma),
+                         [this, e, data = std::move(data),
+                          cb = std::move(cb)]() mutable {
+                             cb(e, std::move(data));
+                             cmdFinished();
+                         });
+        };
+        inflight_.emplace(wd->reqId, std::move(inf));
+        noc::TileId dst = mep.mem.destTile;
+        if (dst == tile_) {
+            deliverLocal(std::move(wd));
+        } else {
+            sendPacket(dst, std::move(wd));
+        }
+    });
+}
+
+void
+Dtu::cmdWrite(ActId act, EpId mep_id, std::uint64_t offset,
+              std::vector<std::uint8_t> data, VirtAddr buf,
+              CmdCallback cb)
+{
+    enqueueCmd([this, act, mep_id, offset, data = std::move(data), buf,
+                cb = std::move(cb)]() mutable {
+        doWrite(act, mep_id, offset, std::move(data), buf,
+                std::move(cb));
+    });
+}
+
+void
+Dtu::doWrite(ActId act, EpId mep_id, std::uint64_t offset,
+             std::vector<std::uint8_t> data, VirtAddr buf,
+             CmdCallback cb)
+{
+    sim::Tick t0 =
+        clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
+    eq_.schedule(t0, [this, act, mep_id, offset,
+                      data = std::move(data), buf,
+                      cb = std::move(cb)]() mutable {
+        auto fail = [&](Error e) {
+            cb(e);
+            cmdFinished();
+        };
+        if (mep_id >= eps_.size())
+            return fail(Error::InvalidEp);
+        Endpoint &mep = eps_[mep_id];
+        if (mep.kind != EpKind::Memory)
+            return fail(Error::InvalidEp);
+        if (Error e = checkEpAccess(act, mep); e != Error::None)
+            return fail(e);
+        if (!(mep.mem.perms & kPermW))
+            return fail(Error::PmpFault);
+        if (offset + data.size() > mep.mem.size)
+            return fail(Error::OutOfBounds);
+        if (data.size() > kPageSize)
+            return fail(Error::OutOfBounds);
+        PhysAddr phys = 0;
+        if (Error e = translate(act, buf, false, phys);
+            e != Error::None)
+            return fail(e);
+
+        sim::Cycles dma =
+            timing_.localMemFixed +
+            data.size() / timing_.localMemBytesPerCycle;
+        eq_.schedule(clk_.cyclesToTicks(dma),
+                     [this, mep_id, offset, data = std::move(data),
+                      cb = std::move(cb)]() mutable {
+            Endpoint &mep2 = eps_[mep_id];
+            auto wd = std::make_unique<WireData>();
+            wd->kind = WireKind::MemWriteReq;
+            wd->reqId = nextReqId_++;
+            wd->addr = mep2.mem.addr + offset;
+            wd->size = data.size();
+            wd->data = std::move(data);
+
+            Inflight inf;
+            inf.cmdCb = [this, cb = std::move(cb)](Error e) {
+                cb(e);
+                cmdFinished();
+            };
+            inflight_.emplace(wd->reqId, std::move(inf));
+            noc::TileId dst = mep2.mem.destTile;
+            if (dst == tile_) {
+                deliverLocal(std::move(wd));
+            } else {
+                sendPacket(dst, std::move(wd));
+            }
+        });
+    });
+}
+
+//
+// Register-level operations.
+//
+
+int
+Dtu::fetch(ActId act, EpId rep_id)
+{
+    if (rep_id >= eps_.size())
+        return -1;
+    Endpoint &rep = eps_[rep_id];
+    if (rep.kind != EpKind::Receive)
+        return -1;
+    if (checkEpAccess(act, rep) != Error::None)
+        return -1;
+    int slot = rep.recv.firstUnread();
+    if (slot < 0)
+        return -1;
+    rep.recv.slots[static_cast<std::size_t>(slot)].unread = false;
+    onMessageFetched(rep_id, rep.act);
+    return slot;
+}
+
+std::size_t
+Dtu::unread(ActId act, EpId rep_id) const
+{
+    if (rep_id >= eps_.size())
+        return 0;
+    const Endpoint &rep = eps_[rep_id];
+    if (rep.kind != EpKind::Receive)
+        return 0;
+    if (checkEpAccess(act, rep) != Error::None)
+        return 0;
+    return rep.recv.unreadCount();
+}
+
+const Message &
+Dtu::slotMsg(EpId rep_id, int slot) const
+{
+    const Endpoint &rep = ep(rep_id);
+    if (rep.kind != EpKind::Receive || slot < 0 ||
+        static_cast<std::size_t>(slot) >= rep.recv.slots.size())
+        sim::panic("%s: slotMsg(%u, %d) invalid", name().c_str(),
+                   rep_id, slot);
+    const RecvSlot &rs = rep.recv.slots[static_cast<std::size_t>(slot)];
+    if (!rs.occupied)
+        sim::panic("%s: slotMsg on free slot", name().c_str());
+    return rs.msg;
+}
+
+void
+Dtu::ack(ActId act, EpId rep_id, int slot)
+{
+    Endpoint &rep = epMut(rep_id);
+    if (rep.kind != EpKind::Receive ||
+        checkEpAccess(act, rep) != Error::None)
+        return;
+    if (slot < 0 ||
+        static_cast<std::size_t>(slot) >= rep.recv.slots.size())
+        return;
+    RecvSlot &rs = rep.recv.slots[static_cast<std::size_t>(slot)];
+    if (!rs.occupied)
+        return;
+    noc::TileId dst = rs.msg.srcTile;
+    EpId credit_ep = rs.msg.creditEp;
+    rs.occupied = false;
+    rs.unread = false;
+    if (credit_ep == kInvalidEp)
+        return; // replies carry no credits
+    auto cr = std::make_unique<WireData>();
+    cr->kind = WireKind::CreditReturn;
+    cr->creditEp = credit_ep;
+    if (dst == tile_) {
+        deliverLocal(std::move(cr));
+    } else {
+        sendPacket(dst, std::move(cr));
+    }
+}
+
+bool
+Dtu::deviceMessage(EpId rep, std::vector<std::uint8_t> payload,
+                   std::uint64_t label)
+{
+    Endpoint &ep = epMut(rep);
+    if (ep.kind != EpKind::Receive)
+        sim::panic("%s: deviceMessage to non-recv EP %u",
+                   name().c_str(), rep);
+    if (payload.size() > ep.recv.slotSize)
+        return false;
+    int slot = ep.recv.freeSlot();
+    if (slot < 0)
+        return false;
+    RecvSlot &rs = ep.recv.slots[static_cast<std::size_t>(slot)];
+    rs.occupied = true;
+    rs.unread = true;
+    rs.msg = Message{};
+    rs.msg.label = label;
+    rs.msg.srcTile = tile_;
+    rs.msg.payload = std::move(payload);
+    rs.msg.seq = nextSeq_++;
+    msgsRecv_.inc();
+    onMessageStored(rep, ep.act);
+    if (msgNotify_)
+        msgNotify_(rep, ep.act);
+    return true;
+}
+
+//
+// NoC interface.
+//
+
+bool
+Dtu::acceptPacket(noc::Packet &pkt, std::function<void()> on_space)
+{
+    (void)on_space;
+    auto *wd = dynamic_cast<WireData *>(pkt.data.get());
+    if (!wd)
+        sim::panic("%s: foreign packet payload", name().c_str());
+    noc::TileId src = pkt.src;
+    // Take ownership; process after the rx pipeline delay.
+    auto owned = std::unique_ptr<WireData>(
+        static_cast<WireData *>(pkt.data.release()));
+    noc::Packet consumed = std::move(pkt);
+    eq_.schedule(clk_.cyclesToTicks(timing_.rxProcess),
+                 [this, src, owned = std::move(owned)]() mutable {
+                     handlePacket(*owned, src);
+                 });
+    return true;
+}
+
+void
+Dtu::deliverLocal(std::unique_ptr<WireData> wd)
+{
+    eq_.schedule(clk_.cyclesToTicks(timing_.loopback),
+                 [this, wd = std::move(wd)]() mutable {
+                     handlePacket(*wd, tile_);
+                 });
+}
+
+void
+Dtu::sendPacket(noc::TileId dst, std::unique_ptr<WireData> wd)
+{
+    noc::Packet pkt;
+    pkt.src = tile_;
+    pkt.dst = dst;
+    pkt.bytes = wd->wireBytes();
+    pkt.data = std::move(wd);
+    txQueue_.push_back(std::move(pkt));
+    pumpTx();
+}
+
+void
+Dtu::pumpTx()
+{
+    while (!txQueue_.empty()) {
+        noc::Packet &head = txQueue_.front();
+        if (!noc_.inject(head, [this]() { pumpTx(); }))
+            return;
+        txQueue_.pop_front();
+    }
+}
+
+void
+Dtu::respond(noc::TileId dst, std::unique_ptr<WireData> wd)
+{
+    if (dst == tile_) {
+        deliverLocal(std::move(wd));
+    } else {
+        sendPacket(dst, std::move(wd));
+    }
+}
+
+void
+Dtu::handlePacket(WireData &wd, noc::TileId src)
+{
+    switch (wd.kind) {
+      case WireKind::MsgXfer:
+        handleMsgXfer(wd, src);
+        break;
+
+      case WireKind::MsgDelivered:
+      case WireKind::MsgNack: {
+        auto it = inflight_.find(wd.reqId);
+        if (it == inflight_.end())
+            sim::panic("%s: stray delivery ack", name().c_str());
+        auto cb = std::move(it->second.cmdCb);
+        inflight_.erase(it);
+        cb(wd.kind == WireKind::MsgNack ? wd.error : Error::None);
+        break;
+      }
+
+      case WireKind::CreditReturn: {
+        if (wd.creditEp < eps_.size()) {
+            Endpoint &sep = eps_[wd.creditEp];
+            if (sep.kind == EpKind::Send &&
+                sep.send.credits < sep.send.maxCredits)
+                sep.send.credits++;
+        }
+        break;
+      }
+
+      case WireKind::MemReadReq: {
+        // Core tiles do not serve memory requests (memory tiles do,
+        // see MemoryTile); report a fault to the requester.
+        auto resp = std::make_unique<WireData>();
+        resp->kind = WireKind::MemReadResp;
+        resp->reqId = wd.reqId;
+        resp->error = Error::PmpFault;
+        respond(src, std::move(resp));
+        break;
+      }
+
+      case WireKind::MemWriteReq: {
+        auto resp = std::make_unique<WireData>();
+        resp->kind = WireKind::MemWriteAck;
+        resp->reqId = wd.reqId;
+        resp->error = Error::PmpFault;
+        respond(src, std::move(resp));
+        break;
+      }
+
+      case WireKind::MemReadResp: {
+        auto it = inflight_.find(wd.reqId);
+        if (it == inflight_.end())
+            sim::panic("%s: stray read response", name().c_str());
+        auto cb = std::move(it->second.readCb);
+        inflight_.erase(it);
+        cb(wd.error, std::move(wd.data));
+        break;
+      }
+
+      case WireKind::MemWriteAck: {
+        auto it = inflight_.find(wd.reqId);
+        if (it == inflight_.end())
+            sim::panic("%s: stray write ack", name().c_str());
+        auto cb = std::move(it->second.cmdCb);
+        inflight_.erase(it);
+        cb(wd.error);
+        break;
+      }
+
+      case WireKind::ExtReq: {
+        sim::Cycles cost =
+            timing_.extPerEp * std::max<std::uint16_t>(1, wd.epCount);
+        // Copy the fields we need; wd dies with the caller's frame.
+        auto req = std::make_unique<WireData>(std::move(wd));
+        eq_.schedule(clk_.cyclesToTicks(cost),
+                     [this, src, req = std::move(req)]() mutable {
+            auto resp = std::make_unique<WireData>();
+            resp->kind = WireKind::ExtResp;
+            resp->reqId = req->reqId;
+            switch (req->extOp) {
+              case ExtOp::SetEp:
+                configEp(req->epStart, std::move(req->eps.at(0)));
+                break;
+              case ExtOp::InvEp:
+                invalidateEp(req->epStart);
+                break;
+              case ExtOp::ReadEps:
+                for (EpId i = 0; i < req->epCount; i++)
+                    resp->eps.push_back(
+                        eps_.at(req->epStart + i));
+                break;
+              case ExtOp::WriteEps:
+                for (EpId i = 0;
+                     i < req->epCount && i < req->eps.size(); i++)
+                    eps_.at(req->epStart + i) =
+                        std::move(req->eps[i]);
+                break;
+            }
+            respond(src, std::move(resp));
+        });
+        break;
+      }
+
+      case WireKind::ExtResp: {
+        auto it = inflight_.find(wd.reqId);
+        if (it == inflight_.end())
+            sim::panic("%s: stray ext response", name().c_str());
+        auto cb = std::move(it->second.extCb);
+        inflight_.erase(it);
+        cb(wd.error, std::move(wd.eps));
+        break;
+      }
+    }
+}
+
+void
+Dtu::handleMsgXfer(WireData &wd, noc::TileId src)
+{
+    auto nack = [&](Error e) {
+        auto resp = std::make_unique<WireData>();
+        resp->kind = WireKind::MsgNack;
+        resp->reqId = wd.reqId;
+        resp->error = e;
+        respond(src, std::move(resp));
+    };
+
+    if (wd.dstEp >= eps_.size())
+        return nack(Error::RecvGone);
+    Endpoint &rep = eps_[wd.dstEp];
+    if (rep.kind != EpKind::Receive)
+        return nack(Error::RecvGone);
+    if (Error e = checkIncoming(wd.dstEp, rep, wd); e != Error::None)
+        return nack(e);
+    if (wd.msg.payload.size() > rep.recv.slotSize)
+        return nack(Error::MsgTooBig);
+    int slot = rep.recv.freeSlot();
+    if (slot < 0)
+        return nack(Error::RecvGone);
+
+    RecvSlot &rs = rep.recv.slots[static_cast<std::size_t>(slot)];
+    rs.occupied = true;
+    rs.unread = true;
+    rs.msg = std::move(wd.msg);
+    rs.msg.seq = nextSeq_++;
+    msgsRecv_.inc();
+
+    auto resp = std::make_unique<WireData>();
+    resp->kind = WireKind::MsgDelivered;
+    resp->reqId = wd.reqId;
+    respond(src, std::move(resp));
+
+    onMessageStored(wd.dstEp, rep.act);
+    if (msgNotify_)
+        msgNotify_(wd.dstEp, rep.act);
+}
+
+//
+// Default (non-virtualized) policy hooks.
+//
+
+Error
+Dtu::checkEpAccess(ActId, const Endpoint &) const
+{
+    return Error::None;
+}
+
+Error
+Dtu::translate(ActId, VirtAddr buf, bool, PhysAddr &phys)
+{
+    phys = buf;
+    return Error::None;
+}
+
+void
+Dtu::onMessageStored(EpId, ActId)
+{
+}
+
+void
+Dtu::onMessageFetched(EpId, ActId)
+{
+}
+
+Error
+Dtu::checkIncoming(EpId, const Endpoint &, const WireData &) const
+{
+    return Error::None;
+}
+
+} // namespace m3v::dtu

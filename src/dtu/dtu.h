@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The data transfer unit (DTU): the per-tile hardware component for
+ * cross-tile messaging and memory access (paper section 2.1).
+ *
+ * This class implements the plain (non-virtualized) DTU of M3/M3x:
+ *  - the *unprivileged interface*: SEND/REPLY/READ/WRITE commands
+ *    (an FSM that serializes one command at a time) plus the
+ *    register-level FETCH/ACK operations;
+ *  - the *external interface*: endpoint configuration by the
+ *    controller, locally or over the NoC (ExtReq packets), including
+ *    the ReadEps/WriteEps bulk operations M3x uses to save/restore
+ *    DTU state on remote context switches;
+ *  - credit-based flow control between send and receive endpoints,
+ *    with credits returned on acknowledgement;
+ *  - one-shot reply permissions stored with each received message.
+ *
+ * The vDTU of M3v (src/core/vdtu.h) subclasses this and adds the
+ * privileged interface: activity-tagged endpoint protection, the
+ * CUR_ACT register, a software-loaded TLB, PMP, and core requests.
+ *
+ * Addresses passed to commands are *buffer* addresses used only for
+ * protection checks and timing; payload bytes travel alongside
+ * (content and timing are decoupled, see DESIGN.md).
+ */
+
+#ifndef M3VSIM_DTU_DTU_H_
+#define M3VSIM_DTU_DTU_H_
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "dtu/ep.h"
+#include "dtu/message.h"
+#include "dtu/types.h"
+#include "dtu/wire.h"
+#include "noc/noc.h"
+#include "sim/clock.h"
+#include "sim/sim_object.h"
+#include "sim/stats.h"
+
+namespace m3v::dtu {
+
+/** DTU-internal timing parameters (cycles at the tile clock). */
+struct DtuTiming
+{
+    /** Command decode and EP checks. */
+    sim::Cycles cmdDecode = 30;
+
+    /** TLB lookup (vDTU only; checked once per command). */
+    sim::Cycles tlbLookup = 2;
+
+    /** Fixed cost of a DMA access to the core's cache/memory. */
+    sim::Cycles localMemFixed = 18;
+
+    /** DMA bandwidth to the core's cache. */
+    std::size_t localMemBytesPerCycle = 16;
+
+    /** Receive-side packet processing. */
+    sim::Cycles rxProcess = 24;
+
+    /** Applying an external (controller) request, per endpoint. */
+    sim::Cycles extPerEp = 12;
+
+    /** Internal loopback latency for tile-local delivery. */
+    sim::Cycles loopback = 16;
+};
+
+/** The per-tile data transfer unit. */
+class Dtu : public sim::SimObject, public noc::HopTarget
+{
+  public:
+    using CmdCallback = std::function<void(Error)>;
+    using ReadCallback =
+        std::function<void(Error, std::vector<std::uint8_t>)>;
+    using ExtCallback =
+        std::function<void(Error, std::vector<Endpoint>)>;
+
+    Dtu(sim::EventQueue &eq, std::string name, noc::Noc &noc,
+        noc::TileId tile, std::uint64_t freq_hz,
+        DtuTiming timing = {});
+
+    noc::TileId tileId() const { return tile_; }
+    const DtuTiming &timing() const { return timing_; }
+    const sim::Clock &clock() const { return clk_; }
+
+    //
+    // External interface (controller side).
+    //
+
+    /** Install an endpoint locally (controller tile / tests). */
+    void configEp(EpId id, Endpoint ep);
+
+    /** Invalidate an endpoint locally. */
+    void invalidateEp(EpId id);
+
+    /** Inspect an endpoint (simulation-level access). */
+    const Endpoint &ep(EpId id) const;
+
+    /**
+     * Send an external request to the DTU of @p dst over the NoC and
+     * invoke @p cb with the response. Used by the controller to
+     * manage remote endpoints and by M3x to save/restore DTU state.
+     */
+    void extRequest(noc::TileId dst, ExtOp op, EpId ep_start,
+                    std::vector<Endpoint> eps, std::uint16_t count,
+                    ExtCallback cb);
+
+    //
+    // Unprivileged interface: commands (serialized FSM).
+    //
+
+    /**
+     * SEND: transfer @p payload from buffer @p buf through send
+     * endpoint @p ep_id; replies (if any) arrive at @p reply_ep.
+     */
+    void cmdSend(ActId act, EpId ep_id, VirtAddr buf,
+                 std::vector<std::uint8_t> payload, EpId reply_ep,
+                 CmdCallback cb);
+
+    /**
+     * REPLY: consume the one-shot reply permission of the message in
+     * @p slot of receive endpoint @p rep_id, acknowledging the slot.
+     */
+    void cmdReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
+                  std::vector<std::uint8_t> payload, CmdCallback cb);
+
+    /** READ: DMA @p size bytes at @p offset within memory EP. */
+    void cmdRead(ActId act, EpId mep_id, std::uint64_t offset,
+                 std::size_t size, VirtAddr buf, ReadCallback cb);
+
+    /** WRITE: DMA @p data to @p offset within memory EP. */
+    void cmdWrite(ActId act, EpId mep_id, std::uint64_t offset,
+                  std::vector<std::uint8_t> data, VirtAddr buf,
+                  CmdCallback cb);
+
+    //
+    // Unprivileged interface: register-level operations (no FSM).
+    //
+
+    /**
+     * FETCH: pop the oldest unread message of @p rep_id. Returns the
+     * slot index or -1. Marks it read.
+     */
+    int fetch(ActId act, EpId rep_id);
+
+    /** Number of unread messages in a receive endpoint. */
+    std::size_t unread(ActId act, EpId rep_id) const;
+
+    /** Access a fetched message (slot must be occupied). */
+    const Message &slotMsg(EpId rep_id, int slot) const;
+
+    /** ACK: free the slot and return a credit to the sender. */
+    void ack(ActId act, EpId rep_id, int slot);
+
+    /**
+     * Device-originated local message delivery: a tile-local device
+     * (e.g. the NIC) DMAs a frame into a driver mailbox and signals
+     * it. Modelled as a direct store into @p rep (the usual counters,
+     * core requests and notifications fire). Returns false when no
+     * slot is free — the device drops the frame (ring overflow).
+     */
+    bool deviceMessage(EpId rep, std::vector<std::uint8_t> payload,
+                       std::uint64_t label = 0);
+
+    /** True while the command FSM (or its queue) is busy. */
+    bool cmdBusy() const { return cmdBusy_ || !cmdQueue_.empty(); }
+
+    /**
+     * Install a notification hook invoked after every stored message
+     * with (endpoint, owning activity). Software layers use it to
+     * wake threads that poll the DTU for new messages.
+     */
+    void
+    setMsgNotify(std::function<void(EpId, ActId)> cb)
+    {
+        msgNotify_ = std::move(cb);
+    }
+
+    // noc::HopTarget
+    bool acceptPacket(noc::Packet &pkt,
+                      std::function<void()> on_space) override;
+
+    // Statistics.
+    std::uint64_t msgsSent() const { return msgsSent_.value(); }
+    std::uint64_t msgsReceived() const { return msgsRecv_.value(); }
+    std::uint64_t nacksReceived() const { return nacks_.value(); }
+
+  protected:
+    /**
+     * Ownership / visibility check for an endpoint access by @p act.
+     * The plain DTU ignores the activity (M3/M3x semantics: only the
+     * current activity's endpoints are installed at all).
+     */
+    virtual Error checkEpAccess(ActId act, const Endpoint &ep) const;
+
+    /**
+     * Translate a buffer address for a command of @p act. The plain
+     * DTU uses physical addresses (identity). @p write is the access
+     * direction. Returns Error::TlbMiss / PmpFault on failure.
+     */
+    virtual Error translate(ActId act, VirtAddr buf, bool write,
+                            PhysAddr &phys);
+
+    /** Hook: a message was stored into @p ep_id for @p owner. */
+    virtual void onMessageStored(EpId ep_id, ActId owner);
+
+    /** Hook: a message was fetched from @p ep_id by @p owner. */
+    virtual void onMessageFetched(EpId ep_id, ActId owner);
+
+    /**
+     * Hook: may the incoming message for @p ep be stored? The plain
+     * DTU accepts any valid receive EP (M3x installs only the current
+     * activity's EPs, so "EP invalid" already means "not running").
+     */
+    virtual Error checkIncoming(EpId ep_id, const Endpoint &ep,
+                                const WireData &wire) const;
+
+    Endpoint &epMut(EpId id);
+
+    sim::Clock clk_;
+
+  private:
+    struct PendingCmd
+    {
+        std::function<void()> run;
+    };
+
+    void enqueueCmd(std::function<void()> run);
+    void cmdFinished();
+    void sendPacket(noc::TileId dst, std::unique_ptr<WireData> wd);
+    void handlePacket(WireData &wd, noc::TileId src);
+    void handleMsgXfer(WireData &wd, noc::TileId src);
+    void deliverLocal(std::unique_ptr<WireData> wd);
+    void storeMessage(WireData &wd);
+    void respond(noc::TileId dst, std::unique_ptr<WireData> wd);
+
+    void doSend(ActId act, EpId ep_id, VirtAddr buf,
+                std::vector<std::uint8_t> payload, EpId reply_ep,
+                CmdCallback cb);
+    void doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
+                 std::vector<std::uint8_t> payload, CmdCallback cb);
+    void doRead(ActId act, EpId mep_id, std::uint64_t offset,
+                std::size_t size, VirtAddr buf, ReadCallback cb);
+    void doWrite(ActId act, EpId mep_id, std::uint64_t offset,
+                 std::vector<std::uint8_t> data, VirtAddr buf,
+                 CmdCallback cb);
+
+    noc::Noc &noc_;
+    noc::TileId tile_;
+    DtuTiming timing_;
+    std::vector<Endpoint> eps_;
+
+    bool cmdBusy_ = false;
+    std::deque<PendingCmd> cmdQueue_;
+
+    std::uint64_t nextReqId_ = 1;
+    std::uint64_t nextSeq_ = 1;
+
+    /** In-flight requests awaiting a response keyed by reqId. */
+    struct Inflight
+    {
+        CmdCallback cmdCb;
+        ReadCallback readCb;
+        ExtCallback extCb;
+    };
+    std::unordered_map<std::uint64_t, Inflight> inflight_;
+
+    /** Packets waiting to be injected into the NoC. */
+    std::deque<noc::Packet> txQueue_;
+    bool txBusy_ = false;
+    void pumpTx();
+
+    sim::Counter msgsSent_;
+    sim::Counter msgsRecv_;
+    sim::Counter nacks_;
+    std::function<void(EpId, ActId)> msgNotify_;
+};
+
+} // namespace m3v::dtu
+
+#endif // M3VSIM_DTU_DTU_H_

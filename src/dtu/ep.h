@@ -1,0 +1,169 @@
+/**
+ * @file
+ * DTU endpoints: the hardware representation of communication
+ * channels (paper section 2.1). A send endpoint targets exactly one
+ * receive endpoint and carries credits; a receive endpoint owns a
+ * slotted buffer; a memory endpoint grants access to a window of
+ * tile-external memory. Every endpoint is tagged with the owning
+ * activity (the vDTU enforces the tag, the plain DTU ignores it).
+ */
+
+#ifndef M3VSIM_DTU_EP_H_
+#define M3VSIM_DTU_EP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dtu/message.h"
+#include "dtu/types.h"
+#include "noc/packet.h"
+
+namespace m3v::dtu {
+
+/** Endpoint kinds. */
+enum class EpKind : std::uint8_t
+{
+    Invalid = 0,
+    Send,
+    Receive,
+    Memory,
+};
+
+/** Send endpoint state. */
+struct SendEp
+{
+    noc::TileId destTile = 0;
+    EpId destEp = kInvalidEp;
+    /** Destination activity (M3x: the DTU NACKs messages whose
+     *  target is not the currently installed activity). */
+    ActId destAct = kInvalidAct;
+    /** Label delivered with every message (identifies the channel). */
+    std::uint64_t label = 0;
+    std::uint32_t credits = 0;
+    std::uint32_t maxCredits = 0;
+    std::size_t maxMsgSize = kPageSize;
+    /** One-shot reply endpoint (created by the DTU for replies). */
+    bool isReply = false;
+};
+
+/** One receive-buffer slot. */
+struct RecvSlot
+{
+    bool occupied = false;
+    bool unread = false;
+    Message msg;
+};
+
+/** Receive endpoint state. */
+struct RecvEp
+{
+    std::size_t slotSize = 256;
+    std::vector<RecvSlot> slots;
+
+    explicit RecvEp(std::size_t slot_size = 256,
+                    std::size_t num_slots = 8)
+        : slotSize(slot_size), slots(num_slots)
+    {
+    }
+
+    /** Index of a free slot or -1. */
+    int
+    freeSlot() const
+    {
+        for (std::size_t i = 0; i < slots.size(); i++)
+            if (!slots[i].occupied)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    /** Index of the oldest unread slot or -1. */
+    int
+    firstUnread() const
+    {
+        // Slots are reused round-robin via arrivalSeq ordering.
+        int best = -1;
+        std::uint64_t best_seq = ~0ULL;
+        for (std::size_t i = 0; i < slots.size(); i++) {
+            if (slots[i].unread && slots[i].msg.seq < best_seq) {
+                best = static_cast<int>(i);
+                best_seq = slots[i].msg.seq;
+            }
+        }
+        return best;
+    }
+
+    std::size_t
+    unreadCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &s : slots)
+            n += s.unread ? 1 : 0;
+        return n;
+    }
+};
+
+/** Memory endpoint state (also used for PMP). */
+struct MemEp
+{
+    noc::TileId destTile = 0;
+    PhysAddr addr = 0;
+    std::size_t size = 0;
+    std::uint8_t perms = 0;
+};
+
+/** An endpoint register: kind + owner + kind-specific state. */
+struct Endpoint
+{
+    EpKind kind = EpKind::Invalid;
+    /** Owning activity (enforced by the vDTU only). */
+    ActId act = kInvalidAct;
+
+    SendEp send;
+    RecvEp recv;
+    MemEp mem;
+
+    static Endpoint
+    makeSend(ActId act, noc::TileId dest_tile, EpId dest_ep,
+             std::uint64_t label, std::uint32_t credits,
+             std::size_t max_msg = 512)
+    {
+        Endpoint ep;
+        ep.kind = EpKind::Send;
+        ep.act = act;
+        ep.send.destTile = dest_tile;
+        ep.send.destEp = dest_ep;
+        ep.send.label = label;
+        ep.send.credits = credits;
+        ep.send.maxCredits = credits;
+        ep.send.maxMsgSize = max_msg;
+        return ep;
+    }
+
+    static Endpoint
+    makeRecv(ActId act, std::size_t slot_size, std::size_t slots)
+    {
+        Endpoint ep;
+        ep.kind = EpKind::Receive;
+        ep.act = act;
+        ep.recv = RecvEp(slot_size, slots);
+        return ep;
+    }
+
+    static Endpoint
+    makeMem(ActId act, noc::TileId dest_tile, PhysAddr addr,
+            std::size_t size, std::uint8_t perms)
+    {
+        Endpoint ep;
+        ep.kind = EpKind::Memory;
+        ep.act = act;
+        ep.mem.destTile = dest_tile;
+        ep.mem.addr = addr;
+        ep.mem.size = size;
+        ep.mem.perms = perms;
+        return ep;
+    }
+};
+
+} // namespace m3v::dtu
+
+#endif // M3VSIM_DTU_EP_H_

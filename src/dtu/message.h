@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Messages exchanged between send and receive endpoints.
+ */
+
+#ifndef M3VSIM_DTU_MESSAGE_H_
+#define M3VSIM_DTU_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dtu/types.h"
+#include "noc/packet.h"
+
+namespace m3v::dtu {
+
+/** A message as stored in a receive-buffer slot. */
+struct Message
+{
+    /** Channel label from the send endpoint. */
+    std::uint64_t label = 0;
+
+    /** Origin. */
+    noc::TileId srcTile = 0;
+    ActId srcAct = kInvalidAct;
+
+    /**
+     * Reply routing: the receive endpoint on the sender's tile that
+     * accepts the (single) reply to this message, or kInvalidEp.
+     */
+    EpId replyEp = kInvalidEp;
+
+    /** Send endpoint to return credits to on acknowledgement. */
+    EpId creditEp = kInvalidEp;
+
+    /** Whether the one-shot reply permission is still available. */
+    bool canReply = false;
+
+    /** Arrival sequence number (FIFO fetch order). */
+    std::uint64_t seq = 0;
+
+    /** Payload bytes. */
+    std::vector<std::uint8_t> payload;
+};
+
+} // namespace m3v::dtu
+
+#endif // M3VSIM_DTU_MESSAGE_H_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Cost parameters of the Linux 5.11 reference model.
+ *
+ * The paper compares M3v against Linux running bare-metal on a single
+ * BOOM tile (section 6). We model the paths its benchmarks exercise:
+ * no-op system calls, sched_yield, tmpfs read/write, and UDP sockets.
+ * Each syscall type carries an instruction-cache footprint; on the
+ * 16 KiB L1I of the platform, the large kernel paths evict the
+ * application's working set on every call — the effect the paper uses
+ * to explain the scan anomaly of Figure 10.
+ */
+
+#ifndef M3VSIM_LINUXREF_COSTS_H_
+#define M3VSIM_LINUXREF_COSTS_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace m3v::linuxref {
+
+/** Linux kernel path costs (cycles on the tile's core). */
+struct LinuxCosts
+{
+    /** Trap entry bookkeeping beyond the hardware trap cost. */
+    sim::Cycles syscallEntry = 220;
+
+    /** Return path (restore, seccomp/audit stubs). */
+    sim::Cycles syscallExit = 180;
+
+    /** scheduler: pick_next_task + switch_to for sched_yield. */
+    sim::Cycles schedPick = 500;
+
+    /** Full process context switch (registers, mm, TLB flush). */
+    sim::Cycles ctxSwitch = 900;
+
+    /** tmpfs path lookup per component. */
+    sim::Cycles vfsLookup = 350;
+
+    /** read() path base cost (vfs + tmpfs + fdget). */
+    sim::Cycles readBase = 600;
+
+    /** write() path base cost. */
+    sim::Cycles writeBase = 900;
+
+    /** Allocate + clear one fresh tmpfs page. */
+    sim::Cycles pageAlloc = 1200;
+
+    /** copy_to_user / copy_from_user bandwidth. */
+    std::size_t copyBytesPerCycle = 8;
+
+    /** memset (page clearing) bandwidth. */
+    std::size_t clearBytesPerCycle = 8;
+
+    /** UDP transmit path (headers, checksum base, queueing). */
+    sim::Cycles udpTxBase = 1800;
+
+    /** UDP receive path (softirq, demux, queueing). */
+    sim::Cycles udpRxBase = 2100;
+
+    /** Checksum/copy bandwidth in the network stack. */
+    std::size_t netBytesPerCycle = 4;
+
+    /** I-cache footprints of kernel paths (bytes). */
+    std::size_t footNoop = 2 * 1024;
+    std::size_t footSched = 5 * 1024;
+    std::size_t footFile = 10 * 1024;
+    std::size_t footNet = 14 * 1024;
+
+    /** Scheduler time slice. */
+    sim::Tick timeSlice = 4 * sim::kTicksPerMs;
+};
+
+} // namespace m3v::linuxref
+
+#endif // M3VSIM_LINUXREF_COSTS_H_

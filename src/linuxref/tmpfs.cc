@@ -1,0 +1,200 @@
+#include "linuxref/tmpfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace m3v::linuxref {
+
+Tmpfs::Tmpfs()
+{
+    Node root;
+    root.dir = true;
+    nodes_.emplace(0, root);
+    dirs_.emplace(0, std::map<std::string, Ino>());
+}
+
+std::vector<std::string>
+Tmpfs::split(const std::string &path) const
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/') {
+            if (!cur.empty()) {
+                parts.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        parts.push_back(cur);
+    return parts;
+}
+
+std::size_t
+Tmpfs::components(const std::string &path)
+{
+    std::size_t n = 0;
+    bool in = false;
+    for (char c : path) {
+        if (c == '/') {
+            in = false;
+        } else if (!in) {
+            in = true;
+            n++;
+        }
+    }
+    return n;
+}
+
+Tmpfs::Ino
+Tmpfs::lookup(const std::string &path)
+{
+    Ino cur = 0;
+    for (const auto &part : split(path)) {
+        auto dit = dirs_.find(cur);
+        if (dit == dirs_.end())
+            return kNoIno;
+        auto it = dit->second.find(part);
+        if (it == dit->second.end())
+            return kNoIno;
+        cur = it->second;
+    }
+    return cur;
+}
+
+Tmpfs::Ino
+Tmpfs::create(const std::string &path, bool dir)
+{
+    auto parts = split(path);
+    if (parts.empty())
+        return kNoIno;
+    std::string leaf = parts.back();
+    parts.pop_back();
+    Ino parent = 0;
+    for (const auto &part : parts) {
+        auto dit = dirs_.find(parent);
+        if (dit == dirs_.end())
+            return kNoIno;
+        auto it = dit->second.find(part);
+        if (it == dit->second.end())
+            return kNoIno;
+        parent = it->second;
+    }
+    auto &pdir = dirs_[parent];
+    if (pdir.count(leaf))
+        return kNoIno;
+    Ino ino = nextIno_++;
+    Node node;
+    node.dir = dir;
+    nodes_.emplace(ino, std::move(node));
+    if (dir)
+        dirs_.emplace(ino, std::map<std::string, Ino>());
+    pdir[leaf] = ino;
+    return ino;
+}
+
+bool
+Tmpfs::unlink(const std::string &path)
+{
+    auto parts = split(path);
+    if (parts.empty())
+        return false;
+    std::string leaf = parts.back();
+    parts.pop_back();
+    Ino parent = 0;
+    for (const auto &part : parts) {
+        auto it = dirs_[parent].find(part);
+        if (it == dirs_[parent].end())
+            return false;
+        parent = it->second;
+    }
+    auto it = dirs_[parent].find(leaf);
+    if (it == dirs_[parent].end())
+        return false;
+    Ino victim = it->second;
+    if (nodes_[victim].dir && !dirs_[victim].empty())
+        return false;
+    dirs_[parent].erase(it);
+    dirs_.erase(victim);
+    nodes_.erase(victim);
+    return true;
+}
+
+bool
+Tmpfs::isDir(Ino ino) const
+{
+    auto it = nodes_.find(ino);
+    return it != nodes_.end() && it->second.dir;
+}
+
+std::uint64_t
+Tmpfs::size(Ino ino) const
+{
+    auto it = nodes_.find(ino);
+    return it == nodes_.end() ? 0 : it->second.data.size();
+}
+
+std::size_t
+Tmpfs::read(Ino ino, std::uint64_t off, void *dst,
+            std::size_t len) const
+{
+    auto it = nodes_.find(ino);
+    if (it == nodes_.end() || it->second.dir)
+        return 0;
+    const auto &data = it->second.data;
+    if (off >= data.size())
+        return 0;
+    std::size_t n = std::min<std::size_t>(len, data.size() - off);
+    std::memcpy(dst, data.data() + off, n);
+    return n;
+}
+
+std::size_t
+Tmpfs::write(Ino ino, std::uint64_t off, const void *src,
+             std::size_t len)
+{
+    auto it = nodes_.find(ino);
+    if (it == nodes_.end() || it->second.dir)
+        return 0;
+    auto &data = it->second.data;
+    std::size_t pages_before = (data.size() + kPage - 1) / kPage;
+    if (off + len > data.size())
+        data.resize(off + len, 0);
+    std::memcpy(data.data() + off, src, len);
+    std::size_t pages_after = (data.size() + kPage - 1) / kPage;
+    return pages_after - pages_before;
+}
+
+void
+Tmpfs::truncate(Ino ino)
+{
+    auto it = nodes_.find(ino);
+    if (it != nodes_.end())
+        it->second.data.clear();
+}
+
+bool
+Tmpfs::entryAt(Ino dir, std::size_t idx, std::string *name,
+               Ino *child) const
+{
+    auto dit = dirs_.find(dir);
+    if (dit == dirs_.end() || idx >= dit->second.size())
+        return false;
+    auto it = dit->second.begin();
+    std::advance(it, static_cast<long>(idx));
+    *name = it->first;
+    *child = it->second;
+    return true;
+}
+
+std::size_t
+Tmpfs::entryCount(Ino dir) const
+{
+    auto dit = dirs_.find(dir);
+    return dit == dirs_.end() ? 0 : dit->second.size();
+}
+
+} // namespace m3v::linuxref

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The tmpfs model backing the Linux reference system: an in-memory
+ * file system with real byte contents, hierarchical directories and
+ * per-page allocation accounting (for the page-alloc/clear costs the
+ * kernel charges on extending writes).
+ */
+
+#ifndef M3VSIM_LINUXREF_TMPFS_H_
+#define M3VSIM_LINUXREF_TMPFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace m3v::linuxref {
+
+/** The in-memory file store. */
+class Tmpfs
+{
+  public:
+    using Ino = std::uint32_t;
+    static constexpr Ino kNoIno = ~0u;
+    static constexpr std::size_t kPage = 4096;
+
+    Tmpfs();
+
+    Ino lookup(const std::string &path);
+    Ino create(const std::string &path, bool dir);
+    bool unlink(const std::string &path);
+
+    bool isDir(Ino ino) const;
+    std::uint64_t size(Ino ino) const;
+
+    /** Number of path components (for lookup cost). */
+    static std::size_t components(const std::string &path);
+
+    /**
+     * Read up to @p len bytes at @p off. Returns bytes read.
+     */
+    std::size_t read(Ino ino, std::uint64_t off, void *dst,
+                     std::size_t len) const;
+
+    /**
+     * Write @p len bytes at @p off, extending the file. Returns the
+     * number of *fresh pages* allocated (for cost accounting).
+     */
+    std::size_t write(Ino ino, std::uint64_t off, const void *src,
+                      std::size_t len);
+
+    void truncate(Ino ino);
+
+    bool entryAt(Ino dir, std::size_t idx, std::string *name,
+                 Ino *child) const;
+    std::size_t entryCount(Ino dir) const;
+
+  private:
+    std::vector<std::string> split(const std::string &path) const;
+
+    struct Node
+    {
+        bool dir = false;
+        std::vector<std::uint8_t> data;
+    };
+
+    Ino nextIno_ = 1;
+    std::map<Ino, Node> nodes_;
+    std::map<Ino, std::map<std::string, Ino>> dirs_;
+};
+
+} // namespace m3v::linuxref
+
+#endif // M3VSIM_LINUXREF_TMPFS_H_

@@ -1,0 +1,173 @@
+#include "noc/noc.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace m3v::noc {
+
+/**
+ * Per-tile plumbing: an injection port (tile -> router) and an exit
+ * adapter (router -> tile sink) that counts deliveries.
+ */
+struct Noc::TileAttachment
+{
+    struct ExitAdapter : HopTarget
+    {
+        HopTarget *sink = nullptr;
+        Noc *noc = nullptr;
+
+        bool
+        acceptPacket(Packet &pkt, std::function<void()> on_space)
+            override
+        {
+            std::size_t payload = pkt.bytes;
+            if (!sink->acceptPacket(pkt, std::move(on_space)))
+                return false;
+            noc->delivered_.inc();
+            noc->deliveredBytes_.inc(payload);
+            return true;
+        }
+    };
+
+    TileId id = 0;
+    unsigned router = 0;
+    /** Tile-side injection port, drains into the router. */
+    std::unique_ptr<OutPort> injectPort;
+    /** Router-side port index toward the tile. */
+    std::size_t exitPortIdx = 0;
+    ExitAdapter exit;
+};
+
+Noc::Noc(sim::EventQueue &eq, NocParams params)
+    : SimObject(eq, "noc"), params_(params), clk_(params.freqHz)
+{
+    unsigned n = params_.meshCols * params_.meshRows;
+    if (n == 0)
+        sim::fatal("Noc: empty mesh");
+    for (unsigned r = 0; r < n; r++) {
+        routers_.push_back(std::make_unique<Router>(
+            eq_, clk_, params_, r, "noc.r" + std::to_string(r)));
+    }
+    meshPort_.assign(n, std::vector<std::size_t>(n, SIZE_MAX));
+}
+
+Noc::~Noc() = default;
+
+unsigned
+Noc::routerOf(TileId id) const
+{
+    for (const auto &t : tiles_)
+        if (t->id == id)
+            return t->router;
+    sim::panic("Noc: unknown tile %u", id);
+}
+
+void
+Noc::attachTile(TileId id, HopTarget *sink)
+{
+    if (finalized_)
+        sim::panic("Noc: attach after finalize");
+    auto att = std::make_unique<TileAttachment>();
+    att->id = id;
+    // Distribute tiles over routers round-robin, like the platform in
+    // Figure 4 spreads its eleven tiles over four routers.
+    att->router = static_cast<unsigned>(tiles_.size()) %
+                  static_cast<unsigned>(routers_.size());
+    att->exit.sink = sink;
+    att->exit.noc = this;
+
+    Router &r = *routers_[att->router];
+    att->exitPortIdx = r.addPort();
+    r.port(att->exitPortIdx).connect(&att->exit);
+
+    att->injectPort = std::make_unique<OutPort>(
+        eq_, clk_, params_, "noc.tile" + std::to_string(id) + ".inj");
+    att->injectPort->connect(&r);
+
+    tiles_.push_back(std::move(att));
+}
+
+void
+Noc::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+
+    unsigned cols = params_.meshCols;
+    unsigned rows = params_.meshRows;
+    unsigned n = cols * rows;
+
+    // Create mesh links between orthogonal neighbours.
+    for (unsigned r = 0; r < n; r++) {
+        unsigned x = routerX(r), y = routerY(r);
+        auto link_to = [&](unsigned other) {
+            std::size_t p = routers_[r]->addPort();
+            routers_[r]->port(p).connect(routers_[other].get());
+            meshPort_[r][other] = p;
+        };
+        if (x + 1 < cols)
+            link_to(r + 1);
+        if (x > 0)
+            link_to(r - 1);
+        if (y + 1 < rows)
+            link_to(r + cols);
+        if (y > 0)
+            link_to(r - cols);
+    }
+
+    // Routing: XY dimension-ordered between routers, then the tile's
+    // exit port at its home router.
+    for (const auto &t : tiles_) {
+        for (unsigned r = 0; r < n; r++) {
+            if (r == t->router) {
+                routers_[r]->setRoute(t->id, t->exitPortIdx);
+                continue;
+            }
+            unsigned x = routerX(r), y = routerY(r);
+            unsigned tx = routerX(t->router), ty = routerY(t->router);
+            unsigned next;
+            if (x != tx) {
+                next = (x < tx) ? r + 1 : r - 1;
+            } else {
+                next = (y < ty) ? r + cols : r - cols;
+            }
+            if (meshPort_[r][next] == SIZE_MAX)
+                sim::panic("Noc: missing mesh link %u->%u", r, next);
+            routers_[r]->setRoute(t->id, meshPort_[r][next]);
+        }
+    }
+}
+
+bool
+Noc::inject(Packet &pkt, std::function<void()> on_space)
+{
+    if (!finalized_)
+        sim::panic("Noc: inject before finalize");
+    for (auto &t : tiles_) {
+        if (t->id == pkt.src) {
+            if (!t->injectPort->hasSpace()) {
+                t->injectPort->waitForSpace(std::move(on_space));
+                return false;
+            }
+            t->injectPort->enqueue(std::move(pkt));
+            return true;
+        }
+    }
+    sim::panic("Noc: inject from unknown tile %u", pkt.src);
+}
+
+unsigned
+Noc::hopCount(TileId src, TileId dst) const
+{
+    unsigned rs = routerOf(src), rd = routerOf(dst);
+    int dx = std::abs(static_cast<int>(routerX(rs)) -
+                      static_cast<int>(routerX(rd)));
+    int dy = std::abs(static_cast<int>(routerY(rs)) -
+                      static_cast<int>(routerY(rd)));
+    return static_cast<unsigned>(dx + dy);
+}
+
+} // namespace m3v::noc

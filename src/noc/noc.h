@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The NoC facade: builds the star-mesh topology of the M3v platform
+ * (a ColsxRows router mesh with tiles star-attached to routers, XY
+ * routing between routers) and offers per-tile injection ports.
+ *
+ * The paper's FPGA platform uses a 2x2 star-mesh connecting eleven
+ * tiles (Figure 4); this builder generalizes to any mesh size and tile
+ * count so the gem5-style scalability runs (Figure 9, up to 12 user
+ * tiles) use the same fabric.
+ */
+
+#ifndef M3VSIM_NOC_NOC_H_
+#define M3VSIM_NOC_NOC_H_
+
+#include <memory>
+#include <vector>
+
+#include "noc/packet.h"
+#include "noc/router.h"
+#include "sim/clock.h"
+#include "sim/sim_object.h"
+
+namespace m3v::noc {
+
+/** The network-on-chip fabric. */
+class Noc : public sim::SimObject
+{
+  public:
+    Noc(sim::EventQueue &eq, NocParams params);
+    ~Noc() override;
+
+    const NocParams &params() const { return params_; }
+    const sim::Clock &clock() const { return clk_; }
+
+    /**
+     * Attach a component to the fabric. Tiles are assigned to routers
+     * round-robin. Must precede finalize().
+     */
+    void attachTile(TileId id, HopTarget *sink);
+
+    /** Build mesh links and routing tables. Call once after attach. */
+    void finalize();
+
+    /**
+     * Inject a packet at its source tile's injection port. Same
+     * semantics as HopTarget::acceptPacket: false means the injection
+     * queue is full and @p on_space fires when it drains.
+     */
+    bool inject(Packet &pkt, std::function<void()> on_space);
+
+    /** Number of router-to-router hops between two tiles. */
+    unsigned hopCount(TileId src, TileId dst) const;
+
+    /** Total packets delivered to tile sinks. */
+    std::uint64_t delivered() const { return delivered_.value(); }
+
+    /** Total payload bytes delivered. */
+    std::uint64_t deliveredBytes() const
+    {
+        return deliveredBytes_.value();
+    }
+
+  private:
+    struct TileAttachment;
+
+    unsigned routerOf(TileId id) const;
+    unsigned routerX(unsigned r) const { return r % params_.meshCols; }
+    unsigned routerY(unsigned r) const { return r / params_.meshCols; }
+
+    NocParams params_;
+    sim::Clock clk_;
+    bool finalized_ = false;
+    std::vector<std::unique_ptr<Router>> routers_;
+    /** meshPort_[r][n]: port index on router r toward router n. */
+    std::vector<std::vector<std::size_t>> meshPort_;
+    std::vector<std::unique_ptr<TileAttachment>> tiles_;
+    sim::Counter delivered_;
+    sim::Counter deliveredBytes_;
+};
+
+} // namespace m3v::noc
+
+#endif // M3VSIM_NOC_NOC_H_

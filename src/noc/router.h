@@ -1,0 +1,135 @@
+/**
+ * @file
+ * NoC router with per-output-port queues, store-and-forward timing,
+ * and packet-level backpressure between hops.
+ *
+ * Each output port owns a bounded queue and drains one packet at a
+ * time: a packet occupies the port for pipelineCycles plus its
+ * serialization time (bytes / linkBytesPerCycle). If the downstream
+ * element (next router or tile sink) cannot accept the packet, the
+ * port stalls (head-of-line blocking) until space is signalled.
+ */
+
+#ifndef M3VSIM_NOC_ROUTER_H_
+#define M3VSIM_NOC_ROUTER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/packet.h"
+#include "sim/clock.h"
+#include "sim/sim_object.h"
+#include "sim/stats.h"
+
+namespace m3v::noc {
+
+class Router;
+
+/** Timing and sizing parameters of the NoC fabric. */
+struct NocParams
+{
+    /** NoC clock (all routers and links). */
+    std::uint64_t freqHz = 100'000'000;
+
+    /** Link width: bytes serialized per NoC cycle. */
+    std::size_t linkBytesPerCycle = 16;
+
+    /** Router pipeline depth in cycles (route + arbitrate + xbar). */
+    sim::Cycles pipelineCycles = 3;
+
+    /** Output-port queue capacity in packets. */
+    std::size_t portQueuePackets = 4;
+
+    /** Per-packet wire header bytes (flit header overhead). */
+    std::size_t headerBytes = 16;
+
+    /** Mesh dimensions (routers). The paper's platform is 2x2. */
+    unsigned meshCols = 2;
+    unsigned meshRows = 2;
+};
+
+/**
+ * One output port: bounded queue + serializing drain to a HopTarget.
+ */
+class OutPort
+{
+  public:
+    OutPort(sim::EventQueue &eq, const sim::Clock &clk,
+            const NocParams &params, std::string name);
+
+    /** Connect the port to its downstream element. */
+    void connect(HopTarget *target) { target_ = target; }
+
+    /** True if the queue has room for one more packet. */
+    bool hasSpace() const;
+
+    /** Enqueue a packet; caller must have checked hasSpace(). */
+    void enqueue(Packet &&pkt);
+
+    /** Register a one-shot waiter for queue space. */
+    void waitForSpace(std::function<void()> cb);
+
+    std::uint64_t forwarded() const { return forwarded_.value(); }
+
+  private:
+    void startDrain();
+    void tryHandOver();
+    void notifySpaceWaiters();
+
+    sim::EventQueue &eq_;
+    const sim::Clock &clk_;
+    const NocParams &params_;
+    std::string name_;
+    HopTarget *target_ = nullptr;
+    std::deque<Packet> queue_;
+    bool draining_ = false;
+    std::vector<std::function<void()>> spaceWaiters_;
+    sim::Counter forwarded_;
+};
+
+/**
+ * A router in the mesh. Ports attach either neighbouring routers or
+ * tiles (star topology per router).
+ */
+class Router : public sim::SimObject, public HopTarget
+{
+  public:
+    Router(sim::EventQueue &eq, const sim::Clock &clk,
+           const NocParams &params, unsigned id, std::string name);
+
+    unsigned id() const { return id_; }
+
+    /** Create a new output port; returns its index. */
+    std::size_t addPort();
+
+    OutPort &port(std::size_t idx) { return *ports_[idx]; }
+    std::size_t numPorts() const { return ports_.size(); }
+
+    /**
+     * Install the routing decision: which output port a packet for
+     * @p dst tile takes.
+     */
+    void setRoute(TileId dst, std::size_t port_idx);
+
+    // HopTarget: upstream elements push packets into the router, which
+    // immediately places them on the routed output port's queue.
+    bool acceptPacket(Packet &pkt, std::function<void()> on_space)
+        override;
+
+    std::uint64_t routed() const { return routed_.value(); }
+
+  private:
+    const sim::Clock &clk_;
+    const NocParams &params_;
+    unsigned id_;
+    std::vector<std::unique_ptr<OutPort>> ports_;
+    std::vector<std::size_t> routeTable_;
+    sim::Counter routed_;
+};
+
+} // namespace m3v::noc
+
+#endif // M3VSIM_NOC_ROUTER_H_

@@ -1,0 +1,117 @@
+#include "os/accel.h"
+
+#include "sim/log.h"
+
+namespace m3v::os {
+
+namespace {
+
+/** A lean timing model for the accelerator's control processor. */
+tile::CoreModel
+accelCoreModel(std::uint64_t freq_hz)
+{
+    tile::CoreModel m;
+    m.name = "accel";
+    m.freqHz = freq_hz;
+    m.mmioReadCycles = 2;
+    m.mmioWriteCycles = 2;
+    m.trapEnterCycles = 1;
+    m.trapExitCycles = 1;
+    m.irqOverheadCycles = 1;
+    m.ipc = 1.0;
+    return m;
+}
+
+} // namespace
+
+AccelTile::AccelTile(sim::EventQueue &eq, std::string name,
+                     noc::Noc &noc, noc::TileId tile,
+                     AccelParams params)
+    : name_(std::move(name)), tile_(tile), params_(params)
+{
+    core_ = std::make_unique<tile::Core>(
+        eq, name_ + ".ctrl", accelCoreModel(params.freqHz), tile);
+    dtu_ = std::make_unique<dtu::Dtu>(eq, name_ + ".dtu", noc, tile,
+                                      params.freqHz);
+    thread_ = std::make_unique<tile::Thread>(*core_,
+                                             name_ + ".driver", 0);
+    env_ = std::make_unique<BareEnv>(name_, *thread_, *dtu_, 0);
+    env_->addRecvEp(kAccelCmdRep);
+}
+
+AccelTile::~AccelTile() = default;
+
+void
+AccelTile::startDriver()
+{
+    if (!transform_)
+        sim::fatal("%s: no transform installed", name_.c_str());
+    thread_->start(driver());
+    core_->dispatch(thread_.get());
+}
+
+sim::Task
+AccelTile::driver()
+{
+    for (;;) {
+        int slot = -1;
+        co_await env_->recvOn(kAccelCmdRep, &slot);
+        AccelJob job = podFrom<AccelJob>(
+            env_->msgAt(kAccelCmdRep, slot).payload);
+        co_await env_->ackMsg(kAccelCmdRep, slot);
+
+        // Stream the input window in.
+        Bytes input;
+        dtu::Error err = dtu::Error::None;
+        for (std::uint32_t off = 0; off < job.len;
+             off += dtu::kPageSize) {
+            Bytes page;
+            co_await env_->readMem(
+                kAccelInMep, job.inOff + off,
+                std::min<std::size_t>(dtu::kPageSize, job.len - off),
+                &page, &err);
+            if (err != dtu::Error::None)
+                sim::panic("%s: input read failed: %s",
+                           name_.c_str(), dtu::errorName(err));
+            input.insert(input.end(), page.begin(), page.end());
+        }
+
+        // The fixed-function unit: real data transform, modelled
+        // pipeline time.
+        co_await thread_->compute(
+            params_.fixedCost +
+            input.size() / params_.bytesPerCycle);
+        Bytes output = transform_(input);
+
+        // Stream the output window out.
+        for (std::size_t off = 0; off < output.size();
+             off += dtu::kPageSize) {
+            std::size_t n = std::min<std::size_t>(
+                dtu::kPageSize, output.size() - off);
+            co_await env_->writeMem(
+                kAccelOutMep, job.outOff + off,
+                Bytes(output.begin() + static_cast<long>(off),
+                      output.begin() + static_cast<long>(off + n)),
+                &err);
+            if (err != dtu::Error::None)
+                sim::panic("%s: output write failed: %s",
+                           name_.c_str(), dtu::errorName(err));
+        }
+
+        // Forward the job descriptor to the next stage: this stage's
+        // output window becomes the next stage's input window.
+        AccelJob next;
+        next.inOff = job.outOff;
+        next.len = static_cast<std::uint32_t>(output.size());
+        next.outOff = job.outOff;
+        next.tag = job.tag;
+        co_await env_->send(kAccelFwdSep, podBytes(next),
+                            dtu::kInvalidEp, &err);
+        if (err != dtu::Error::None)
+            sim::panic("%s: forward failed: %s", name_.c_str(),
+                       dtu::errorName(err));
+        jobs_++;
+    }
+}
+
+} // namespace m3v::os

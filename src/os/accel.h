@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Accelerator tiles: fixed-function units behind a plain DTU, as in
+ * M³/M³x (paper sections 2.2 and 8). Accelerators run autonomously:
+ * once the controller wires their channels, jobs flow from stage to
+ * stage without any general-purpose core in the loop — the paper's
+ * "decode | fft | mul | ifft" shell pipeline (Figure 2).
+ *
+ * M³v does not multiplex accelerator tiles (section 8); each tile
+ * works on one context and uses the non-virtualized DTU.
+ *
+ * Job protocol (endpoints configured by the controller/harness):
+ *   ep 4: command receive endpoint (AccelJob messages)
+ *   ep 5: forward send endpoint (to the next stage or the app)
+ *   ep 6: input memory endpoint
+ *   ep 7: output memory endpoint
+ * A job names an input window and an output window; the accelerator
+ * reads the input, applies its transform (real bytes, modelled
+ * cycles), writes the output, and forwards the job descriptor.
+ */
+
+#ifndef M3VSIM_OS_ACCEL_H_
+#define M3VSIM_OS_ACCEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "os/env.h"
+
+namespace m3v::os {
+
+/** The job descriptor accelerators pass along. */
+struct AccelJob
+{
+    std::uint64_t inOff = 0;
+    std::uint32_t len = 0;
+    std::uint64_t outOff = 0;
+    /** Opaque tag travelling with the job (e.g. frame number). */
+    std::uint64_t tag = 0;
+};
+
+/** Accelerator timing parameters. */
+struct AccelParams
+{
+    /** Accelerator clock. */
+    std::uint64_t freqHz = 200'000'000;
+
+    /** Per-job setup cost (cycles). */
+    sim::Cycles fixedCost = 400;
+
+    /** Processing bandwidth (bytes per cycle). */
+    std::size_t bytesPerCycle = 8;
+};
+
+/** Well-known endpoints of the accelerator job protocol. */
+constexpr dtu::EpId kAccelCmdRep = 4;
+constexpr dtu::EpId kAccelFwdSep = 5;
+constexpr dtu::EpId kAccelInMep = 6;
+constexpr dtu::EpId kAccelOutMep = 7;
+
+/** A fixed-function accelerator tile. */
+class AccelTile
+{
+  public:
+    /** The accelerator's function on real data. */
+    using Transform = std::function<Bytes(const Bytes &)>;
+
+    AccelTile(sim::EventQueue &eq, std::string name, noc::Noc &noc,
+              noc::TileId tile, AccelParams params = {});
+    ~AccelTile();
+
+    AccelTile(const AccelTile &) = delete;
+    AccelTile &operator=(const AccelTile &) = delete;
+
+    const std::string &name() const { return name_; }
+    noc::TileId tileId() const { return tile_; }
+    dtu::Dtu &dtu() { return *dtu_; }
+
+    /** Install the fixed function (before startDriver). */
+    void setTransform(Transform fn) { transform_ = std::move(fn); }
+
+    /** Start the autonomous job loop. */
+    void startDriver();
+
+    std::uint64_t jobsProcessed() const { return jobs_; }
+
+  private:
+    sim::Task driver();
+
+    std::string name_;
+    noc::TileId tile_;
+    AccelParams params_;
+    std::unique_ptr<tile::Core> core_;
+    std::unique_ptr<dtu::Dtu> dtu_;
+    std::unique_ptr<tile::Thread> thread_;
+    std::unique_ptr<BareEnv> env_;
+    Transform transform_;
+    std::uint64_t jobs_ = 0;
+};
+
+} // namespace m3v::os
+
+#endif // M3VSIM_OS_ACCEL_H_

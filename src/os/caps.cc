@@ -1,0 +1,152 @@
+#include "os/caps.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace m3v::os {
+
+CapSel
+CapTable::insertRoot(std::shared_ptr<KObject> obj)
+{
+    CapSel sel = next_++;
+    caps_.emplace(sel, std::make_unique<Capability>(sel, owner_,
+                                                    std::move(obj)));
+    return sel;
+}
+
+CapSel
+CapTable::insertChild(std::shared_ptr<KObject> obj, Capability &parent)
+{
+    CapSel sel = next_++;
+    auto cap = std::make_unique<Capability>(sel, owner_,
+                                            std::move(obj));
+    cap->parent = &parent;
+    parent.children.push_back(cap.get());
+    caps_.emplace(sel, std::move(cap));
+    return sel;
+}
+
+Capability *
+CapTable::get(CapSel sel)
+{
+    auto it = caps_.find(sel);
+    return it == caps_.end() ? nullptr : it->second.get();
+}
+
+const Capability *
+CapTable::get(CapSel sel) const
+{
+    auto it = caps_.find(sel);
+    return it == caps_.end() ? nullptr : it->second.get();
+}
+
+std::size_t
+CapTable::revoke(CapSel sel,
+                 const std::function<void(Capability &)> &on_revoke,
+                 bool keep_root)
+{
+    // Delegated children can live in other tables; this convenience
+    // entry only works for single-table use (tests). CapMgr::revoke
+    // is the full implementation.
+    Capability *root = get(sel);
+    if (!root)
+        return 0;
+    std::vector<Capability *> subtree;
+    CapMgr::collectSubtree(*root, subtree);
+    std::size_t removed = 0;
+    for (auto it = subtree.rbegin(); it != subtree.rend(); ++it) {
+        Capability *cap = *it;
+        if (keep_root && cap == root)
+            continue;
+        if (cap->owner() != owner_)
+            sim::panic("CapTable::revoke: cross-table child; use "
+                       "CapMgr::revoke");
+        on_revoke(*cap);
+        if (cap->parent) {
+            auto &sib = cap->parent->children;
+            sib.erase(std::remove(sib.begin(), sib.end(), cap),
+                      sib.end());
+        }
+        caps_.erase(cap->sel());
+        removed++;
+    }
+    if (keep_root)
+        root->children.clear();
+    return removed;
+}
+
+CapTable &
+CapMgr::tableOf(dtu::ActId act)
+{
+    auto it = tables_.find(act);
+    if (it == tables_.end()) {
+        it = tables_.emplace(act, std::make_unique<CapTable>(act))
+                 .first;
+    }
+    return *it->second;
+}
+
+bool
+CapMgr::hasTable(dtu::ActId act) const
+{
+    return tables_.count(act) > 0;
+}
+
+void
+CapMgr::collectSubtree(Capability &cap, std::vector<Capability *> &out)
+{
+    out.push_back(&cap);
+    for (Capability *child : cap.children)
+        collectSubtree(*child, out);
+}
+
+std::size_t
+CapMgr::revoke(dtu::ActId act, CapSel sel,
+               const std::function<void(Capability &)> &on_revoke,
+               bool keep_root)
+{
+    CapTable &table = tableOf(act);
+    Capability *root = table.get(sel);
+    if (!root)
+        return 0;
+    std::vector<Capability *> subtree;
+    collectSubtree(*root, subtree);
+    std::size_t removed = 0;
+    // Leaves first so parent/child links stay valid while walking.
+    for (auto it = subtree.rbegin(); it != subtree.rend(); ++it) {
+        Capability *cap = *it;
+        if (keep_root && cap == root)
+            continue;
+        on_revoke(*cap);
+        if (cap->parent) {
+            auto &sib = cap->parent->children;
+            sib.erase(std::remove(sib.begin(), sib.end(), cap),
+                      sib.end());
+        }
+        tableOf(cap->owner()).caps_.erase(cap->sel());
+        removed++;
+    }
+    if (keep_root)
+        root->children.clear();
+    return removed;
+}
+
+void
+CapMgr::dropTable(dtu::ActId act,
+                  const std::function<void(Capability &)> &on_revoke)
+{
+    auto it = tables_.find(act);
+    if (it == tables_.end())
+        return;
+    // Revoke every root (and thereby all delegated descendants).
+    std::vector<CapSel> roots;
+    for (auto &[sel, cap] : it->second->caps_)
+        if (!cap->parent)
+            roots.push_back(sel);
+    for (CapSel sel : roots)
+        revoke(act, sel, on_revoke, false);
+    tables_.erase(act);
+}
+
+} // namespace m3v::os

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The controller's capability system (paper section 3.3): activities
+ * obtain, exchange and revoke capabilities through system calls; only
+ * the controller establishes communication channels from them.
+ *
+ * Capabilities form a derivation tree: delegating or deriving creates
+ * children, and revocation removes a whole subtree, invalidating any
+ * DTU endpoints the revoked capabilities were activated into.
+ */
+
+#ifndef M3VSIM_OS_CAPS_H_
+#define M3VSIM_OS_CAPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtu/types.h"
+#include "noc/packet.h"
+#include "os/proto.h"
+
+namespace m3v::os {
+
+/** Kinds of kernel objects capabilities can refer to. */
+enum class CapKind : std::uint8_t
+{
+    Activity,
+    RecvGate,
+    SendGate,
+    MemGate,
+};
+
+/** A region of physical memory on some tile. */
+struct MemObj
+{
+    noc::TileId tile = 0;
+    dtu::PhysAddr addr = 0;
+    std::size_t size = 0;
+    std::uint8_t perms = 0;
+};
+
+/** A receive gate: a receive endpoint location. */
+struct RgateObj
+{
+    noc::TileId tile = 0;
+    dtu::ActId act = dtu::kInvalidAct;
+    dtu::EpId ep = dtu::kInvalidEp;
+    std::size_t slotSize = 256;
+    std::size_t slots = 8;
+};
+
+/** A send gate targeting a receive gate. */
+struct SgateObj
+{
+    RgateObj target;
+    std::uint64_t label = 0;
+    std::uint32_t credits = 1;
+};
+
+/** An activity reference. */
+struct ActObj
+{
+    dtu::ActId id = dtu::kInvalidAct;
+    noc::TileId tile = 0;
+};
+
+/** A kernel object, referenced by one or more capabilities. */
+struct KObject
+{
+    CapKind kind;
+    MemObj mem;
+    RgateObj rgate;
+    SgateObj sgate;
+    ActObj act;
+};
+
+/** One capability in an activity's table. */
+class Capability
+{
+  public:
+    Capability(CapSel sel, dtu::ActId owner,
+               std::shared_ptr<KObject> obj)
+        : sel_(sel), owner_(owner), obj_(std::move(obj))
+    {
+    }
+
+    CapSel sel() const { return sel_; }
+    dtu::ActId owner() const { return owner_; }
+    KObject &obj() { return *obj_; }
+    const KObject &obj() const { return *obj_; }
+    std::shared_ptr<KObject> objPtr() const { return obj_; }
+
+    Capability *parent = nullptr;
+    std::vector<Capability *> children;
+
+    /** Where this cap is activated (tile, ep), if anywhere. */
+    bool activated = false;
+    noc::TileId actTile = 0;
+    dtu::EpId actEp = dtu::kInvalidEp;
+
+  private:
+    CapSel sel_;
+    dtu::ActId owner_;
+    std::shared_ptr<KObject> obj_;
+};
+
+/** Per-activity capability table with derivation-tree maintenance. */
+class CapTable
+{
+  public:
+    explicit CapTable(dtu::ActId owner) : owner_(owner) {}
+
+    CapTable(const CapTable &) = delete;
+    CapTable &operator=(const CapTable &) = delete;
+
+    dtu::ActId owner() const { return owner_; }
+
+    /** Insert a root capability; returns its selector. */
+    CapSel insertRoot(std::shared_ptr<KObject> obj);
+
+    /**
+     * Insert a capability derived from @p parent (possibly in another
+     * table); returns the new selector.
+     */
+    CapSel insertChild(std::shared_ptr<KObject> obj,
+                       Capability &parent);
+
+    Capability *get(CapSel sel);
+    const Capability *get(CapSel sel) const;
+
+    /**
+     * Revoke the subtree rooted at @p sel. @p on_revoke is invoked
+     * for every removed capability (to invalidate activated EPs).
+     * If @p keep_root, only the children are revoked.
+     */
+    std::size_t revoke(CapSel sel,
+                       const std::function<void(Capability &)> &on_revoke,
+                       bool keep_root = false);
+
+    std::size_t size() const { return caps_.size(); }
+
+  private:
+    friend class CapMgr;
+
+    dtu::ActId owner_;
+    CapSel next_ = 1;
+    std::map<CapSel, std::unique_ptr<Capability>> caps_;
+};
+
+/**
+ * The controller's view over all capability tables, with cross-table
+ * revocation.
+ */
+class CapMgr
+{
+  public:
+    /** Create (or fetch) the table of an activity. */
+    CapTable &tableOf(dtu::ActId act);
+
+    bool hasTable(dtu::ActId act) const;
+
+    /**
+     * Revoke subtree rooted at (act, sel), across tables.
+     * Returns the number of removed capabilities.
+     */
+    std::size_t revoke(dtu::ActId act, CapSel sel,
+                       const std::function<void(Capability &)> &on_revoke,
+                       bool keep_root = false);
+
+    /** Remove an entire activity's table (activity exit). */
+    void dropTable(dtu::ActId act,
+                   const std::function<void(Capability &)> &on_revoke);
+
+  private:
+    friend class CapTable;
+
+    static void collectSubtree(Capability &cap,
+                               std::vector<Capability *> &out);
+
+    std::map<dtu::ActId, std::unique_ptr<CapTable>> tables_;
+};
+
+} // namespace m3v::os
+
+#endif // M3VSIM_OS_CAPS_H_

@@ -1,0 +1,355 @@
+#include "os/controller.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace m3v::os {
+
+using dtu::ActId;
+using dtu::EpId;
+using dtu::Error;
+
+Controller::Controller(BareEnv &env, CapMgr &caps, DtuLocator locate,
+                       ControllerParams params)
+    : env_(&env), caps_(&caps), locate_(std::move(locate)),
+      params_(params)
+{
+    env.addRecvEp(params_.syscallRep);
+}
+
+CapSel
+Controller::grantMem(ActId act, MemObj mem)
+{
+    auto obj = std::make_shared<KObject>();
+    obj->kind = CapKind::MemGate;
+    obj->mem = mem;
+    return caps_->tableOf(act).insertRoot(std::move(obj));
+}
+
+CapSel
+Controller::grantActivity(ActId holder, ActObj a)
+{
+    auto obj = std::make_shared<KObject>();
+    obj->kind = CapKind::Activity;
+    obj->act = a;
+    return caps_->tableOf(holder).insertRoot(std::move(obj));
+}
+
+CapSel
+Controller::grantRgate(ActId act, RgateObj r)
+{
+    auto obj = std::make_shared<KObject>();
+    obj->kind = CapKind::RecvGate;
+    obj->rgate = r;
+    return caps_->tableOf(act).insertRoot(std::move(obj));
+}
+
+CapSel
+Controller::grantSgate(ActId act, SgateObj s)
+{
+    auto obj = std::make_shared<KObject>();
+    obj->kind = CapKind::SendGate;
+    obj->sgate = s;
+    return caps_->tableOf(act).insertRoot(std::move(obj));
+}
+
+void
+Controller::registerActivity(ActId id, noc::TileId tile)
+{
+    actTiles_[id] = tile;
+}
+
+void
+Controller::setSidecallChannel(noc::TileId tile, EpId sep)
+{
+    sidecallSeps_[tile] = sep;
+}
+
+void
+Controller::setSidecallReplyEp(EpId rep)
+{
+    sidecallRep_ = rep;
+    env_->addRecvEp(rep);
+}
+
+sim::Task
+Controller::sidecall(noc::TileId tile, SidecallReq req,
+                     SidecallResp *resp)
+{
+    auto it = sidecallSeps_.find(tile);
+    if (it == sidecallSeps_.end() ||
+        sidecallRep_ == dtu::kInvalidEp)
+        sim::panic("controller: no sidecall channel to tile %u",
+                   tile);
+    Bytes respb;
+    Error err = Error::Aborted;
+    co_await env_->call(it->second, sidecallRep_, podBytes(req),
+                        &respb, &err);
+    if (err != Error::None)
+        sim::panic("controller: sidecall to tile %u failed: %s", tile,
+                   dtu::errorName(err));
+    *resp = podFrom<SidecallResp>(respb);
+}
+
+dtu::Endpoint
+Controller::endpointFor(const KObject &obj, ActId owner)
+{
+    switch (obj.kind) {
+      case CapKind::MemGate:
+        return dtu::Endpoint::makeMem(owner, obj.mem.tile,
+                                      obj.mem.addr, obj.mem.size,
+                                      obj.mem.perms);
+      case CapKind::SendGate:
+        return dtu::Endpoint::makeSend(
+            owner, obj.sgate.target.tile, obj.sgate.target.ep,
+            obj.sgate.label, obj.sgate.credits);
+      case CapKind::RecvGate:
+        return dtu::Endpoint::makeRecv(owner, obj.rgate.slotSize,
+                                       obj.rgate.slots);
+      case CapKind::Activity:
+        break;
+    }
+    sim::panic("Controller: cannot activate this capability kind");
+}
+
+sim::Task
+Controller::configRemoteEp(noc::TileId tile, EpId ep,
+                           dtu::Endpoint ndep, Error *err)
+{
+    auto &thread = env_->thread();
+    co_await thread.compute(
+        thread.core().model().mmioWriteCycles * 4);
+    if (tile == env_->tileId()) {
+        env_->dtu().configEp(ep, std::move(ndep));
+        if (err)
+            *err = Error::None;
+        co_return;
+    }
+    bool done = false;
+    thread.clearWake();
+    std::vector<dtu::Endpoint> eps;
+    eps.push_back(std::move(ndep));
+    env_->dtu().extRequest(tile, dtu::ExtOp::SetEp, ep,
+                           std::move(eps), 1,
+                           [&](Error e, std::vector<dtu::Endpoint>) {
+                               if (err)
+                                   *err = e;
+                               done = true;
+                               thread.wake();
+                           });
+    while (!done)
+        co_await thread.externalWait();
+}
+
+sim::Task
+Controller::invalidateRemoteEp(noc::TileId tile, EpId ep)
+{
+    auto &thread = env_->thread();
+    co_await thread.compute(
+        thread.core().model().mmioWriteCycles * 2);
+    if (tile == env_->tileId()) {
+        env_->dtu().invalidateEp(ep);
+        co_return;
+    }
+    bool done = false;
+    thread.clearWake();
+    env_->dtu().extRequest(tile, dtu::ExtOp::InvEp, ep, {}, 1,
+                           [&](Error, std::vector<dtu::Endpoint>) {
+                               done = true;
+                               thread.wake();
+                           });
+    while (!done)
+        co_await thread.externalWait();
+}
+
+sim::Task
+Controller::run()
+{
+    auto &thread = env_->thread();
+    EpId rep = params_.syscallRep;
+    while (running_) {
+        int slot = -1;
+        co_await env_->recvOn(rep, &slot);
+        const dtu::Message &m = env_->msgAt(rep, slot);
+        auto caller = static_cast<ActId>(m.label);
+        SyscallReq req = podFrom<SyscallReq>(m.payload);
+        syscalls_.inc();
+
+        co_await thread.compute(params_.dispatchCost);
+        SyscallResp resp;
+        co_await handle(caller, req, &resp);
+
+        Error rerr = Error::None;
+        co_await env_->reply(rep, slot, podBytes(resp), &rerr);
+        if (rerr != Error::None)
+            sim::warn("controller: reply to %u failed: %s", caller,
+                      dtu::errorName(rerr));
+    }
+}
+
+sim::Task
+Controller::handle(ActId caller, const SyscallReq &req,
+                   SyscallResp *resp)
+{
+    auto &thread = env_->thread();
+    CapTable &table = caps_->tableOf(caller);
+    resp->err = Error::None;
+    resp->val = 0;
+
+    switch (req.op) {
+      case SyscallReq::Op::Noop:
+        break;
+
+      case SyscallReq::Op::DeriveMem: {
+        co_await thread.compute(params_.capCost);
+        Capability *parent =
+            table.get(static_cast<CapSel>(req.arg0));
+        if (!parent || parent->obj().kind != CapKind::MemGate) {
+            resp->err = Error::InvalidEp;
+            break;
+        }
+        std::uint64_t off = req.arg1;
+        std::uint64_t size = req.arg2;
+        auto perms = static_cast<std::uint8_t>(req.arg3);
+        const MemObj &pm = parent->obj().mem;
+        if (off + size > pm.size || (perms & ~pm.perms) != 0) {
+            resp->err = Error::OutOfBounds;
+            break;
+        }
+        auto obj = std::make_shared<KObject>();
+        obj->kind = CapKind::MemGate;
+        obj->mem = MemObj{pm.tile, pm.addr + off, size, perms};
+        resp->val = table.insertChild(std::move(obj), *parent);
+        break;
+      }
+
+      case SyscallReq::Op::Activate: {
+        co_await thread.compute(params_.capCost);
+        Capability *cap = table.get(static_cast<CapSel>(req.arg0));
+        auto ep = static_cast<EpId>(req.arg1);
+        if (!cap) {
+            resp->err = Error::InvalidEp;
+            break;
+        }
+        auto it = actTiles_.find(caller);
+        if (it == actTiles_.end()) {
+            resp->err = Error::InvalidEp;
+            break;
+        }
+        if (cap->obj().kind == CapKind::RecvGate) {
+            cap->obj().rgate.tile = it->second;
+            cap->obj().rgate.act = caller;
+            cap->obj().rgate.ep = ep;
+        }
+        co_await configRemoteEp(it->second, ep,
+                                endpointFor(cap->obj(), caller),
+                                &resp->err);
+        cap->activated = true;
+        cap->actTile = it->second;
+        cap->actEp = ep;
+        break;
+      }
+
+      case SyscallReq::Op::ActivateFor: {
+        co_await thread.compute(params_.capCost);
+        Capability *actcap =
+            table.get(static_cast<CapSel>(req.arg0));
+        Capability *cap = table.get(static_cast<CapSel>(req.arg2));
+        auto ep = static_cast<EpId>(req.arg1);
+        if (!actcap || actcap->obj().kind != CapKind::Activity ||
+            !cap) {
+            resp->err = Error::InvalidEp;
+            break;
+        }
+        ActId target = actcap->obj().act.id;
+        noc::TileId tile = actcap->obj().act.tile;
+        if (cap->obj().kind == CapKind::RecvGate) {
+            cap->obj().rgate.tile = tile;
+            cap->obj().rgate.act = target;
+            cap->obj().rgate.ep = ep;
+        }
+        co_await configRemoteEp(tile, ep,
+                                endpointFor(cap->obj(), target),
+                                &resp->err);
+        cap->activated = true;
+        cap->actTile = tile;
+        cap->actEp = ep;
+        break;
+      }
+
+      case SyscallReq::Op::Delegate: {
+        co_await thread.compute(params_.capCost);
+        Capability *actcap =
+            table.get(static_cast<CapSel>(req.arg0));
+        Capability *cap = table.get(static_cast<CapSel>(req.arg1));
+        if (!actcap || actcap->obj().kind != CapKind::Activity ||
+            !cap) {
+            resp->err = Error::InvalidEp;
+            break;
+        }
+        ActId target = actcap->obj().act.id;
+        resp->val = caps_->tableOf(target).insertChild(cap->objPtr(),
+                                                       *cap);
+        break;
+      }
+
+      case SyscallReq::Op::Revoke: {
+        // Revocation cost scales with the subtree; collect activated
+        // EPs first, then invalidate them over the NoC.
+        std::vector<std::pair<noc::TileId, EpId>> inv;
+        std::size_t removed = caps_->revoke(
+            caller, static_cast<CapSel>(req.arg0),
+            [&](Capability &c) {
+                if (c.activated)
+                    inv.emplace_back(c.actTile, c.actEp);
+            },
+            req.arg1 != 0);
+        co_await thread.compute(params_.capCost *
+                                std::max<std::size_t>(1, removed));
+        for (auto &[tile, ep] : inv)
+            co_await invalidateRemoteEp(tile, ep);
+        resp->val = removed;
+        break;
+      }
+
+      case SyscallReq::Op::MapFor: {
+        co_await thread.compute(params_.capCost);
+        Capability *actcap =
+            table.get(static_cast<CapSel>(req.arg0));
+        if (!actcap || actcap->obj().kind != CapKind::Activity) {
+            resp->err = Error::InvalidEp;
+            break;
+        }
+        SidecallReq side;
+        side.op = SidecallReq::Op::MapPage;
+        side.act = actcap->obj().act.id;
+        side.virt = req.arg1;
+        side.phys = req.arg2;
+        side.perms = static_cast<std::uint32_t>(req.arg3);
+        SidecallResp sresp;
+        co_await sidecall(actcap->obj().act.tile, side, &sresp);
+        resp->err = sresp.err;
+        break;
+      }
+
+      case SyscallReq::Op::CreateSgate: {
+        co_await thread.compute(params_.capCost);
+        Capability *rcap = table.get(static_cast<CapSel>(req.arg0));
+        if (!rcap || rcap->obj().kind != CapKind::RecvGate) {
+            resp->err = Error::InvalidEp;
+            break;
+        }
+        auto obj = std::make_shared<KObject>();
+        obj->kind = CapKind::SendGate;
+        obj->sgate.target = rcap->obj().rgate;
+        obj->sgate.label = req.arg1;
+        obj->sgate.credits = static_cast<std::uint32_t>(req.arg2);
+        resp->val = table.insertChild(std::move(obj), *rcap);
+        break;
+      }
+    }
+    co_return;
+}
+
+} // namespace m3v::os

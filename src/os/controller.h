@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The M3v communication controller (paper section 3.3): a single
+ * software component on a dedicated tile that knows all activities,
+ * owns the capability system, and is the only entity allowed to
+ * establish communication channels (by configuring DTU endpoints
+ * through the external interface).
+ *
+ * Activities reach it via system calls — ordinary DTU messages on the
+ * controller's syscall receive endpoint; the message label identifies
+ * the calling activity. The controller is single-threaded and handles
+ * system calls strictly in order, which is precisely why the remote
+ * multiplexing of M3x (which funnels *every* context switch through
+ * it) does not scale, and why M3v (which only needs it for channel
+ * setup) does.
+ */
+
+#ifndef M3VSIM_OS_CONTROLLER_H_
+#define M3VSIM_OS_CONTROLLER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "os/caps.h"
+#include "os/env.h"
+#include "os/proto.h"
+#include "sim/stats.h"
+
+namespace m3v::os {
+
+/** Locates the DTU of a tile (installed by the system builder). */
+using DtuLocator = std::function<dtu::Dtu *(noc::TileId)>;
+
+/** Controller cost parameters (cycles on the controller core). */
+struct ControllerParams
+{
+    /** Fixed syscall decode/dispatch cost. */
+    sim::Cycles dispatchCost = 120;
+
+    /** Capability-table manipulation cost per touched cap. */
+    sim::Cycles capCost = 150;
+
+    /** The controller's syscall receive endpoint. */
+    dtu::EpId syscallRep = 4;
+};
+
+/** The communication controller. */
+class Controller
+{
+  public:
+    Controller(BareEnv &env, CapMgr &caps, DtuLocator locate,
+               ControllerParams params = {});
+
+    BareEnv &env() { return *env_; }
+    CapMgr &caps() { return *caps_; }
+    const ControllerParams &params() const { return params_; }
+
+    //
+    // Boot-time (untimed) capability grants, used by the system
+    // builder to set up the initial environment — analogous to the
+    // boot modules the real M3 controller starts with.
+    //
+
+    CapSel grantMem(dtu::ActId act, MemObj mem);
+    CapSel grantActivity(dtu::ActId holder, ActObj obj);
+    CapSel grantRgate(dtu::ActId act, RgateObj obj);
+    CapSel grantSgate(dtu::ActId act, SgateObj obj);
+
+    /** Record an activity so syscalls can resolve it. */
+    void registerActivity(dtu::ActId id, noc::TileId tile);
+
+    /** Register the send EP used for sidecalls to @p tile. */
+    void setSidecallChannel(noc::TileId tile, dtu::EpId sep);
+
+    /** Register the EP sidecall replies arrive on. */
+    void setSidecallReplyEp(dtu::EpId rep);
+
+    /** The controller's main loop (runs as the bare tile's thread). */
+    sim::Task run();
+
+    /** Stop the main loop after the current syscall. */
+    void stop() { running_ = false; }
+
+    std::uint64_t syscallsHandled() const { return syscalls_.value(); }
+
+  private:
+    sim::Task handle(dtu::ActId caller, const SyscallReq &req,
+                     SyscallResp *resp);
+    sim::Task configRemoteEp(noc::TileId tile, dtu::EpId ep,
+                             dtu::Endpoint ndep, dtu::Error *err);
+    sim::Task invalidateRemoteEp(noc::TileId tile, dtu::EpId ep);
+    dtu::Endpoint endpointFor(const KObject &obj, dtu::ActId owner);
+
+    BareEnv *env_;
+    CapMgr *caps_;
+    DtuLocator locate_;
+    ControllerParams params_;
+    sim::Task sidecall(noc::TileId tile, SidecallReq req,
+                       SidecallResp *resp);
+
+    bool running_ = true;
+    std::map<dtu::ActId, noc::TileId> actTiles_;
+    std::map<noc::TileId, dtu::EpId> sidecallSeps_;
+    dtu::EpId sidecallRep_ = dtu::kInvalidEp;
+    sim::Counter syscalls_;
+};
+
+} // namespace m3v::os
+
+#endif // M3VSIM_OS_CONTROLLER_H_

@@ -1,0 +1,303 @@
+#include "os/system.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace m3v::os {
+
+using dtu::ActId;
+using dtu::Endpoint;
+using dtu::EpId;
+using dtu::kPermRW;
+
+namespace {
+
+constexpr ActId kCtrlAct = 1;
+
+/** First endpoint available to applications (0-3 PMP, 4 TileMux
+ *  sidecall, 5 reserved). */
+constexpr EpId kFirstUserEp = 6;
+
+sim::Task
+appWrapper(MuxEnv *env, std::function<sim::Task(MuxEnv &)> body)
+{
+    co_await body(*env);
+    if (env->activity().state() != core::Activity::State::Dead)
+        co_await env->exit();
+}
+
+} // namespace
+
+System::System(sim::EventQueue &eq, SystemParams params)
+    : eq_(eq), params_(std::move(params))
+{
+    noc_ = std::make_unique<noc::Noc>(eq, params_.noc);
+
+    // User tiles: core + vDTU + TileMux.
+    for (unsigned i = 0; i < params_.userTiles; i++) {
+        auto tname = "tile" + std::to_string(i);
+        auto mit = params_.tileModels.find(i);
+        const tile::CoreModel &model = mit != params_.tileModels.end()
+                                           ? mit->second
+                                           : params_.userModel;
+        cores_.push_back(std::make_unique<tile::Core>(
+            eq, tname + ".core", model, userTile(i)));
+        vdtus_.push_back(std::make_unique<core::VDtu>(
+            eq, tname + ".vdtu", *noc_, userTile(i),
+            model.freqHz, params_.vdtu));
+        muxes_.push_back(std::make_unique<core::TileMux>(
+            eq, tname + ".mux", *cores_[i], *vdtus_[i], params_.mux));
+    }
+
+    // Controller tile: bare core + plain DTU.
+    ctrlCore_ = std::make_unique<tile::Core>(
+        eq, "ctrl.core", params_.ctrlModel, ctrlTile());
+    ctrlDtu_ = std::make_unique<dtu::Dtu>(eq, "ctrl.dtu", *noc_,
+                                          ctrlTile(),
+                                          params_.ctrlModel.freqHz);
+
+    // Memory tiles.
+    for (unsigned i = 0; i < params_.memTiles; i++) {
+        memTiles_.push_back(std::make_unique<dtu::MemoryTile>(
+            eq, "mem" + std::to_string(i), *noc_, memTileId(i),
+            params_.dram));
+    }
+
+    // Accelerator tiles (not multiplexed; plain DTUs).
+    for (unsigned i = 0; i < params_.accelTiles; i++) {
+        accels_.push_back(std::make_unique<AccelTile>(
+            eq, "accel" + std::to_string(i), *noc_, accelTileId(i),
+            params_.accel));
+    }
+
+    noc_->finalize();
+
+    // Per-tile PMP windows out of memory tile 0 (section 4.3: the
+    // first endpoint is a per-tile region, set up by the controller).
+    nextEp_.assign(params_.userTiles, kFirstUserEp);
+    pmpBump_.assign(params_.userTiles, 0);
+    for (unsigned i = 0; i < params_.userTiles; i++) {
+        dtu::PhysAddr base =
+            memTiles_[0]->alloc(params_.perTilePmp, dtu::kPageSize);
+        vdtus_[i]->configEp(
+            0, Endpoint::makeMem(dtu::kTileMuxAct, memTileId(0), base,
+                                 params_.perTilePmp, kPermRW));
+    }
+
+    // Controller: syscall receive EP + bare environment + main loop.
+    ctrlThread_ = std::make_unique<tile::Thread>(*ctrlCore_,
+                                                 "ctrl.thread", 0);
+    ctrlEnv_ = std::make_unique<BareEnv>("ctrl", *ctrlThread_,
+                                         *ctrlDtu_, kCtrlAct);
+    ctrlDtu_->configEp(params_.ctrl.syscallRep,
+                       Endpoint::makeRecv(kCtrlAct, 128, 64));
+    controller_ = std::make_unique<Controller>(
+        *ctrlEnv_, caps_,
+        [this](noc::TileId t) -> dtu::Dtu * {
+            if (t < params_.userTiles)
+                return vdtus_[t].get();
+            if (t == ctrlTile())
+                return ctrlDtu_.get();
+            return nullptr;
+        },
+        params_.ctrl);
+    // Sidecall channels: controller -> each TileMux (EP 4 on the user
+    // tile) with replies on controller EP 5.
+    constexpr EpId kSidecallRep = 4;   // on user tiles
+    constexpr EpId kCtrlSideReply = 5; // on the controller tile
+    constexpr EpId kCtrlFirstSideSep = 8;
+    ctrlDtu_->configEp(kCtrlSideReply,
+                       Endpoint::makeRecv(kCtrlAct, 64, 8));
+    controller_->setSidecallReplyEp(kCtrlSideReply);
+    for (unsigned i = 0; i < params_.userTiles; i++) {
+        EpId sep = static_cast<EpId>(kCtrlFirstSideSep + i);
+        vdtus_[i]->configEp(kSidecallRep,
+                            Endpoint::makeRecv(dtu::kTileMuxAct, 64,
+                                               4));
+        ctrlDtu_->configEp(
+            sep, Endpoint::makeSend(kCtrlAct, userTile(i),
+                                    kSidecallRep, i, 2));
+        controller_->setSidecallChannel(userTile(i), sep);
+
+        core::TileMux *mux = muxes_[i].get();
+        core::VDtu *vd = vdtus_[i].get();
+        mux->setSidecallEp(
+            kSidecallRep,
+            [mux, vd](const dtu::Message &msg, int slot) {
+                SidecallReq req = podFrom<SidecallReq>(msg.payload);
+                SidecallResp resp;
+                switch (req.op) {
+                  case SidecallReq::Op::MapPage:
+                    mux->mapPage(req.act, req.virt, req.phys,
+                                 static_cast<std::uint8_t>(
+                                     req.perms));
+                    break;
+                  case SidecallReq::Op::KillAct:
+                    mux->killActivity(req.act);
+                    break;
+                }
+                vd->cmdReply(dtu::kTileMuxAct, 4, slot, 0,
+                             podBytes(resp), [](dtu::Error) {});
+            });
+    }
+
+    ctrlThread_->start(controller_->run());
+    ctrlCore_->dispatch(ctrlThread_.get());
+}
+
+System::~System() = default;
+
+System::App *
+System::createApp(unsigned tile_idx, const std::string &name,
+                  std::size_t footprint)
+{
+    if (tile_idx >= params_.userTiles)
+        sim::fatal("System: tile %u out of range", tile_idx);
+    ActId id = nextAct_++;
+    auto app = std::make_unique<App>();
+    app->tileIdx = tile_idx;
+    app->act = muxes_[tile_idx]->createActivity(id, name, footprint);
+    app->env = std::make_unique<MuxEnv>(name, *app->act,
+                                        *vdtus_[tile_idx]);
+
+    // Message buffer page.
+    app->env->setMsgBuf(mapPages(app.get(), 1, kPermRW));
+
+    // Syscall channel: send gate to the controller + reply EP.
+    EpId sep = allocEp(tile_idx);
+    EpId rep = allocEp(tile_idx);
+    vdtus_[tile_idx]->configEp(
+        sep, Endpoint::makeSend(id, ctrlTile(),
+                                params_.ctrl.syscallRep, id, 1));
+    vdtus_[tile_idx]->configEp(rep, Endpoint::makeRecv(id, 128, 2));
+    app->env->setSyscallGates(sep, rep);
+
+    controller_->registerActivity(id, userTile(tile_idx));
+
+    App *ptr = app.get();
+    apps_.push_back(std::move(app));
+    return ptr;
+}
+
+void
+System::start(App *app, std::function<sim::Task(MuxEnv &)> body)
+{
+    muxes_[app->tileIdx]->startActivity(
+        app->act, appWrapper(app->env.get(), std::move(body)));
+}
+
+EpId
+System::allocEp(unsigned tile_idx)
+{
+    EpId ep = nextEp_.at(tile_idx)++;
+    if (ep >= dtu::kNumEps)
+        sim::fatal("System: tile %u out of endpoints", tile_idx);
+    return ep;
+}
+
+System::RgateHandle
+System::makeRgate(App *app, std::size_t slot_size, std::size_t slots)
+{
+    RgateHandle h;
+    h.ep = allocEp(app->tileIdx);
+    vdtus_[app->tileIdx]->configEp(
+        h.ep,
+        Endpoint::makeRecv(app->act->id(), slot_size, slots));
+    RgateObj r;
+    r.tile = userTile(app->tileIdx);
+    r.act = app->act->id();
+    r.ep = h.ep;
+    r.slotSize = slot_size;
+    r.slots = slots;
+    h.sel = controller_->grantRgate(app->act->id(), r);
+    if (Capability *cap = caps_.tableOf(app->act->id()).get(h.sel)) {
+        cap->activated = true;
+        cap->actTile = userTile(app->tileIdx);
+        cap->actEp = h.ep;
+    }
+    return h;
+}
+
+System::SgateHandle
+System::makeSgate(App *sender, App *recv_owner, EpId rep,
+                  std::uint64_t label, std::uint32_t credits,
+                  std::size_t max_msg)
+{
+    SgateHandle h;
+    h.ep = allocEp(sender->tileIdx);
+    vdtus_[sender->tileIdx]->configEp(
+        h.ep, Endpoint::makeSend(sender->act->id(),
+                                 userTile(recv_owner->tileIdx), rep,
+                                 label, credits, max_msg));
+    SgateObj s;
+    s.target.tile = userTile(recv_owner->tileIdx);
+    s.target.act = recv_owner->act->id();
+    s.target.ep = rep;
+    s.label = label;
+    s.credits = credits;
+    h.sel = controller_->grantSgate(sender->act->id(), s);
+    if (Capability *cap =
+            caps_.tableOf(sender->act->id()).get(h.sel)) {
+        cap->activated = true;
+        cap->actTile = userTile(sender->tileIdx);
+        cap->actEp = h.ep;
+    }
+    return h;
+}
+
+System::MgateHandle
+System::makeMgate(App *app, std::size_t size, std::uint8_t perms,
+                  unsigned mem_idx)
+{
+    MgateHandle h;
+    h.addr = memTiles_.at(mem_idx)->alloc(size, dtu::kPageSize);
+    h.size = size;
+    h.memIdx = mem_idx;
+    h.ep = allocEp(app->tileIdx);
+    vdtus_[app->tileIdx]->configEp(
+        h.ep, Endpoint::makeMem(app->act->id(), memTileId(mem_idx),
+                                h.addr, size, perms));
+    h.sel = controller_->grantMem(
+        app->act->id(),
+        MemObj{memTileId(mem_idx), h.addr, size, perms});
+    if (Capability *cap = caps_.tableOf(app->act->id()).get(h.sel)) {
+        cap->activated = true;
+        cap->actTile = userTile(app->tileIdx);
+        cap->actEp = h.ep;
+    }
+    return h;
+}
+
+CapSel
+System::grantActCap(App *holder, App *target)
+{
+    return controller_->grantActivity(
+        holder->act->id(),
+        ActObj{target->act->id(), userTile(target->tileIdx)});
+}
+
+dtu::PhysAddr
+System::allocTilePhys(unsigned tile_idx, std::size_t pages)
+{
+    dtu::PhysAddr pa = pmpBump_.at(tile_idx);
+    pmpBump_[tile_idx] += pages * dtu::kPageSize;
+    if (pmpBump_[tile_idx] > params_.perTilePmp)
+        sim::fatal("System: tile %u PMP window exhausted", tile_idx);
+    return pa;
+}
+
+dtu::VirtAddr
+System::mapPages(App *app, std::size_t n, std::uint8_t perms)
+{
+    dtu::VirtAddr va = app->act->addrSpace().allocPages(n);
+    for (std::size_t i = 0; i < n; i++) {
+        dtu::PhysAddr pa = allocTilePhys(app->tileIdx, 1);
+        muxes_[app->tileIdx]->mapPage(app->act->id(),
+                                      va + i * dtu::kPageSize, pa,
+                                      perms);
+    }
+    return va;
+}
+
+} // namespace m3v::os

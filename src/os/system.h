@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The M3v system builder: assembles the platform of Figure 4 (user
+ * tiles with cores + vDTUs + TileMux, a controller tile, memory
+ * tiles, all connected by the star-mesh NoC) and provides boot-time
+ * setup of activities, capabilities, and communication channels.
+ *
+ * Boot-time setup (activity creation, initial channels) is untimed —
+ * the paper's benchmarks all measure warm systems after setup. All
+ * *runtime* interactions (system calls, sidecalls, endpoint changes)
+ * go through the simulated protocols with real costs.
+ */
+
+#ifndef M3VSIM_OS_SYSTEM_H_
+#define M3VSIM_OS_SYSTEM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tilemux.h"
+#include "core/vdtu.h"
+#include "dtu/memory_tile.h"
+#include "noc/noc.h"
+#include "os/accel.h"
+#include "os/controller.h"
+#include "os/env.h"
+#include "tile/core.h"
+
+namespace m3v::os {
+
+/** Platform configuration. */
+struct SystemParams
+{
+    /** Number of multiplexed general-purpose tiles. */
+    unsigned userTiles = 8;
+
+    tile::CoreModel userModel = tile::CoreModel::boom();
+    tile::CoreModel ctrlModel = tile::CoreModel::rocket();
+
+    /** Per-tile overrides of userModel (e.g. a Rocket scanner tile
+     *  next to BOOM tiles, section 6.5.1). */
+    std::map<unsigned, tile::CoreModel> tileModels;
+
+    unsigned memTiles = 2;
+
+    /** Fixed-function accelerator tiles (sections 2.2/8). */
+    unsigned accelTiles = 0;
+    AccelParams accel{};
+
+    noc::NocParams noc{};
+    tile::DramParams dram{};
+    core::TileMuxParams mux{};
+    core::VDtuParams vdtu{};
+    ControllerParams ctrl{};
+
+    /** Per-user-tile PMP window (local memory) in bytes. */
+    std::size_t perTilePmp = 4 << 20;
+};
+
+/** The assembled M3v platform. */
+class System
+{
+  public:
+    /** An application/service activity created at boot. */
+    struct App
+    {
+        unsigned tileIdx = 0;
+        core::Activity *act = nullptr;
+        std::unique_ptr<MuxEnv> env;
+    };
+
+    /** A boot-created receive gate. */
+    struct RgateHandle
+    {
+        dtu::EpId ep = dtu::kInvalidEp;
+        CapSel sel = kInvalidSel;
+    };
+
+    /** A boot-created send gate. */
+    struct SgateHandle
+    {
+        dtu::EpId ep = dtu::kInvalidEp;
+        CapSel sel = kInvalidSel;
+    };
+
+    /** A boot-created memory gate with its backing region. */
+    struct MgateHandle
+    {
+        dtu::EpId ep = dtu::kInvalidEp;
+        CapSel sel = kInvalidSel;
+        dtu::PhysAddr addr = 0;
+        std::size_t size = 0;
+        unsigned memIdx = 0;
+    };
+
+    System(sim::EventQueue &eq, SystemParams params = {});
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    //
+    // Topology.
+    //
+
+    const SystemParams &params() const { return params_; }
+    noc::TileId userTile(unsigned i) const { return i; }
+    noc::TileId ctrlTile() const { return params_.userTiles; }
+    noc::TileId
+    memTileId(unsigned i) const
+    {
+        return params_.userTiles + 1 + i;
+    }
+    noc::TileId
+    accelTileId(unsigned i) const
+    {
+        return params_.userTiles + 1 + params_.memTiles + i;
+    }
+
+    noc::Noc &fabric() { return *noc_; }
+    tile::Core &core(unsigned i) { return *cores_[i]; }
+    core::VDtu &vdtu(unsigned i) { return *vdtus_[i]; }
+    core::TileMux &mux(unsigned i) { return *muxes_[i]; }
+    dtu::MemoryTile &memory(unsigned i) { return *memTiles_[i]; }
+    AccelTile &accel(unsigned i) { return *accels_[i]; }
+    tile::Core &ctrlCore() { return *ctrlCore_; }
+    Controller &controller() { return *controller_; }
+    CapMgr &caps() { return caps_; }
+    sim::EventQueue &eventQueue() { return eq_; }
+
+    //
+    // Boot-time setup.
+    //
+
+    /** Create an app/service activity on user tile @p tile_idx. */
+    App *createApp(unsigned tile_idx, const std::string &name,
+                   std::size_t footprint = 8 * 1024);
+
+    /** Start an app: the body coroutine runs on its activity. */
+    void start(App *app, std::function<sim::Task(MuxEnv &)> body);
+
+    /** Allocate a free endpoint on a user tile. */
+    dtu::EpId allocEp(unsigned tile_idx);
+
+    /** Create + activate a receive gate owned by @p app. */
+    RgateHandle makeRgate(App *app, std::size_t slot_size = 256,
+                          std::size_t slots = 8);
+
+    /** Create + activate a send gate from @p sender to @p rep. */
+    SgateHandle makeSgate(App *sender, App *recv_owner, dtu::EpId rep,
+                          std::uint64_t label, std::uint32_t credits,
+                          std::size_t max_msg = 512);
+
+    /**
+     * Allocate a DRAM region and create + activate a memory gate for
+     * @p app over it.
+     */
+    MgateHandle makeMgate(App *app, std::size_t size,
+                          std::uint8_t perms, unsigned mem_idx = 0);
+
+    /** Grant @p holder a capability for @p target's activity. */
+    CapSel grantActCap(App *holder, App *target);
+
+    /**
+     * Map @p n fresh pages into the app's address space (backed by
+     * the tile's PMP window); returns the base VA.
+     */
+    dtu::VirtAddr mapPages(App *app, std::size_t n,
+                           std::uint8_t perms);
+
+    /**
+     * Allocate physical pages from a tile's PMP window (used by the
+     * pager to back heap allocations). Returns the base address.
+     */
+    dtu::PhysAddr allocTilePhys(unsigned tile_idx, std::size_t pages);
+
+    /** Number of messages the controller has processed. */
+    std::uint64_t syscalls() const
+    {
+        return controller_->syscallsHandled();
+    }
+
+  private:
+    sim::EventQueue &eq_;
+    SystemParams params_;
+    std::unique_ptr<noc::Noc> noc_;
+    std::vector<std::unique_ptr<tile::Core>> cores_;
+    std::vector<std::unique_ptr<core::VDtu>> vdtus_;
+    std::vector<std::unique_ptr<core::TileMux>> muxes_;
+    std::vector<std::unique_ptr<dtu::MemoryTile>> memTiles_;
+    std::vector<std::unique_ptr<AccelTile>> accels_;
+
+    std::unique_ptr<tile::Core> ctrlCore_;
+    std::unique_ptr<dtu::Dtu> ctrlDtu_;
+    std::unique_ptr<tile::Thread> ctrlThread_;
+    std::unique_ptr<BareEnv> ctrlEnv_;
+    std::unique_ptr<Controller> controller_;
+    CapMgr caps_;
+
+    dtu::ActId nextAct_ = 2; // 1 is the controller
+    std::vector<dtu::EpId> nextEp_;
+    /** Per-tile bump pointer inside the PMP window. */
+    std::vector<dtu::PhysAddr> pmpBump_;
+    std::vector<std::unique_ptr<App>> apps_;
+};
+
+} // namespace m3v::os
+
+#endif // M3VSIM_OS_SYSTEM_H_

@@ -1,0 +1,244 @@
+#include "services/fs_image.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace m3v::services {
+
+namespace {
+
+/** Cost constants (cycles) for the metadata model. */
+constexpr sim::Cycles kPerPathComponent = 40;
+constexpr sim::Cycles kPerDirEntryScan = 6;
+constexpr sim::Cycles kPerBitmapWord = 2;
+constexpr sim::Cycles kInodeTouch = 30;
+
+} // namespace
+
+FsImage::FsImage(std::size_t total_blocks, std::size_t block_size,
+                 std::uint32_t max_extent_blocks)
+    : blockSize_(block_size), maxExtent_(max_extent_blocks),
+      bitmap_(total_blocks, false), free_(total_blocks)
+{
+    // Root directory.
+    Inode root;
+    root.ino = 0;
+    root.dir = true;
+    inodes_.emplace(0, root);
+    dirs_.emplace(0, std::map<std::string, Ino>());
+}
+
+std::vector<std::string>
+FsImage::splitPath(const std::string &path) const
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/') {
+            if (!cur.empty()) {
+                parts.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        parts.push_back(cur);
+    return parts;
+}
+
+Ino
+FsImage::lookupIn(Ino dir, const std::string &name)
+{
+    auto dit = dirs_.find(dir);
+    if (dit == dirs_.end())
+        return kNoIno;
+    opCost_ += kPerDirEntryScan * (dit->second.size() / 2 + 1);
+    auto it = dit->second.find(name);
+    return it == dit->second.end() ? kNoIno : it->second;
+}
+
+Ino
+FsImage::lookup(const std::string &path)
+{
+    Ino cur = 0;
+    for (const auto &part : splitPath(path)) {
+        opCost_ += kPerPathComponent;
+        cur = lookupIn(cur, part);
+        if (cur == kNoIno)
+            return kNoIno;
+    }
+    opCost_ += kInodeTouch;
+    return cur;
+}
+
+Ino
+FsImage::create(const std::string &path, bool dir)
+{
+    auto parts = splitPath(path);
+    if (parts.empty())
+        return kNoIno;
+    std::string leaf = parts.back();
+    parts.pop_back();
+    Ino parent = 0;
+    for (const auto &part : parts) {
+        opCost_ += kPerPathComponent;
+        parent = lookupIn(parent, part);
+        if (parent == kNoIno)
+            return kNoIno;
+    }
+    if (lookupIn(parent, leaf) != kNoIno)
+        return kNoIno; // exists
+    Ino ino = nextIno_++;
+    Inode node;
+    node.ino = ino;
+    node.dir = dir;
+    inodes_.emplace(ino, node);
+    if (dir)
+        dirs_.emplace(ino, std::map<std::string, Ino>());
+    dirs_[parent][leaf] = ino;
+    opCost_ += kInodeTouch * 2;
+    return ino;
+}
+
+bool
+FsImage::unlink(const std::string &path)
+{
+    auto parts = splitPath(path);
+    if (parts.empty())
+        return false;
+    std::string leaf = parts.back();
+    parts.pop_back();
+    Ino parent = 0;
+    for (const auto &part : parts) {
+        parent = lookupIn(parent, part);
+        if (parent == kNoIno)
+            return false;
+    }
+    Ino victim = lookupIn(parent, leaf);
+    if (victim == kNoIno)
+        return false;
+    Inode *node = inode(victim);
+    if (node->dir && !dirs_[victim].empty())
+        return false;
+    truncate(victim);
+    dirs_[parent].erase(leaf);
+    dirs_.erase(victim);
+    inodes_.erase(victim);
+    opCost_ += kInodeTouch * 2;
+    return true;
+}
+
+Inode *
+FsImage::inode(Ino ino)
+{
+    auto it = inodes_.find(ino);
+    return it == inodes_.end() ? nullptr : &it->second;
+}
+
+bool
+FsImage::entryAt(Ino dir, std::size_t idx, std::string *name,
+                 Ino *child)
+{
+    auto dit = dirs_.find(dir);
+    if (dit == dirs_.end())
+        return false;
+    opCost_ += kPerDirEntryScan * (idx + 1);
+    if (idx >= dit->second.size())
+        return false;
+    auto it = dit->second.begin();
+    std::advance(it, static_cast<long>(idx));
+    *name = it->first;
+    *child = it->second;
+    return true;
+}
+
+std::size_t
+FsImage::entryCount(Ino dir) const
+{
+    auto dit = dirs_.find(dir);
+    return dit == dirs_.end() ? 0 : dit->second.size();
+}
+
+bool
+FsImage::allocRun(std::uint32_t want, Extent *out)
+{
+    std::size_t n = bitmap_.size();
+    std::size_t scanned = 0;
+    std::size_t pos = scanHint_;
+    while (scanned < n) {
+        // Find the start of a free run.
+        while (scanned < n && bitmap_[pos]) {
+            pos = (pos + 1) % n;
+            scanned++;
+        }
+        if (scanned >= n)
+            break;
+        std::size_t run_start = pos;
+        std::uint32_t run = 0;
+        while (run < want && pos < n && !bitmap_[pos]) {
+            run++;
+            pos++;
+            scanned++;
+        }
+        opCost_ += kPerBitmapWord * (scanned / 64 + 1);
+        if (run > 0) {
+            for (std::size_t b = run_start; b < run_start + run; b++)
+                bitmap_[b] = true;
+            free_ -= run;
+            scanHint_ = pos % n;
+            out->start = static_cast<std::uint32_t>(run_start);
+            out->count = run;
+            return true;
+        }
+        pos = pos % n;
+    }
+    return false;
+}
+
+bool
+FsImage::appendExtent(Ino ino, Extent *out, std::uint32_t want_blocks)
+{
+    Inode *node = inode(ino);
+    if (!node || node->dir)
+        return false;
+    if (free_ == 0)
+        return false;
+    std::uint32_t want = std::min<std::uint32_t>(
+        maxExtent_, static_cast<std::uint32_t>(free_));
+    want = std::min(want, std::max<std::uint32_t>(1, want_blocks));
+    if (!allocRun(want, out))
+        return false;
+    node->extents.push_back(*out);
+    opCost_ += kInodeTouch;
+    return true;
+}
+
+void
+FsImage::truncate(Ino ino)
+{
+    Inode *node = inode(ino);
+    if (!node)
+        return;
+    for (const Extent &e : node->extents) {
+        for (std::uint32_t b = e.start; b < e.start + e.count; b++)
+            bitmap_[b] = false;
+        free_ += e.count;
+    }
+    opCost_ += kInodeTouch +
+               kPerBitmapWord * node->extents.size();
+    node->extents.clear();
+    node->size = 0;
+}
+
+sim::Cycles
+FsImage::takeOpCost()
+{
+    sim::Cycles c = opCost_;
+    opCost_ = 0;
+    return c;
+}
+
+} // namespace m3v::services

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The m3fs client protocol: POSIX-like operations carried as DTU
+ * messages. Data never moves through these messages — NextIn/NextOut
+ * grant the client direct DTU access to a whole extent (the key to
+ * Figure 7's throughput): the file system derives a memory capability
+ * for the extent and activates it into the client's file endpoint.
+ */
+
+#ifndef M3VSIM_SERVICES_FS_PROTO_H_
+#define M3VSIM_SERVICES_FS_PROTO_H_
+
+#include <cstdint>
+
+#include "dtu/types.h"
+
+namespace m3v::services {
+
+/** Open flags. */
+enum FsOpenFlags : std::uint32_t
+{
+    kOpenR = 1,
+    kOpenW = 2,
+    kOpenCreate = 4,
+    kOpenTrunc = 8,
+};
+
+/** Request message. */
+struct FsReq
+{
+    enum class Op : std::uint32_t
+    {
+        Open,
+        NextIn,  ///< grant access to the next extent for reading
+        NextOut, ///< allocate + grant the next extent for writing
+        Commit,  ///< commit bytes written into the current extent
+        Close,
+        Stat,
+        Readdir, ///< batch of entries per call (arg = start index)
+        Unlink,
+        Mkdir,
+        ReadAt,  ///< inline data read (M3x RPC file protocol only)
+        WriteAt, ///< inline data write (M3x RPC file protocol only)
+    };
+
+    Op op = Op::Open;
+    std::uint32_t fd = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t arg = 0;
+    /** ReadAt/WriteAt: transfer size in bytes. */
+    std::uint32_t size = 0;
+    char path[64] = {};
+};
+
+/** Response message. */
+struct FsResp
+{
+    dtu::Error err = dtu::Error::None;
+    std::uint32_t fd = 0;
+    std::uint64_t size = 0;
+    /** File offset of the granted extent window. */
+    std::uint64_t extOff = 0;
+    /** Length of the granted extent window (0 = EOF). */
+    std::uint64_t extLen = 0;
+    std::uint32_t ino = 0;
+    std::uint8_t isDir = 0;
+    std::uint8_t more = 0;
+    /** Readdir: number of names packed into name[]. */
+    std::uint8_t count = 0;
+    /** Stat/open name echo or NUL-separated readdir batch. */
+    char name[85] = {};
+};
+
+/** Entries returned per Readdir request. */
+constexpr unsigned kReaddirBatch = 8;
+
+} // namespace m3v::services
+
+#endif // M3VSIM_SERVICES_FS_PROTO_H_

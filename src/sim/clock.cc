@@ -1,0 +1,36 @@
+#include "sim/clock.h"
+
+#include "sim/log.h"
+
+namespace m3v::sim {
+
+Clock::Clock(std::uint64_t freq_hz)
+    : freqHz_(freq_hz)
+{
+    if (freq_hz == 0)
+        panic("Clock: zero frequency");
+}
+
+Tick
+Clock::cyclesToTicks(Cycles c) const
+{
+    using U128 = unsigned __int128;
+    U128 t = static_cast<U128>(c) * kTicksPerSec;
+    return static_cast<Tick>(t / freqHz_);
+}
+
+Cycles
+Clock::ticksToCycles(Tick t) const
+{
+    using U128 = unsigned __int128;
+    U128 c = static_cast<U128>(t) * freqHz_;
+    return static_cast<Cycles>(c / kTicksPerSec);
+}
+
+Tick
+Clock::period() const
+{
+    return (kTicksPerSec + freqHz_ / 2) / freqHz_;
+}
+
+} // namespace m3v::sim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Clock domains: conversion between a component's clock cycles and
+ * global simulation ticks (picoseconds).
+ */
+
+#ifndef M3VSIM_SIM_CLOCK_H_
+#define M3VSIM_SIM_CLOCK_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace m3v::sim {
+
+/** A fixed-frequency clock domain. */
+class Clock
+{
+  public:
+    /** Construct a clock running at @p freq_hz. */
+    explicit Clock(std::uint64_t freq_hz);
+
+    std::uint64_t freqHz() const { return freqHz_; }
+
+    /**
+     * Convert cycles to ticks. Computed as cycles * 1e12 / freq using
+     * 128-bit arithmetic so rounding error does not accumulate per
+     * cycle (important for non-integral periods such as 3 GHz).
+     */
+    Tick cyclesToTicks(Cycles c) const;
+
+    /** Convert ticks to whole cycles (rounding down). */
+    Cycles ticksToCycles(Tick t) const;
+
+    /** Ticks per single cycle (rounded to nearest). */
+    Tick period() const;
+
+  private:
+    std::uint64_t freqHz_;
+};
+
+} // namespace m3v::sim
+
+#endif // M3VSIM_SIM_CLOCK_H_

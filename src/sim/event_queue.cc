@@ -1,0 +1,128 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace m3v::sim {
+
+namespace {
+thread_local EventQueue *gRunning = nullptr;
+} // namespace
+
+EventQueue *
+EventQueue::running()
+{
+    return gRunning;
+}
+
+bool
+EventHandle::cancel()
+{
+    if (!state_ || state_->cancelled || state_->fired)
+        return false;
+    state_->cancelled = true;
+    return true;
+}
+
+bool
+EventHandle::pending() const
+{
+    return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle
+EventQueue::schedule(Tick delay, UniqueFunction<void()> fn)
+{
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle
+EventQueue::scheduleAt(Tick when, UniqueFunction<void()> fn)
+{
+    if (when < now_)
+        panic("EventQueue: scheduling into the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    auto state = std::make_shared<EventHandle::State>();
+    queue_.push_back(Item{when, seq_++, std::move(fn), state});
+    std::push_heap(queue_.begin(), queue_.end(), Later());
+    livePending_++;
+    return EventHandle(state);
+}
+
+bool
+EventQueue::empty() const
+{
+    return livePending_ == 0;
+}
+
+EventQueue::Item
+EventQueue::popTop()
+{
+    std::pop_heap(queue_.begin(), queue_.end(), Later());
+    Item item = std::move(queue_.back());
+    queue_.pop_back();
+    return item;
+}
+
+bool
+EventQueue::popAndRun()
+{
+    while (!queue_.empty()) {
+        Item item = popTop();
+        if (item.state->cancelled) {
+            livePending_--;
+            continue;
+        }
+        now_ = item.when;
+        item.state->fired = true;
+        livePending_--;
+        executed_++;
+        EventQueue *prev = gRunning;
+        gRunning = this;
+        item.fn();
+        gRunning = prev;
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::runOne()
+{
+    return popAndRun();
+}
+
+void
+EventQueue::run()
+{
+    while (popAndRun()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick when)
+{
+    while (!queue_.empty()) {
+        if (queue_.front().when > when)
+            break;
+        popAndRun();
+    }
+    if (when > now_)
+        now_ = when;
+}
+
+bool
+EventQueue::runCapped(std::uint64_t max_events)
+{
+    for (std::uint64_t i = 0; i < max_events; i++) {
+        if (!popAndRun())
+            return true;
+    }
+    return queue_.empty();
+}
+
+} // namespace m3v::sim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The discrete-event simulation core: a single global-order event queue.
+ *
+ * Events scheduled for the same tick fire in scheduling order (stable
+ * FIFO via a sequence number), which keeps simulations deterministic.
+ * schedule() returns a handle that can cancel the event (used e.g. when
+ * a compute phase is preempted by an interrupt).
+ */
+
+#ifndef M3VSIM_SIM_EVENT_QUEUE_H_
+#define M3VSIM_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.h"
+#include "sim/unique_function.h"
+
+namespace m3v::sim {
+
+class EventQueue;
+
+/**
+ * Cancellation handle for a scheduled event. Default-constructed
+ * handles are inert. Cancelling an already-fired or already-cancelled
+ * event is a no-op.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Prevent the event from firing. Returns true if it was pending. */
+    bool cancel();
+
+    /** True if the event is still pending (not fired, not cancelled). */
+    bool pending() const;
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+
+    std::shared_ptr<State> state_;
+};
+
+/** The simulation's event queue and clock. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * The queue currently executing an event on this thread, or
+     * nullptr. Used by coroutine machinery to defer resumptions out
+     * of deep resume stacks (see sim::Task's final awaiter).
+     */
+    static EventQueue *running();
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle schedule(Tick delay, UniqueFunction<void()> fn);
+
+    /** Schedule @p fn at absolute tick @p when (>= now). */
+    EventHandle scheduleAt(Tick when, UniqueFunction<void()> fn);
+
+    /** True if no events are pending. */
+    bool empty() const;
+
+    /**
+     * Number of pending events. Cancelled events still sitting in the
+     * heap are counted until they are discarded during execution.
+     */
+    std::size_t pending() const { return livePending_; }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Run the next event. Returns false if the queue is empty.
+     * Advances now() to the event's tick.
+     */
+    bool runOne();
+
+    /** Run until the queue is empty. */
+    void run();
+
+    /**
+     * Run events with tick <= @p when, then advance now() to @p when.
+     * Events scheduled exactly at @p when do fire.
+     */
+    void runUntil(Tick when);
+
+    /**
+     * Run until the queue drains or @p max_events have executed.
+     * Returns true if the queue drained.
+     */
+    bool runCapped(std::uint64_t max_events);
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        UniqueFunction<void()> fn;
+        std::shared_ptr<EventHandle::State> state;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool popAndRun();
+    Item popTop();
+
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+    mutable std::size_t livePending_ = 0;
+    /** Min-heap on (when, seq), managed with std::push_heap/pop_heap
+     *  because items hold move-only closures. */
+    std::vector<Item> queue_;
+};
+
+} // namespace m3v::sim
+
+#endif // M3VSIM_SIM_EVENT_QUEUE_H_

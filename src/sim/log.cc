@@ -1,0 +1,123 @@
+#include "sim/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace m3v::sim {
+
+namespace {
+
+LogLevel gLogLevel = LogLevel::Warn;
+
+void
+emit(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+void
+setLogLevel(LogLevel lvl)
+{
+    gLogLevel = lvl;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (gLogLevel < LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (gLogLevel < LogLevel::Info)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (gLogLevel < LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("debug", fmt, ap);
+    va_end(ap);
+}
+
+void
+traceLog(const char *fmt, ...)
+{
+    if (gLogLevel < LogLevel::Trace)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("trace", fmt, ap);
+    va_end(ap);
+}
+
+std::string
+vstrprintf(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n < 0)
+        return {};
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrprintf(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+} // namespace m3v::sim

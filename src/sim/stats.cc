@@ -1,0 +1,170 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/log.h"
+
+namespace m3v::sim {
+
+void
+Sampler::add(double x)
+{
+    n_++;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = x;
+        max_ = x;
+        return;
+    }
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+Sampler::reset()
+{
+    *this = Sampler();
+}
+
+double
+Sampler::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+Sampler::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    if (buckets == 0 || hi <= lo)
+        panic("Histogram: invalid range [%f, %f) x %zu", lo, hi, buckets);
+}
+
+void
+Histogram::add(double x)
+{
+    total_++;
+    if (x < lo_) {
+        underflow_++;
+        return;
+    }
+    if (x >= hi_) {
+        overflow_++;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    counts_[idx]++;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::percentile(double frac) const
+{
+    if (total_ == 0)
+        return lo_;
+    auto target = static_cast<std::uint64_t>(
+        frac * static_cast<double>(total_));
+    std::uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); i++) {
+        seen += counts_[i];
+        if (seen > target)
+            return bucketLo(i) + width_;
+    }
+    return hi_;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("TablePrinter: row has %zu cells, expected %zu",
+              cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::str() const
+{
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); c++)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); c++)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); c++) {
+            std::size_t pad = width[c] - row[c].size();
+            if (c == 0) {
+                line += row[c] + std::string(pad, ' ');
+            } else {
+                line += std::string(pad, ' ') + row[c];
+            }
+            if (c + 1 < row.size())
+                line += "  ";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); c++)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out += std::string(total, '-') + '\n';
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    return strprintf("%.*f", decimals, v);
+}
+
+} // namespace m3v::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lightweight statistics collection: counters, samplers (running
+ * mean/stddev/min/max), histograms, and a table formatter used by the
+ * benchmark harnesses to print paper-style result rows.
+ */
+
+#ifndef M3VSIM_SIM_STATS_H_
+#define M3VSIM_SIM_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m3v::sim {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Running sample statistics using Welford's online algorithm, which is
+ * numerically stable for long runs.
+ */
+class Sampler
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    /** Remove all samples. */
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Population variance (0 for fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** A fixed-bucket histogram over [lo, hi) with uniform bucket width. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+    void reset();
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+
+    /** Lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+
+    /** Value below which the given fraction (0..1) of samples fall. */
+    double percentile(double frac) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Plain-text table printer. Columns are right-aligned except the first;
+ * used by bench binaries to print the rows/series of the paper's tables
+ * and figures.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a string (with a header separator line). */
+    std::string str() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 2);
+
+} // namespace m3v::sim
+
+#endif // M3VSIM_SIM_STATS_H_

@@ -1,0 +1,39 @@
+#include "sim/task.h"
+
+namespace m3v::sim {
+
+TaskPool::~TaskPool()
+{
+    for (auto &[id, entry] : tasks_) {
+        if (entry.handle)
+            entry.handle.destroy();
+    }
+    tasks_.clear();
+}
+
+void
+TaskPool::spawn(Task t, std::string name)
+{
+    if (!t.valid())
+        panic("TaskPool::spawn: invalid task '%s'", name.c_str());
+
+    std::uint64_t id = nextId_++;
+    Task::Handle h = t.release();
+    tasks_.emplace(id, Entry{h, std::move(name)});
+
+    // Defer frame destruction to a fresh event so we never destroy a
+    // coroutine while unwinding out of its own final suspend point.
+    h.promise().onDone = [this, id]() {
+        eq_.schedule(0, [this, id]() {
+            auto it = tasks_.find(id);
+            if (it == tasks_.end())
+                return;
+            it->second.handle.destroy();
+            tasks_.erase(it);
+        });
+    };
+
+    h.resume();
+}
+
+} // namespace m3v::sim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental simulation types: simulated time (ticks) and cycle counts.
+ *
+ * A Tick is one picosecond of simulated time. Components convert between
+ * their local clock cycles and ticks through sim::Clock.
+ */
+
+#ifndef M3VSIM_SIM_TYPES_H_
+#define M3VSIM_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace m3v::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles of some (context-dependent) clock domain. */
+using Cycles = std::uint64_t;
+
+/** Ticks per common time units. */
+constexpr Tick kTicksPerNs = 1000;
+constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert ticks to (fractional) microseconds for reporting. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Convert ticks to (fractional) milliseconds for reporting. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerMs);
+}
+
+/** Convert ticks to (fractional) seconds for reporting. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+} // namespace m3v::sim
+
+#endif // M3VSIM_SIM_TYPES_H_

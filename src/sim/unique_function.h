@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A move-only type-erased callable (C++20 stand-in for C++23's
+ * std::move_only_function). Event handlers frequently capture
+ * unique_ptr payloads, which std::function cannot hold.
+ */
+
+#ifndef M3VSIM_SIM_UNIQUE_FUNCTION_H_
+#define M3VSIM_SIM_UNIQUE_FUNCTION_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace m3v::sim {
+
+template <typename Sig>
+class UniqueFunction;
+
+/** Move-only callable wrapper. */
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)>
+{
+  public:
+    UniqueFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    UniqueFunction(F &&f)
+        : impl_(std::make_unique<Impl<std::decay_t<F>>>(
+              std::forward<F>(f)))
+    {
+    }
+
+    UniqueFunction(UniqueFunction &&) noexcept = default;
+    UniqueFunction &operator=(UniqueFunction &&) noexcept = default;
+    UniqueFunction(const UniqueFunction &) = delete;
+    UniqueFunction &operator=(const UniqueFunction &) = delete;
+
+    explicit operator bool() const { return impl_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return impl_->call(std::forward<Args>(args)...);
+    }
+
+  private:
+    struct Base
+    {
+        virtual ~Base() = default;
+        virtual R call(Args... args) = 0;
+    };
+
+    template <typename F>
+    struct Impl final : Base
+    {
+        explicit Impl(F f) : fn(std::move(f)) {}
+
+        R
+        call(Args... args) override
+        {
+            return fn(std::forward<Args>(args)...);
+        }
+
+        F fn;
+    };
+
+    std::unique_ptr<Base> impl_;
+};
+
+} // namespace m3v::sim
+
+#endif // M3VSIM_SIM_UNIQUE_FUNCTION_H_

@@ -1,0 +1,74 @@
+#include "tile/dram.h"
+
+#include <cstring>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace m3v::tile {
+
+Dram::Dram(sim::EventQueue &eq, std::string name, DramParams params)
+    : SimObject(eq, std::move(name)), params_(params),
+      clk_(params.freqHz), store_(params.capacityBytes, 0)
+{
+}
+
+void
+Dram::access(std::size_t addr, std::size_t bytes,
+             std::function<void()> done)
+{
+    if (addr + bytes > store_.size())
+        sim::panic("%s: access beyond capacity (0x%zx + %zu)",
+                   name().c_str(), addr, bytes);
+    requests_.inc();
+    bytes_.inc(bytes);
+    queue_.push_back(Request{bytes, std::move(done)});
+    if (!busy_)
+        startNext();
+}
+
+void
+Dram::startNext()
+{
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    Request &req = queue_.front();
+    sim::Cycles xfer =
+        (req.bytes + params_.bytesPerCycle - 1) / params_.bytesPerCycle;
+    sim::Tick dur = clk_.cyclesToTicks(params_.accessCycles + xfer);
+    eq_.schedule(dur, [this]() {
+        auto done = std::move(queue_.front().done);
+        queue_.pop_front();
+        done();
+        startNext();
+    });
+}
+
+void
+Dram::read(std::size_t addr, void *dst, std::size_t bytes) const
+{
+    if (addr + bytes > store_.size())
+        sim::panic("%s: read beyond capacity", name().c_str());
+    std::memcpy(dst, store_.data() + addr, bytes);
+}
+
+void
+Dram::write(std::size_t addr, const void *src, std::size_t bytes)
+{
+    if (addr + bytes > store_.size())
+        sim::panic("%s: write beyond capacity", name().c_str());
+    std::memcpy(store_.data() + addr, src, bytes);
+}
+
+void
+Dram::fill(std::size_t addr, std::uint8_t value, std::size_t bytes)
+{
+    if (addr + bytes > store_.size())
+        sim::panic("%s: fill beyond capacity", name().c_str());
+    std::memset(store_.data() + addr, value, bytes);
+}
+
+} // namespace m3v::tile

@@ -1,0 +1,209 @@
+#include "workloads/trace.h"
+
+#include "sim/log.h"
+
+namespace m3v::workloads {
+
+Trace
+makeFindTrace(unsigned dirs, unsigned files_per_dir,
+              sim::Cycles per_entry_compute)
+{
+    Trace t;
+    t.name = "find";
+    t.setupDirs.push_back("/find");
+    for (unsigned d = 0; d < dirs; d++) {
+        std::string dir = "/find/d" + std::to_string(d);
+        t.setupDirs.push_back(dir);
+        for (unsigned f = 0; f < files_per_dir; f++) {
+            t.setupFiles.emplace_back(
+                dir + "/f" + std::to_string(f), 256);
+        }
+    }
+
+    // find(1): stat the root, then per directory: open+readdir, stat
+    // every entry, with a little evaluation compute per entry.
+    t.ops.push_back({TraceOp::Kind::Stat, "/find", 0, 0, 0});
+    for (unsigned d = 0; d < dirs; d++) {
+        std::string dir = "/find/d" + std::to_string(d);
+        t.ops.push_back({TraceOp::Kind::Stat, dir, 0, 0, 0});
+        t.ops.push_back({TraceOp::Kind::Readdir, dir, 0, 0, 0});
+        for (unsigned f = 0; f < files_per_dir; f++) {
+            t.ops.push_back({TraceOp::Kind::Stat,
+                             dir + "/f" + std::to_string(f), 0, 0,
+                             0});
+            t.ops.push_back({TraceOp::Kind::Compute, "", 0, 0,
+                             per_entry_compute});
+        }
+    }
+    return t;
+}
+
+Trace
+makeSqliteTrace(unsigned inserts, sim::Cycles per_txn_compute)
+{
+    Trace t;
+    t.name = "sqlite";
+    t.setupFiles.emplace_back("/test.db", 16 * 1024);
+
+    // Per insert transaction (journal mode): read the db header and
+    // the target page, write the rollback journal, write the page,
+    // delete the journal. Parsing/plan compute in between.
+    for (unsigned i = 0; i < inserts; i++) {
+        t.ops.push_back({TraceOp::Kind::Compute, "", 0, 0,
+                         per_txn_compute});
+        t.ops.push_back({TraceOp::Kind::Open, "/test.db",
+                         kVfsR | kVfsW, 0, 0});
+        t.ops.push_back({TraceOp::Kind::Read, "", 0, 1024, 0});
+        t.ops.push_back({TraceOp::Kind::Open, "/test.db-journal",
+                         kVfsW | kVfsCreate, 0, 0});
+        t.ops.push_back({TraceOp::Kind::Write, "", 0, 1536, 0});
+        t.ops.push_back({TraceOp::Kind::Close, "", 0, 0, 0});
+        t.ops.push_back({TraceOp::Kind::Write, "", 0, 1024, 0});
+        t.ops.push_back({TraceOp::Kind::Close, "", 0, 0, 0});
+        t.ops.push_back({TraceOp::Kind::Unlink, "/test.db-journal",
+                         0, 0, 0});
+    }
+    // Per select: open, read header + two pages, evaluate, close.
+    for (unsigned i = 0; i < inserts; i++) {
+        t.ops.push_back({TraceOp::Kind::Compute, "", 0, 0,
+                         per_txn_compute * 4 / 5});
+        t.ops.push_back({TraceOp::Kind::Open, "/test.db", kVfsR, 0,
+                         0});
+        t.ops.push_back({TraceOp::Kind::Read, "", 0, 1024, 0});
+        t.ops.push_back({TraceOp::Kind::Read, "", 0, 2048, 0});
+        t.ops.push_back({TraceOp::Kind::Close, "", 0, 0, 0});
+    }
+    return t;
+}
+
+sim::Task
+traceSetup(Vfs &vfs, const Trace &trace)
+{
+    bool ok = false;
+    for (const auto &dir : trace.setupDirs) {
+        co_await vfs.mkdir(dir, &ok);
+    }
+    for (const auto &[path, size] : trace.setupFiles) {
+        std::unique_ptr<VfsFile> f;
+        co_await vfs.open(path, kVfsW | kVfsCreate | kVfsTrunc, &f,
+                          &ok);
+        if (!ok)
+            sim::panic("traceSetup: cannot create %s", path.c_str());
+        std::uint32_t left = size;
+        while (left > 0) {
+            std::uint32_t n = std::min<std::uint32_t>(left, 4096);
+            co_await f->write(Bytes(n, 0x5a), &ok);
+            left -= n;
+        }
+        co_await f->close();
+    }
+}
+
+sim::Task
+tracePlay(Vfs &vfs, const Trace &trace, TraceStats *stats)
+{
+    std::unique_ptr<VfsFile> slot;   // single open-file slot
+    std::unique_ptr<VfsFile> slot2;  // secondary (journal)
+    bool ok = false;
+
+    for (const TraceOp &op : trace.ops) {
+        switch (op.kind) {
+          case TraceOp::Kind::Compute:
+            co_await vfs.thread().compute(op.cycles);
+            break;
+
+          case TraceOp::Kind::Open: {
+            std::unique_ptr<VfsFile> f;
+            co_await vfs.open(op.path, op.flags, &f, &ok);
+            if (!ok)
+                sim::panic("tracePlay: open %s failed",
+                           op.path.c_str());
+            if (!slot) {
+                slot = std::move(f);
+            } else {
+                slot2 = std::move(f);
+            }
+            if (stats)
+                stats->fsOps++;
+            break;
+          }
+
+          case TraceOp::Kind::Close: {
+            // Close the most recently opened slot.
+            auto &target = slot2 ? slot2 : slot;
+            if (target) {
+                co_await target->close();
+                target.reset();
+            }
+            if (stats)
+                stats->fsOps++;
+            break;
+          }
+
+          case TraceOp::Kind::Read: {
+            auto &target = slot2 ? slot2 : slot;
+            if (!target)
+                sim::panic("tracePlay: read with no open file");
+            Bytes data;
+            co_await target->read(op.size, &data, &ok);
+            if (stats) {
+                stats->fsOps++;
+                stats->bytesRead += data.size();
+            }
+            break;
+          }
+
+          case TraceOp::Kind::Write: {
+            auto &target = slot2 ? slot2 : slot;
+            if (!target)
+                sim::panic("tracePlay: write with no open file");
+            co_await target->write(Bytes(op.size, 0x77), &ok);
+            if (stats) {
+                stats->fsOps++;
+                stats->bytesWritten += op.size;
+            }
+            break;
+          }
+
+          case TraceOp::Kind::Stat: {
+            VfsStat st;
+            co_await vfs.stat(op.path, &st);
+            if (stats)
+                stats->fsOps++;
+            break;
+          }
+
+          case TraceOp::Kind::Readdir: {
+            std::string name;
+            for (std::uint64_t i = 0;; i++) {
+                bool more = false;
+                co_await vfs.readdir(op.path, i, &name, &more);
+                if (stats)
+                    stats->fsOps++;
+                if (!more)
+                    break;
+            }
+            break;
+          }
+
+          case TraceOp::Kind::Unlink:
+            co_await vfs.unlink(op.path, &ok);
+            if (stats)
+                stats->fsOps++;
+            break;
+
+          case TraceOp::Kind::Mkdir:
+            co_await vfs.mkdir(op.path, &ok);
+            if (stats)
+                stats->fsOps++;
+            break;
+        }
+    }
+    // Leak-proof: close any file the trace left open.
+    if (slot2)
+        co_await slot2->close();
+    if (slot)
+        co_await slot->close();
+}
+
+} // namespace m3v::workloads

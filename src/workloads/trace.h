@@ -1,0 +1,87 @@
+/**
+ * @file
+ * System-call traces and the trace player (the Figure 9 workload).
+ *
+ * The paper replays Linux system-call traces of "find" (a search over
+ * 24 directories with 40 files each) and "SQLite" (32 inserts and
+ * selects) against an in-memory file system on each tile. We generate
+ * structurally equivalent traces programmatically: the same operation
+ * mix, counts and per-operation application compute.
+ */
+
+#ifndef M3VSIM_WORKLOADS_TRACE_H_
+#define M3VSIM_WORKLOADS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "workloads/vfs.h"
+
+namespace m3v::workloads {
+
+/** One traced operation. */
+struct TraceOp
+{
+    enum class Kind
+    {
+        Open,    ///< open (path, flags); result bound to the slot
+        Close,   ///< close the open slot
+        Read,    ///< read size bytes from the open slot
+        Write,   ///< write size bytes to the open slot
+        Stat,    ///< stat(path)
+        Readdir, ///< enumerate all entries of path
+        Unlink,  ///< unlink(path)
+        Mkdir,   ///< mkdir(path)
+        Compute, ///< application compute between calls
+    };
+
+    Kind kind = Kind::Compute;
+    std::string path;
+    std::uint32_t flags = 0;
+    std::uint32_t size = 0;
+    sim::Cycles cycles = 0;
+};
+
+/** A full trace plus the tree it expects to exist. */
+struct Trace
+{
+    std::string name;
+    /** Directories to create before the first run. */
+    std::vector<std::string> setupDirs;
+    /** Files (path, bytes) to create before the first run. */
+    std::vector<std::pair<std::string, std::uint32_t>> setupFiles;
+    /** The replayed operations (one application "run"). */
+    std::vector<TraceOp> ops;
+};
+
+/**
+ * The "find" trace: walk @p dirs directories of @p files_per_dir
+ * files, readdir + stat everything (paper: 24 x 40).
+ */
+Trace makeFindTrace(unsigned dirs = 24, unsigned files_per_dir = 40,
+                    sim::Cycles per_entry_compute = 350);
+
+/**
+ * The "SQLite" trace: @p inserts database inserts and as many
+ * selects, with journal-file churn per transaction (paper: 32).
+ */
+Trace makeSqliteTrace(unsigned inserts = 32,
+                      sim::Cycles per_txn_compute = 2200);
+
+/** Result of one trace replay. */
+struct TraceStats
+{
+    std::uint64_t fsOps = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+};
+
+/** Create the trace's directory tree and files through @p vfs. */
+sim::Task traceSetup(Vfs &vfs, const Trace &trace);
+
+/** Replay the trace's operations once. */
+sim::Task tracePlay(Vfs &vfs, const Trace &trace, TraceStats *stats);
+
+} // namespace m3v::workloads
+
+#endif // M3VSIM_WORKLOADS_TRACE_H_

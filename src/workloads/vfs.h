@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The POSIX-flavoured file abstraction workloads run against. The
+ * same application code (trace player, leveldb-lite) runs on every
+ * substrate the paper compares:
+ *  - M3vVfs: m3fs sessions over the extent/capability protocol;
+ *  - LinuxVfs: the Linux reference model's system calls;
+ *  - (Figure 9's M3x runs use a per-op RPC target defined with the
+ *    benchmark, since M3x has no shared libm3 layer.)
+ */
+
+#ifndef M3VSIM_WORKLOADS_VFS_H_
+#define M3VSIM_WORKLOADS_VFS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "tile/core.h"
+
+namespace m3v::workloads {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** Open flags (match services::FsOpenFlags semantics). */
+enum VfsFlags : std::uint32_t
+{
+    kVfsR = 1,
+    kVfsW = 2,
+    kVfsCreate = 4,
+    kVfsTrunc = 8,
+};
+
+/** Stat result. */
+struct VfsStat
+{
+    bool exists = false;
+    bool isDir = false;
+    std::uint64_t size = 0;
+};
+
+/** One open file. */
+class VfsFile
+{
+  public:
+    virtual ~VfsFile() = default;
+
+    /** Read up to @p want bytes at the current offset (EOF: empty). */
+    virtual sim::Task read(std::size_t want, Bytes *out,
+                           bool *ok) = 0;
+
+    /** Append/write at the current offset. */
+    virtual sim::Task write(Bytes data, bool *ok) = 0;
+
+    /** Reposition (reads only on some substrates). */
+    virtual sim::Task seek(std::uint64_t off) = 0;
+
+    virtual sim::Task close() = 0;
+
+    virtual std::uint64_t size() const = 0;
+};
+
+/** The file-system interface. */
+class Vfs
+{
+  public:
+    virtual ~Vfs() = default;
+
+    /** The thread application compute is charged to. */
+    virtual tile::Thread &thread() = 0;
+
+    virtual sim::Task open(const std::string &path,
+                           std::uint32_t flags,
+                           std::unique_ptr<VfsFile> *out,
+                           bool *ok) = 0;
+
+    virtual sim::Task stat(const std::string &path, VfsStat *out) = 0;
+
+    /** Directory entry by index; ok=false past the end. */
+    virtual sim::Task readdir(const std::string &path,
+                              std::uint64_t idx, std::string *name,
+                              bool *ok) = 0;
+
+    virtual sim::Task unlink(const std::string &path, bool *ok) = 0;
+    virtual sim::Task mkdir(const std::string &path, bool *ok) = 0;
+};
+
+} // namespace m3v::workloads
+
+#endif // M3VSIM_WORKLOADS_VFS_H_

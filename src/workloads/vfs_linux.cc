@@ -1,0 +1,113 @@
+#include "workloads/vfs_linux.h"
+
+namespace m3v::workloads {
+
+namespace {
+
+std::uint32_t
+toLinuxFlags(std::uint32_t flags)
+{
+    std::uint32_t f = 0;
+    if (flags & kVfsR)
+        f |= linuxref::kORead;
+    if (flags & kVfsW)
+        f |= linuxref::kOWrite;
+    if (flags & kVfsCreate)
+        f |= linuxref::kOCreate;
+    if (flags & kVfsTrunc)
+        f |= linuxref::kOTrunc;
+    return f;
+}
+
+} // namespace
+
+/** An open tmpfs file. */
+class LinuxVfsFile : public VfsFile
+{
+  public:
+    LinuxVfsFile(LinuxVfs &vfs, int fd) : vfs_(vfs), fd_(fd) {}
+
+    sim::Task
+    read(std::size_t want, Bytes *out, bool *ok) override
+    {
+        co_await vfs_.kernel_.sysRead(vfs_.proc_, fd_, want, out);
+        *ok = true;
+    }
+
+    sim::Task
+    write(Bytes data, bool *ok) override
+    {
+        std::size_t written = 0;
+        co_await vfs_.kernel_.sysWrite(vfs_.proc_, fd_,
+                                       std::move(data), &written);
+        *ok = written > 0;
+    }
+
+    sim::Task
+    seek(std::uint64_t off) override
+    {
+        co_await vfs_.kernel_.sysLseek(vfs_.proc_, fd_, off);
+    }
+
+    sim::Task
+    close() override
+    {
+        co_await vfs_.kernel_.sysClose(vfs_.proc_, fd_);
+    }
+
+    std::uint64_t
+    size() const override
+    {
+        // tmpfs files are only sized via stat in this adapter.
+        return 0;
+    }
+
+  private:
+    LinuxVfs &vfs_;
+    int fd_;
+};
+
+sim::Task
+LinuxVfs::open(const std::string &path, std::uint32_t flags,
+               std::unique_ptr<VfsFile> *out, bool *ok)
+{
+    int fd = -1;
+    co_await kernel_.sysOpen(proc_, path, toLinuxFlags(flags), &fd);
+    if (fd < 0) {
+        *ok = false;
+        co_return;
+    }
+    *out = std::make_unique<LinuxVfsFile>(*this, fd);
+    *ok = true;
+}
+
+sim::Task
+LinuxVfs::stat(const std::string &path, VfsStat *out)
+{
+    linuxref::StatInfo st;
+    co_await kernel_.sysStat(proc_, path, &st);
+    out->exists = st.exists;
+    out->isDir = st.isDir;
+    out->size = st.size;
+}
+
+sim::Task
+LinuxVfs::readdir(const std::string &path, std::uint64_t idx,
+                  std::string *name, bool *ok)
+{
+    co_await kernel_.sysReaddir(proc_, path, idx, name, ok);
+}
+
+sim::Task
+LinuxVfs::unlink(const std::string &path, bool *ok)
+{
+    co_await kernel_.sysUnlink(proc_, path, ok);
+}
+
+sim::Task
+LinuxVfs::mkdir(const std::string &path, bool *ok)
+{
+    co_await kernel_.sysMkdir(proc_, path, ok);
+}
+
+} // namespace m3v::workloads

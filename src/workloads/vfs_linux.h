@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Vfs adapter over the Linux reference model's system calls.
+ */
+
+#ifndef M3VSIM_WORKLOADS_VFS_LINUX_H_
+#define M3VSIM_WORKLOADS_VFS_LINUX_H_
+
+#include "linuxref/kernel.h"
+#include "workloads/vfs.h"
+
+namespace m3v::workloads {
+
+/** Linux-syscall-backed Vfs for one process. */
+class LinuxVfs : public Vfs
+{
+  public:
+    LinuxVfs(linuxref::LinuxKernel &kernel, linuxref::LinuxProcess &p)
+        : kernel_(kernel), proc_(p)
+    {
+    }
+
+    tile::Thread &thread() override { return proc_.thread(); }
+
+    sim::Task open(const std::string &path, std::uint32_t flags,
+                   std::unique_ptr<VfsFile> *out, bool *ok) override;
+    sim::Task stat(const std::string &path, VfsStat *out) override;
+    sim::Task readdir(const std::string &path, std::uint64_t idx,
+                      std::string *name, bool *ok) override;
+    sim::Task unlink(const std::string &path, bool *ok) override;
+    sim::Task mkdir(const std::string &path, bool *ok) override;
+
+  private:
+    friend class LinuxVfsFile;
+
+    linuxref::LinuxKernel &kernel_;
+    linuxref::LinuxProcess &proc_;
+};
+
+} // namespace m3v::workloads
+
+#endif // M3VSIM_WORKLOADS_VFS_LINUX_H_

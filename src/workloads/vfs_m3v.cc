@@ -1,0 +1,183 @@
+#include "workloads/vfs_m3v.h"
+
+#include "sim/log.h"
+
+namespace m3v::workloads {
+
+using dtu::Error;
+
+namespace {
+
+std::uint32_t
+toFsFlags(std::uint32_t flags)
+{
+    std::uint32_t f = 0;
+    if (flags & kVfsR)
+        f |= services::kOpenR;
+    if (flags & kVfsW)
+        f |= services::kOpenW;
+    if (flags & kVfsCreate)
+        f |= services::kOpenCreate;
+    if (flags & kVfsTrunc)
+        f |= services::kOpenTrunc;
+    return f;
+}
+
+} // namespace
+
+/** An open m3fs file bound to one EP-pool slot. */
+class M3vVfsFile : public VfsFile
+{
+  public:
+    M3vVfsFile(M3vVfs &vfs, os::Env &env,
+               const services::M3fs::Client &client, int slot)
+        : vfs_(vfs), slot_(slot),
+          session_(env, client, static_cast<unsigned>(slot))
+    {
+    }
+
+    ~M3vVfsFile() override
+    {
+        vfs_.putEpSlot(slot_);
+    }
+
+    services::FileSession &session() { return session_; }
+
+    sim::Task
+    read(std::size_t want, Bytes *out, bool *ok) override
+    {
+        Error err = Error::None;
+        co_await session_.read(want, out, &err);
+        *ok = err == Error::None;
+    }
+
+    sim::Task
+    write(Bytes data, bool *ok) override
+    {
+        Error err = Error::None;
+        co_await session_.write(std::move(data), &err);
+        *ok = err == Error::None;
+    }
+
+    sim::Task
+    seek(std::uint64_t off) override
+    {
+        session_.seek(off);
+        co_return;
+    }
+
+    sim::Task
+    close() override
+    {
+        vfs_.extentRpcs_ += session_.extentRpcs();
+        Error err = Error::None;
+        co_await session_.close(&err);
+    }
+
+    std::uint64_t size() const override { return session_.size(); }
+
+  private:
+    M3vVfs &vfs_;
+    int slot_;
+    services::FileSession session_;
+};
+
+M3vVfs::M3vVfs(os::Env &env, services::M3fs::Client client)
+    : env_(env), client_(std::move(client)), pathOps_(env, client_, 0),
+      epBusy_(client_.fileEps.size(), false)
+{
+    epBusy_.at(0) = true; // slot 0 is reserved for path operations
+}
+
+int
+M3vVfs::takeEpSlot()
+{
+    for (std::size_t i = 1; i < epBusy_.size(); i++) {
+        if (!epBusy_[i]) {
+            epBusy_[i] = true;
+            return static_cast<int>(i);
+        }
+    }
+    sim::fatal("M3vVfs: out of file endpoints (too many open files)");
+}
+
+void
+M3vVfs::putEpSlot(int idx)
+{
+    epBusy_.at(static_cast<std::size_t>(idx)) = false;
+}
+
+sim::Task
+M3vVfs::open(const std::string &path, std::uint32_t flags,
+             std::unique_ptr<VfsFile> *out, bool *ok)
+{
+    int slot = takeEpSlot();
+    auto file =
+        std::make_unique<M3vVfsFile>(*this, env_, client_, slot);
+    Error err = Error::None;
+    co_await file->session().open(path, toFsFlags(flags), &err);
+    if (err != Error::None) {
+        *ok = false;
+        co_return;
+    }
+    *out = std::move(file);
+    *ok = true;
+}
+
+sim::Task
+M3vVfs::stat(const std::string &path, VfsStat *out)
+{
+    services::FsResp resp;
+    co_await pathOps_.stat(path, &resp);
+    out->exists = resp.err == Error::None;
+    out->isDir = resp.isDir != 0;
+    out->size = resp.size;
+}
+
+sim::Task
+M3vVfs::readdir(const std::string &path, std::uint64_t idx,
+                std::string *name, bool *ok)
+{
+    // Serve from the cached batch when possible (getdents-style).
+    if (path == dirCachePath_ && idx >= dirCacheStart_ &&
+        idx < dirCacheStart_ + dirCache_.size()) {
+        *name = dirCache_[idx - dirCacheStart_];
+        *ok = true;
+        co_return;
+    }
+    if (path == dirCachePath_ &&
+        idx == dirCacheStart_ + dirCache_.size() && !dirCacheMore_) {
+        *ok = false;
+        co_return;
+    }
+    services::FsResp resp;
+    co_await pathOps_.readdir(path, idx, &resp);
+    if (resp.err != Error::None || resp.count == 0) {
+        *ok = false;
+        co_return;
+    }
+    dirCachePath_ = path;
+    dirCacheStart_ = idx;
+    dirCache_ = services::FileSession::readdirNames(resp);
+    dirCacheMore_ = resp.more != 0;
+    *name = dirCache_.front();
+    *ok = true;
+}
+
+sim::Task
+M3vVfs::unlink(const std::string &path, bool *ok)
+{
+    Error err = Error::None;
+    co_await pathOps_.unlink(path, &err);
+    *ok = err == Error::None;
+}
+
+sim::Task
+M3vVfs::mkdir(const std::string &path, bool *ok)
+{
+    Error err = Error::None;
+    co_await pathOps_.mkdir(path, &err);
+    *ok = err == Error::None;
+}
+
+} // namespace m3v::workloads

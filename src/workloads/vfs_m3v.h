@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Vfs adapter over m3fs sessions (the M3v substrate).
+ */
+
+#ifndef M3VSIM_WORKLOADS_VFS_M3V_H_
+#define M3VSIM_WORKLOADS_VFS_M3V_H_
+
+#include <memory>
+
+#include "services/file_client.h"
+#include "workloads/vfs.h"
+
+namespace m3v::workloads {
+
+/** m3fs-backed Vfs for an app activity. */
+class M3vVfs : public Vfs
+{
+  public:
+    M3vVfs(os::Env &env, services::M3fs::Client client);
+
+    tile::Thread &thread() override { return env_.thread(); }
+
+    sim::Task open(const std::string &path, std::uint32_t flags,
+                   std::unique_ptr<VfsFile> *out, bool *ok) override;
+    sim::Task stat(const std::string &path, VfsStat *out) override;
+    sim::Task readdir(const std::string &path, std::uint64_t idx,
+                      std::string *name, bool *ok) override;
+    sim::Task unlink(const std::string &path, bool *ok) override;
+    sim::Task mkdir(const std::string &path, bool *ok) override;
+
+    /** Total extent RPCs across all closed files (stats). */
+    std::uint64_t extentRpcs() const { return extentRpcs_; }
+
+  private:
+    friend class M3vVfsFile;
+
+    /** Borrow/return file-EP pool slots. */
+    int takeEpSlot();
+    void putEpSlot(int idx);
+
+    os::Env &env_;
+    services::M3fs::Client client_;
+    services::FileSession pathOps_; ///< for stateless path ops
+    std::vector<bool> epBusy_;
+    std::uint64_t extentRpcs_ = 0;
+
+    /** Cached readdir batch (getdents-style). */
+    std::string dirCachePath_;
+    std::uint64_t dirCacheStart_ = 0;
+    std::vector<std::string> dirCache_;
+    bool dirCacheMore_ = false;
+};
+
+} // namespace m3v::workloads
+
+#endif // M3VSIM_WORKLOADS_VFS_M3V_H_

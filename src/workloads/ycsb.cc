@@ -1,0 +1,74 @@
+#include "workloads/ycsb.h"
+
+#include "sim/log.h"
+
+namespace m3v::workloads {
+
+std::string
+ycsbKey(std::uint64_t i)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "user%08llu",
+                  static_cast<unsigned long long>(i));
+    return buf;
+}
+
+namespace {
+
+std::string
+randomValue(sim::Rng &rng, std::size_t len)
+{
+    std::string v(len, '\0');
+    for (std::size_t i = 0; i < len; i++)
+        v[i] = static_cast<char>('a' + rng.nextBounded(26));
+    return v;
+}
+
+} // namespace
+
+YcsbWorkload
+ycsbGenerate(const YcsbConfig &cfg, const YcsbMix &mix)
+{
+    if (mix.read + mix.insert + mix.update + mix.scan != 100)
+        sim::fatal("ycsb: mix must sum to 100");
+
+    sim::Rng rng(cfg.seed);
+    YcsbWorkload w;
+
+    // Load phase: create the records.
+    for (unsigned i = 0; i < cfg.records; i++) {
+        YcsbOp op;
+        op.kind = YcsbOp::Kind::Insert;
+        op.key = ycsbKey(i);
+        op.value = randomValue(rng, cfg.valueBytes);
+        w.load.push_back(std::move(op));
+    }
+
+    // Run phase.
+    Zipfian zipf(cfg.records, cfg.zipfTheta);
+    std::uint64_t next_insert = cfg.records;
+    for (unsigned i = 0; i < cfg.operations; i++) {
+        auto roll = static_cast<unsigned>(rng.nextBounded(100));
+        YcsbOp op;
+        if (roll < mix.read) {
+            op.kind = YcsbOp::Kind::Read;
+            op.key = ycsbKey(zipf.next(rng));
+        } else if (roll < mix.read + mix.insert) {
+            op.kind = YcsbOp::Kind::Insert;
+            op.key = ycsbKey(next_insert++);
+            op.value = randomValue(rng, cfg.valueBytes);
+        } else if (roll < mix.read + mix.insert + mix.update) {
+            op.kind = YcsbOp::Kind::Update;
+            op.key = ycsbKey(zipf.next(rng));
+            op.value = randomValue(rng, cfg.valueBytes);
+        } else {
+            op.kind = YcsbOp::Kind::Scan;
+            op.key = ycsbKey(zipf.next(rng));
+            op.scanLen = cfg.scanLen;
+        }
+        w.run.push_back(std::move(op));
+    }
+    return w;
+}
+
+} // namespace m3v::workloads

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The Yahoo! Cloud Serving Benchmark workload generator as configured
+ * in the paper (section 6.5.2): 200 records created first, then 200
+ * operations drawn from a Zipfian distribution with the given
+ * read/insert/update/scan proportions.
+ */
+
+#ifndef M3VSIM_WORKLOADS_YCSB_H_
+#define M3VSIM_WORKLOADS_YCSB_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/zipf.h"
+
+namespace m3v::workloads {
+
+/** One YCSB operation. */
+struct YcsbOp
+{
+    enum class Kind
+    {
+        Read,
+        Insert,
+        Update,
+        Scan,
+    };
+
+    Kind kind = Kind::Read;
+    std::string key;
+    std::string value;  ///< for Insert/Update
+    unsigned scanLen = 0; ///< records to scan
+};
+
+/** Operation mix in percent. */
+struct YcsbMix
+{
+    unsigned read = 0;
+    unsigned insert = 0;
+    unsigned update = 0;
+    unsigned scan = 0;
+
+    /** The paper's mixes (section 6.5.2). */
+    static YcsbMix readHeavy() { return {80, 10, 10, 0}; }
+    static YcsbMix insertHeavy() { return {10, 80, 10, 0}; }
+    static YcsbMix updateHeavy() { return {10, 10, 80, 0}; }
+    static YcsbMix scanHeavy() { return {10, 10, 0, 80}; }
+    static YcsbMix mixed() { return {50, 10, 30, 10}; }
+};
+
+/** Generator configuration. */
+struct YcsbConfig
+{
+    unsigned records = 200;
+    unsigned operations = 200;
+    /** YCSB default record size: 10 fields x 100 bytes. */
+    std::size_t valueBytes = 1000;
+    unsigned scanLen = 20;
+    double zipfTheta = 0.99;
+    std::uint64_t seed = 42;
+};
+
+/** A generated workload: load phase + run phase. */
+struct YcsbWorkload
+{
+    std::vector<YcsbOp> load; ///< initial inserts
+    std::vector<YcsbOp> run;  ///< measured operations
+};
+
+/** Key of record @p i ("user0000.."). */
+std::string ycsbKey(std::uint64_t i);
+
+/** Generate a workload for the given mix. */
+YcsbWorkload ycsbGenerate(const YcsbConfig &cfg, const YcsbMix &mix);
+
+} // namespace m3v::workloads
+
+#endif // M3VSIM_WORKLOADS_YCSB_H_

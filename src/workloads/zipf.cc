@@ -1,0 +1,45 @@
+#include "workloads/zipf.h"
+
+#include <cmath>
+
+namespace m3v::workloads {
+
+namespace {
+
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+Zipfian::Zipfian(std::uint64_t n, double theta)
+    : n_(n), theta_(theta), zetan_(zeta(n, theta))
+{
+    alpha_ = 1.0 / (1.0 - theta_);
+    double zeta2 = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                           1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+Zipfian::next(sim::Rng &rng)
+{
+    double u = rng.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+} // namespace m3v::workloads

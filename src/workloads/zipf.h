@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Zipfian distribution generator (Gray et al.'s method, as used by
+ * YCSB): item 0 is the most popular; popularity decays with rank.
+ */
+
+#ifndef M3VSIM_WORKLOADS_ZIPF_H_
+#define M3VSIM_WORKLOADS_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace m3v::workloads {
+
+/** Draws ranks from a Zipfian distribution over [0, n). */
+class Zipfian
+{
+  public:
+    /**
+     * @param n     number of items
+     * @param theta skew (YCSB default 0.99)
+     */
+    explicit Zipfian(std::uint64_t n, double theta = 0.99);
+
+    /** Draw the next rank using @p rng. */
+    std::uint64_t next(sim::Rng &rng);
+
+    std::uint64_t items() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+};
+
+} // namespace m3v::workloads
+
+#endif // M3VSIM_WORKLOADS_ZIPF_H_

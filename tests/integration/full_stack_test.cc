@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Full-stack integration tests: complete scenarios across every
+ * layer (NoC, vDTU, TileMux, controller, services, workloads), plus
+ * determinism guarantees the whole evaluation relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "linuxref/kernel.h"
+#include "m3x/system.h"
+#include "os/system.h"
+#include "services/m3fs.h"
+#include "services/net.h"
+#include "services/pager.h"
+#include "workloads/kv.h"
+#include "workloads/trace.h"
+#include "workloads/vfs_m3v.h"
+#include "workloads/ycsb.h"
+
+namespace m3v {
+namespace {
+
+using os::Bytes;
+
+/** One self-contained mini cloud-service run; returns the end time. */
+sim::Tick
+cloudScenario(bool shared, unsigned *fs_requests = nullptr,
+              std::uint64_t *switches = nullptr)
+{
+    sim::EventQueue eq;
+    os::SystemParams params;
+    params.userTiles = 4;
+    params.dram.capacityBytes = 256 << 20;
+    os::System sys(eq, params);
+
+    services::Nic nic(eq, "nic");
+    services::ExtHost host(eq, "host", services::ExtHost::Mode::Sink);
+    nic.connect(&host);
+    host.connect(&nic);
+
+    services::M3fsParams fsp;
+    fsp.storageBytes = 32 << 20;
+    services::M3fs fs(sys, shared ? 0 : 1, fsp);
+    services::NetService net(sys, 0, nic);
+    services::PagerService pager(sys, shared ? 0 : 2);
+    auto *db = sys.createApp(shared ? 0 : 3, "db");
+    auto fs_client = fs.addClient(db);
+    auto net_client = net.addClient(db);
+    auto pager_client = pager.addClient(db);
+    fs.startService();
+    net.startService();
+    pager.startService();
+
+    workloads::YcsbConfig cfg;
+    cfg.records = 60;
+    cfg.operations = 40;
+    auto w = workloads::ycsbGenerate(cfg,
+                                     workloads::YcsbMix::mixed());
+
+    bool done = false;
+    unsigned hits = 0;
+    sys.start(db, [&, fs_client, net_client,
+                   pager_client](os::MuxEnv &env) -> sim::Task {
+        dtu::VirtAddr heap = 0;
+        dtu::Error err = dtu::Error::None;
+        co_await services::pagerAllocMap(env, pager_client, 4, &heap,
+                                         &err);
+        workloads::M3vVfs vfs(env, fs_client);
+        services::UdpSocket sock(env, net_client);
+        co_await sock.create(7000, &err);
+
+        workloads::KvStore kv(vfs);
+        co_await kv.open();
+        for (const auto &op : w.load)
+            co_await kv.put(op.key, op.value);
+        for (const auto &op : w.run) {
+            switch (op.kind) {
+              case workloads::YcsbOp::Kind::Read: {
+                std::string v;
+                bool found = false;
+                co_await kv.get(op.key, &v, &found);
+                hits += found;
+                break;
+              }
+              case workloads::YcsbOp::Kind::Insert:
+              case workloads::YcsbOp::Kind::Update:
+                co_await kv.put(op.key, op.value);
+                break;
+              case workloads::YcsbOp::Kind::Scan: {
+                std::vector<std::pair<std::string, std::string>> o;
+                co_await kv.scan(op.key, op.scanLen, &o);
+                break;
+              }
+            }
+            co_await sock.sendTo(0x0a000001, 9,
+                                 Bytes(op.key.begin(),
+                                       op.key.end()),
+                                 &err);
+        }
+        co_await kv.close();
+        done = true;
+    });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_GT(hits, 0u);
+    EXPECT_EQ(host.framesReceived(), 40u);
+    if (fs_requests)
+        *fs_requests = static_cast<unsigned>(fs.requests());
+    if (switches)
+        *switches = sys.mux(0).ctxSwitches();
+    return eq.now();
+}
+
+TEST(FullStack, CloudScenarioSharedAndIsolated)
+{
+    std::uint64_t shared_switches = 0, iso_switches = 0;
+    sim::Tick shared_t = cloudScenario(true, nullptr,
+                                       &shared_switches);
+    sim::Tick iso_t = cloudScenario(false, nullptr, &iso_switches);
+    // Sharing a tile costs context switches and time.
+    EXPECT_GT(shared_switches, iso_switches);
+    EXPECT_GT(shared_t, iso_t);
+}
+
+TEST(FullStack, SimulationIsDeterministic)
+{
+    unsigned fs1 = 0, fs2 = 0;
+    sim::Tick t1 = cloudScenario(true, &fs1);
+    sim::Tick t2 = cloudScenario(true, &fs2);
+    // Bit-for-bit repeatability: identical end time and counters.
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(fs1, fs2);
+}
+
+TEST(FullStack, TracePlayerDeterministic)
+{
+    auto run = []() {
+        sim::EventQueue eq;
+        os::System sys(eq);
+        services::M3fs fs(sys, 0);
+        auto *player = sys.createApp(0, "find");
+        auto client = fs.addClient(player);
+        fs.startService();
+        workloads::Trace trace = workloads::makeFindTrace(4, 8);
+        workloads::TraceStats stats;
+        sys.start(player,
+                  [&, client](os::MuxEnv &env) -> sim::Task {
+                      workloads::M3vVfs vfs(env, client);
+                      co_await workloads::traceSetup(vfs, trace);
+                      co_await workloads::tracePlay(vfs, trace,
+                                                    &stats);
+                  });
+        eq.run();
+        return std::make_pair(eq.now(), stats.fsOps);
+    };
+    auto [t1, ops1] = run();
+    auto [t2, ops2] = run();
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(ops1, ops2);
+    EXPECT_GT(ops1, 40u);
+}
+
+TEST(FullStack, M3xAndM3vAgreeOnWorkSemantics)
+{
+    // The same ping-pong protocol completes with identical message
+    // counts on both systems (only timing differs).
+    int m3v_served = 0;
+    {
+        sim::EventQueue eq;
+        os::SystemParams params;
+        params.userTiles = 2;
+        os::System sys(eq, params);
+        auto *client = sys.createApp(0, "c");
+        auto *server = sys.createApp(0, "s");
+        auto rep = sys.makeRgate(server);
+        auto sg = sys.makeSgate(client, server, rep.ep, 1, 4);
+        auto crep = sys.makeRgate(client);
+        sys.start(server, [&, rep](os::MuxEnv &env) -> sim::Task {
+            for (;;) {
+                int slot = -1;
+                co_await env.recvOn(rep.ep, &slot);
+                m3v_served++;
+                dtu::Error err = dtu::Error::None;
+                co_await env.reply(rep.ep, slot, Bytes{}, &err);
+            }
+        });
+        sys.start(client, [&, sg, crep](os::MuxEnv &env) -> sim::Task {
+            for (int i = 0; i < 7; i++) {
+                Bytes resp;
+                dtu::Error err = dtu::Error::None;
+                co_await env.call(sg.ep, crep.ep, Bytes{}, &resp,
+                                  &err);
+            }
+        });
+        eq.run();
+    }
+
+    int m3x_served = 0;
+    {
+        sim::EventQueue eq;
+        m3x::M3xParams params;
+        params.userTiles = 2;
+        m3x::M3xSystem sys(eq, params);
+        auto *client = sys.createAct(0, "c");
+        auto *server = sys.createAct(0, "s");
+        m3x::M3xChan chan = sys.makeChannel(server);
+        dtu::EpId sep = sys.addSender(chan, client);
+        sys.start(server, sim::invoke([&]() -> sim::Task {
+            for (;;) {
+                Bytes req;
+                m3x::MsgHdr rt;
+                co_await sys.serveNext(*server, chan, &req, &rt);
+                m3x_served++;
+                co_await sys.replyTo(*server, rt, Bytes{});
+            }
+        }));
+        sys.start(client, sim::invoke([&, sep]() -> sim::Task {
+            for (int i = 0; i < 7; i++) {
+                Bytes resp;
+                co_await sys.rpc(*client, chan, sep, Bytes{}, &resp);
+            }
+            co_await sys.exit(*client);
+        }));
+        eq.run();
+    }
+    EXPECT_EQ(m3v_served, 7);
+    EXPECT_EQ(m3x_served, 7);
+}
+
+TEST(FullStack, ControllerSurvivesConcurrentSyscallBursts)
+{
+    sim::EventQueue eq;
+    os::System sys(eq);
+    int done = 0;
+    for (unsigned t = 0; t < 8; t++) {
+        auto *app = sys.createApp(t, "burst" + std::to_string(t));
+        sys.start(app, [&](os::MuxEnv &env) -> sim::Task {
+            for (int i = 0; i < 25; i++) {
+                os::SyscallResp resp;
+                co_await env.syscall(os::SyscallReq{}, &resp);
+                EXPECT_EQ(resp.err, dtu::Error::None);
+            }
+            done++;
+        });
+    }
+    eq.run();
+    EXPECT_EQ(done, 8);
+    EXPECT_EQ(sys.syscalls(), 200u);
+}
+
+} // namespace
+} // namespace m3v

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the M3x baseline: slow-path RPC between co-located
+ * activities (kernel-driven remote context switches), fast-path RPC
+ * across tiles, and the serialization behaviour that limits
+ * scalability (Figure 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "m3x/system.h"
+
+namespace m3v::m3x {
+namespace {
+
+Bytes
+bytes(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+std::string
+str(const Bytes &b)
+{
+    return std::string(b.begin(), b.end());
+}
+
+sim::Task
+serverBody(M3xSystem &sys, M3xAct &self, M3xChan chan, int *served)
+{
+    for (;;) {
+        Bytes req;
+        MsgHdr reply_to;
+        co_await sys.serveNext(self, chan, &req, &reply_to);
+        (*served)++;
+        co_await sys.replyTo(self, reply_to,
+                             bytes("re:" + str(req)));
+    }
+}
+
+sim::Task
+clientBody(M3xSystem &sys, M3xAct &self, M3xChan chan,
+           dtu::EpId sep, int rounds, int *completed,
+           sim::Tick *per_rpc)
+{
+    sim::Tick t0 = sys.eventQueue().now();
+    for (int i = 0; i < rounds; i++) {
+        Bytes resp;
+        co_await sys.rpc(self, chan, sep, bytes("ping"), &resp);
+        EXPECT_EQ(str(resp), "re:ping");
+        (*completed)++;
+    }
+    if (per_rpc)
+        *per_rpc = (sys.eventQueue().now() - t0) /
+                   static_cast<sim::Tick>(rounds);
+    co_await sys.exit(self);
+}
+
+TEST(M3x, TileLocalRpcUsesSlowPath)
+{
+    sim::EventQueue eq;
+    M3xParams params;
+    params.userTiles = 2;
+    M3xSystem sys(eq, params);
+
+    M3xAct *client = sys.createAct(0, "client");
+    M3xAct *server = sys.createAct(0, "server");
+    M3xChan chan = sys.makeChannel(server);
+    dtu::EpId sep = sys.addSender(chan, client);
+
+    int served = 0, completed = 0;
+    sim::Tick per_rpc = 0;
+    sys.start(client, clientBody(sys, *client, chan, sep, 10,
+                                 &completed, &per_rpc));
+    sys.start(server, serverBody(sys, *server, chan, &served));
+    eq.run();
+
+    EXPECT_EQ(completed, 10);
+    EXPECT_EQ(served, 10);
+    // Co-located: every message needs the slow path and a remote
+    // context switch.
+    EXPECT_GE(sys.slowPaths(), 20u);
+    EXPECT_EQ(sys.fastPaths(), 0u);
+    EXPECT_GE(sys.switches(), 20u);
+    // Section 6.2: ~27k cycles (~9us at 3 GHz) per tile-local RPC.
+    double cycles = static_cast<double>(per_rpc) / 1000.0 * 3.0;
+    EXPECT_GT(cycles, 10'000);
+    EXPECT_LT(cycles, 60'000);
+}
+
+TEST(M3x, CrossTileRpcUsesFastPath)
+{
+    sim::EventQueue eq;
+    M3xParams params;
+    params.userTiles = 2;
+    M3xSystem sys(eq, params);
+
+    M3xAct *client = sys.createAct(0, "client");
+    M3xAct *server = sys.createAct(1, "server");
+    M3xChan chan = sys.makeChannel(server);
+    dtu::EpId sep = sys.addSender(chan, client);
+
+    int served = 0, completed = 0;
+    sys.start(client, clientBody(sys, *client, chan, sep, 10,
+                                 &completed, nullptr));
+    sys.start(server, serverBody(sys, *server, chan, &served));
+    eq.run();
+
+    EXPECT_EQ(completed, 10);
+    // Requests go fast path (server is always current on its tile);
+    // replies in this implementation go through the kernel.
+    EXPECT_GE(sys.fastPaths(), 10u);
+    EXPECT_EQ(sys.switches(), 0u);
+}
+
+TEST(M3x, KernelSerializesSwitchesAcrossTiles)
+{
+    // Two tiles running slow-path RPC pairs: the single kernel limits
+    // aggregate throughput; per-tile latency grows vs a single pair.
+    auto run_pairs = [](unsigned pairs) {
+        sim::EventQueue eq;
+        M3xParams params;
+        params.userTiles = std::max(2u, pairs);
+        M3xSystem sys(eq, params);
+        int total = 0;
+        std::vector<int> served(pairs, 0);
+        for (unsigned i = 0; i < pairs; i++) {
+            M3xAct *client =
+                sys.createAct(i, "c" + std::to_string(i));
+            M3xAct *server =
+                sys.createAct(i, "s" + std::to_string(i));
+            M3xChan chan = sys.makeChannel(server);
+            dtu::EpId sep = sys.addSender(chan, client);
+            sys.start(server,
+                      serverBody(sys, *server, chan, &served[i]));
+            sys.start(client, clientBody(sys, *client, chan, sep, 20,
+                                         &total, nullptr));
+        }
+        eq.run();
+        EXPECT_EQ(total, static_cast<int>(pairs) * 20);
+        return eq.now();
+    };
+
+    sim::Tick one = run_pairs(1);
+    sim::Tick four = run_pairs(4);
+    // Perfect scaling would keep the runtime equal; the serialized
+    // kernel makes four concurrent pairs take markedly longer.
+    EXPECT_GT(four, one + one / 2);
+}
+
+TEST(M3x, ManyActivitiesPerTileRoundRobinViaMessages)
+{
+    sim::EventQueue eq;
+    M3xParams params;
+    params.userTiles = 2;
+    M3xSystem sys(eq, params);
+
+    // One server and three clients share tile 0.
+    M3xAct *server = sys.createAct(0, "server");
+    M3xChan chan = sys.makeChannel(server, 256, 16);
+    int served = 0;
+    sys.start(server, serverBody(sys, *server, chan, &served));
+
+    int completed = 0;
+    for (int c = 0; c < 3; c++) {
+        M3xAct *client =
+            sys.createAct(0, "client" + std::to_string(c));
+        dtu::EpId sep = sys.addSender(chan, client);
+        sys.start(client, clientBody(sys, *client, chan, sep, 5,
+                                     &completed, nullptr));
+    }
+    eq.run();
+    EXPECT_EQ(completed, 15);
+    EXPECT_EQ(served, 15);
+}
+
+} // namespace
+} // namespace m3v::m3x

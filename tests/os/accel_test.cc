@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for autonomous accelerator tiles: single-stage jobs,
+ * multi-stage pipelines with no core in the loop, and data
+ * correctness through real transforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/accel.h"
+#include "os/system.h"
+
+namespace m3v::os {
+namespace {
+
+using dtu::Endpoint;
+using dtu::kPermRW;
+
+Bytes
+pattern(std::size_t n)
+{
+    Bytes b(n);
+    for (std::size_t i = 0; i < n; i++)
+        b[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    return b;
+}
+
+class AccelTest : public ::testing::Test
+{
+  protected:
+    AccelTest()
+    {
+        params.userTiles = 1;
+        params.accelTiles = 2;
+        sys = std::make_unique<System>(eq, params);
+    }
+
+    sim::EventQueue eq;
+    SystemParams params;
+    std::unique_ptr<System> sys;
+};
+
+TEST_F(AccelTest, SingleStageTransformsData)
+{
+    auto *app = sys->createApp(0, "app");
+    auto buf_in = sys->makeMgate(app, 64 * 1024, kPermRW);
+    auto buf_out = sys->makeMgate(app, 64 * 1024, kPermRW);
+    auto done_rep = sys->makeRgate(app, 64, 4);
+
+    AccelTile &acc = sys->accel(0);
+    acc.setTransform([](const Bytes &in) {
+        Bytes out(in.size());
+        for (std::size_t i = 0; i < in.size(); i++)
+            out[i] = static_cast<std::uint8_t>(in[i] ^ 0xff);
+        return out;
+    });
+    // Wire the accelerator's channels (controller boot config).
+    acc.dtu().configEp(kAccelCmdRep, Endpoint::makeRecv(0, 64, 4));
+    acc.dtu().configEp(
+        kAccelFwdSep,
+        Endpoint::makeSend(0, sys->userTile(0), done_rep.ep, 9, 4));
+    acc.dtu().configEp(kAccelInMep,
+                       Endpoint::makeMem(0, sys->memTileId(0),
+                                         buf_in.addr, buf_in.size,
+                                         kPermRW));
+    acc.dtu().configEp(kAccelOutMep,
+                       Endpoint::makeMem(0, sys->memTileId(0),
+                                         buf_out.addr, buf_out.size,
+                                         kPermRW));
+    // App's send gate towards the accelerator's command EP.
+    dtu::EpId cmd_sep = sys->allocEp(0);
+    sys->vdtu(0).configEp(
+        cmd_sep,
+        Endpoint::makeSend(app->act->id(), acc.tileId(),
+                           kAccelCmdRep, 1, 4));
+    acc.startDriver();
+
+    Bytes input = pattern(10'000);
+    bool done = false;
+    sys->start(app, [&, buf_in, buf_out, done_rep,
+                     cmd_sep](MuxEnv &env) -> sim::Task {
+        dtu::Error err = dtu::Error::None;
+        for (std::size_t off = 0; off < input.size();
+             off += dtu::kPageSize) {
+            std::size_t n = std::min<std::size_t>(
+                dtu::kPageSize, input.size() - off);
+            co_await env.writeMem(
+                buf_in.ep, off,
+                Bytes(input.begin() + static_cast<long>(off),
+                      input.begin() + static_cast<long>(off + n)),
+                &err);
+        }
+        AccelJob job;
+        job.inOff = 0;
+        job.len = static_cast<std::uint32_t>(input.size());
+        job.outOff = 0;
+        job.tag = 42;
+        co_await env.send(cmd_sep, podBytes(job), dtu::kInvalidEp,
+                          &err);
+
+        int slot = -1;
+        co_await env.recvOn(done_rep.ep, &slot);
+        AccelJob fin =
+            podFrom<AccelJob>(env.msgAt(done_rep.ep, slot).payload);
+        co_await env.ackMsg(done_rep.ep, slot);
+        EXPECT_EQ(fin.tag, 42u);
+        EXPECT_EQ(fin.len, input.size());
+
+        // Verify the transformed output.
+        Bytes out;
+        for (std::size_t off = 0; off < input.size();
+             off += dtu::kPageSize) {
+            Bytes page;
+            co_await env.readMem(
+                buf_out.ep, off,
+                std::min<std::size_t>(dtu::kPageSize,
+                                      input.size() - off),
+                &page, &err);
+            out.insert(out.end(), page.begin(), page.end());
+        }
+        bool all_ok = out.size() == input.size();
+        for (std::size_t i = 0; all_ok && i < out.size(); i++)
+            all_ok = out[i] == static_cast<std::uint8_t>(
+                                   input[i] ^ 0xff);
+        EXPECT_TRUE(all_ok);
+        done = true;
+    });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(acc.jobsProcessed(), 1u);
+}
+
+TEST_F(AccelTest, TwoStagePipelineRunsAutonomously)
+{
+    auto *app = sys->createApp(0, "app");
+    auto buf_a = sys->makeMgate(app, 64 * 1024, kPermRW);
+    auto buf_b = sys->makeMgate(app, 64 * 1024, kPermRW);
+    auto done_rep = sys->makeRgate(app, 64, 4);
+
+    AccelTile &s1 = sys->accel(0);
+    AccelTile &s2 = sys->accel(1);
+    s1.setTransform([](const Bytes &in) {
+        Bytes out(in);
+        for (auto &b : out)
+            b = static_cast<std::uint8_t>(b + 1);
+        return out;
+    });
+    s2.setTransform([](const Bytes &in) {
+        Bytes out(in);
+        for (auto &b : out)
+            b = static_cast<std::uint8_t>(b * 2);
+        return out;
+    });
+
+    // Stage 1: reads buf_a, writes buf_b, forwards to stage 2.
+    s1.dtu().configEp(kAccelCmdRep, Endpoint::makeRecv(0, 64, 4));
+    s1.dtu().configEp(kAccelFwdSep,
+                      Endpoint::makeSend(0, s2.tileId(),
+                                         kAccelCmdRep, 1, 4));
+    s1.dtu().configEp(kAccelInMep,
+                      Endpoint::makeMem(0, sys->memTileId(0),
+                                        buf_a.addr, buf_a.size,
+                                        kPermRW));
+    s1.dtu().configEp(kAccelOutMep,
+                      Endpoint::makeMem(0, sys->memTileId(0),
+                                        buf_b.addr, buf_b.size,
+                                        kPermRW));
+    // Stage 2: reads buf_b, writes buf_b in place, notifies the app.
+    s2.dtu().configEp(kAccelCmdRep, Endpoint::makeRecv(0, 64, 4));
+    s2.dtu().configEp(
+        kAccelFwdSep,
+        Endpoint::makeSend(0, sys->userTile(0), done_rep.ep, 9, 4));
+    s2.dtu().configEp(kAccelInMep,
+                      Endpoint::makeMem(0, sys->memTileId(0),
+                                        buf_b.addr, buf_b.size,
+                                        kPermRW));
+    s2.dtu().configEp(kAccelOutMep,
+                      Endpoint::makeMem(0, sys->memTileId(0),
+                                        buf_b.addr, buf_b.size,
+                                        kPermRW));
+    dtu::EpId cmd_sep = sys->allocEp(0);
+    sys->vdtu(0).configEp(
+        cmd_sep, Endpoint::makeSend(app->act->id(), s1.tileId(),
+                                    kAccelCmdRep, 1, 4));
+    s1.startDriver();
+    s2.startDriver();
+
+    Bytes input = pattern(6000);
+    bool done = false;
+    sys->start(app, [&, buf_a, buf_b, done_rep,
+                     cmd_sep](MuxEnv &env) -> sim::Task {
+        dtu::Error err = dtu::Error::None;
+        for (std::size_t off = 0; off < input.size();
+             off += dtu::kPageSize) {
+            std::size_t n = std::min<std::size_t>(
+                dtu::kPageSize, input.size() - off);
+            co_await env.writeMem(
+                buf_a.ep, off,
+                Bytes(input.begin() + static_cast<long>(off),
+                      input.begin() + static_cast<long>(off + n)),
+                &err);
+        }
+        AccelJob job;
+        job.len = static_cast<std::uint32_t>(input.size());
+        job.tag = 7;
+        co_await env.send(cmd_sep, podBytes(job), dtu::kInvalidEp,
+                          &err);
+        int slot = -1;
+        co_await env.recvOn(done_rep.ep, &slot);
+        co_await env.ackMsg(done_rep.ep, slot);
+
+        Bytes out;
+        for (std::size_t off = 0; off < input.size();
+             off += dtu::kPageSize) {
+            Bytes page;
+            co_await env.readMem(
+                buf_b.ep, off,
+                std::min<std::size_t>(dtu::kPageSize,
+                                      input.size() - off),
+                &page, &err);
+            out.insert(out.end(), page.begin(), page.end());
+        }
+        bool all_ok = out.size() == input.size();
+        for (std::size_t i = 0; all_ok && i < out.size(); i++) {
+            auto expect = static_cast<std::uint8_t>(
+                static_cast<std::uint8_t>(input[i] + 1) * 2);
+            all_ok = out[i] == expect;
+        }
+        EXPECT_TRUE(all_ok);
+        done = true;
+    });
+    eq.run();
+    EXPECT_TRUE(done);
+    // Both stages ran exactly one job, chained without the app (or
+    // any general-purpose core) in between.
+    EXPECT_EQ(s1.jobsProcessed(), 1u);
+    EXPECT_EQ(s2.jobsProcessed(), 1u);
+}
+
+} // namespace
+} // namespace m3v::os

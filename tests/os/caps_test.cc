@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the capability system: derivation trees, delegation
+ * across tables, and recursive revocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/caps.h"
+
+namespace m3v::os {
+namespace {
+
+std::shared_ptr<KObject>
+memObj(std::size_t size)
+{
+    auto obj = std::make_shared<KObject>();
+    obj->kind = CapKind::MemGate;
+    obj->mem = MemObj{0, 0, size, dtu::kPermRW};
+    return obj;
+}
+
+TEST(CapTable, InsertAndGet)
+{
+    CapTable t(1);
+    CapSel sel = t.insertRoot(memObj(4096));
+    ASSERT_NE(t.get(sel), nullptr);
+    EXPECT_EQ(t.get(sel)->obj().kind, CapKind::MemGate);
+    EXPECT_EQ(t.get(999), nullptr);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(CapTable, ChildrenTrackParent)
+{
+    CapTable t(1);
+    CapSel root = t.insertRoot(memObj(4096));
+    CapSel child = t.insertChild(memObj(1024), *t.get(root));
+    EXPECT_EQ(t.get(child)->parent, t.get(root));
+    EXPECT_EQ(t.get(root)->children.size(), 1u);
+}
+
+TEST(CapTable, RevokeRemovesSubtree)
+{
+    CapTable t(1);
+    CapSel root = t.insertRoot(memObj(4096));
+    CapSel c1 = t.insertChild(memObj(1024), *t.get(root));
+    t.insertChild(memObj(512), *t.get(c1));
+    int revoked = 0;
+    std::size_t n =
+        t.revoke(root, [&](Capability &) { revoked++; }, false);
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(revoked, 3);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(CapTable, RevokeKeepRootSparesRoot)
+{
+    CapTable t(1);
+    CapSel root = t.insertRoot(memObj(4096));
+    t.insertChild(memObj(1024), *t.get(root));
+    t.insertChild(memObj(1024), *t.get(root));
+    std::size_t n = t.revoke(root, [](Capability &) {}, true);
+    EXPECT_EQ(n, 2u);
+    ASSERT_NE(t.get(root), nullptr);
+    EXPECT_TRUE(t.get(root)->children.empty());
+}
+
+TEST(CapMgr, DelegationCrossesTablesAndRevokes)
+{
+    CapMgr mgr;
+    CapTable &ta = mgr.tableOf(1);
+    CapTable &tb = mgr.tableOf(2);
+    CapSel root = ta.insertRoot(memObj(4096));
+    // Delegate: child in B's table sharing the object.
+    CapSel dsel = tb.insertChild(ta.get(root)->objPtr(),
+                                 *ta.get(root));
+    ASSERT_NE(tb.get(dsel), nullptr);
+
+    // Revoking A's root removes B's delegated cap too.
+    int revoked = 0;
+    std::size_t n =
+        mgr.revoke(1, root, [&](Capability &) { revoked++; });
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(tb.get(dsel), nullptr);
+    EXPECT_EQ(ta.get(root), nullptr);
+}
+
+TEST(CapMgr, DeepDelegationChainRevokesAll)
+{
+    CapMgr mgr;
+    CapSel prev_sel = mgr.tableOf(1).insertRoot(memObj(1 << 20));
+    Capability *prev = mgr.tableOf(1).get(prev_sel);
+    for (dtu::ActId act = 2; act <= 6; act++) {
+        CapSel s =
+            mgr.tableOf(act).insertChild(prev->objPtr(), *prev);
+        prev = mgr.tableOf(act).get(s);
+    }
+    std::size_t n = mgr.revoke(1, prev_sel, [](Capability &) {});
+    EXPECT_EQ(n, 6u);
+    for (dtu::ActId act = 2; act <= 6; act++)
+        EXPECT_EQ(mgr.tableOf(act).size(), 0u);
+}
+
+TEST(CapMgr, DropTableRevokesDelegatedDescendants)
+{
+    CapMgr mgr;
+    CapSel root = mgr.tableOf(1).insertRoot(memObj(4096));
+    mgr.tableOf(2).insertChild(mgr.tableOf(1).get(root)->objPtr(),
+                               *mgr.tableOf(1).get(root));
+    mgr.dropTable(1, [](Capability &) {});
+    EXPECT_FALSE(mgr.hasTable(1));
+    EXPECT_EQ(mgr.tableOf(2).size(), 0u);
+}
+
+TEST(CapMgr, SiblingSubtreesAreIndependent)
+{
+    CapMgr mgr;
+    CapTable &t = mgr.tableOf(1);
+    CapSel root = t.insertRoot(memObj(8192));
+    CapSel a = t.insertChild(memObj(4096), *t.get(root));
+    CapSel b = t.insertChild(memObj(4096), *t.get(root));
+    mgr.revoke(1, a, [](Capability &) {});
+    EXPECT_EQ(t.get(a), nullptr);
+    ASSERT_NE(t.get(b), nullptr);
+    ASSERT_NE(t.get(root), nullptr);
+    EXPECT_EQ(t.get(root)->children.size(), 1u);
+}
+
+} // namespace
+} // namespace m3v::os

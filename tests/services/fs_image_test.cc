@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the m3fs metadata model: namespace operations,
+ * extent allocation (64-block cap), truncation, and block accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "services/fs_image.h"
+
+namespace m3v::services {
+namespace {
+
+TEST(FsImage, CreateAndLookup)
+{
+    FsImage fs(1024);
+    EXPECT_EQ(fs.lookup("/"), 0u);
+    Ino f = fs.create("/hello.txt", false);
+    ASSERT_NE(f, kNoIno);
+    EXPECT_EQ(fs.lookup("/hello.txt"), f);
+    EXPECT_EQ(fs.lookup("/missing"), kNoIno);
+}
+
+TEST(FsImage, NestedDirectories)
+{
+    FsImage fs(1024);
+    ASSERT_NE(fs.create("/a", true), kNoIno);
+    ASSERT_NE(fs.create("/a/b", true), kNoIno);
+    Ino f = fs.create("/a/b/c.dat", false);
+    ASSERT_NE(f, kNoIno);
+    EXPECT_EQ(fs.lookup("/a/b/c.dat"), f);
+    // Missing parent fails.
+    EXPECT_EQ(fs.create("/x/y", false), kNoIno);
+    // Duplicate fails.
+    EXPECT_EQ(fs.create("/a/b", true), kNoIno);
+}
+
+TEST(FsImage, ExtentCapRespected)
+{
+    FsImage fs(1024, 4096, 64);
+    Ino f = fs.create("/big", false);
+    Extent e;
+    ASSERT_TRUE(fs.appendExtent(f, &e));
+    EXPECT_LE(e.count, 64u);
+    EXPECT_EQ(e.count, 64u); // plenty of free space -> full extent
+    EXPECT_EQ(fs.freeBlocks(), 1024u - 64u);
+}
+
+TEST(FsImage, ExtentsDoNotOverlap)
+{
+    FsImage fs(1024, 4096, 64);
+    Ino a = fs.create("/a", false);
+    Ino b = fs.create("/b", false);
+    std::vector<bool> used(1024, false);
+    for (int i = 0; i < 6; i++) {
+        Extent e;
+        ASSERT_TRUE(fs.appendExtent(i % 2 ? a : b, &e));
+        for (std::uint32_t blk = e.start; blk < e.start + e.count;
+             blk++) {
+            EXPECT_FALSE(used[blk]);
+            used[blk] = true;
+        }
+    }
+}
+
+TEST(FsImage, AllocatesUntilFullThenFails)
+{
+    FsImage fs(128, 4096, 64);
+    Ino f = fs.create("/f", false);
+    Extent e;
+    ASSERT_TRUE(fs.appendExtent(f, &e));
+    ASSERT_TRUE(fs.appendExtent(f, &e));
+    EXPECT_EQ(fs.freeBlocks(), 0u);
+    EXPECT_FALSE(fs.appendExtent(f, &e));
+}
+
+TEST(FsImage, TruncateFreesBlocks)
+{
+    FsImage fs(128, 4096, 64);
+    Ino f = fs.create("/f", false);
+    Extent e;
+    fs.appendExtent(f, &e);
+    fs.appendExtent(f, &e);
+    fs.inode(f)->size = 100000;
+    fs.truncate(f);
+    EXPECT_EQ(fs.freeBlocks(), 128u);
+    EXPECT_EQ(fs.inode(f)->size, 0u);
+    EXPECT_TRUE(fs.inode(f)->extents.empty());
+    // Space is reusable.
+    EXPECT_TRUE(fs.appendExtent(f, &e));
+}
+
+TEST(FsImage, UnlinkRemovesAndFrees)
+{
+    FsImage fs(128, 4096, 64);
+    Ino f = fs.create("/f", false);
+    Extent e;
+    fs.appendExtent(f, &e);
+    EXPECT_TRUE(fs.unlink("/f"));
+    EXPECT_EQ(fs.lookup("/f"), kNoIno);
+    EXPECT_EQ(fs.freeBlocks(), 128u);
+    EXPECT_FALSE(fs.unlink("/f"));
+}
+
+TEST(FsImage, UnlinkNonEmptyDirFails)
+{
+    FsImage fs(128);
+    fs.create("/d", true);
+    fs.create("/d/f", false);
+    EXPECT_FALSE(fs.unlink("/d"));
+    EXPECT_TRUE(fs.unlink("/d/f"));
+    EXPECT_TRUE(fs.unlink("/d"));
+}
+
+TEST(FsImage, ReaddirEnumeratesSorted)
+{
+    FsImage fs(128);
+    fs.create("/dir", true);
+    fs.create("/dir/charlie", false);
+    fs.create("/dir/alpha", false);
+    fs.create("/dir/bravo", false);
+    Ino dir = fs.lookup("/dir");
+    std::string name;
+    Ino child;
+    ASSERT_TRUE(fs.entryAt(dir, 0, &name, &child));
+    EXPECT_EQ(name, "alpha");
+    ASSERT_TRUE(fs.entryAt(dir, 1, &name, &child));
+    EXPECT_EQ(name, "bravo");
+    ASSERT_TRUE(fs.entryAt(dir, 2, &name, &child));
+    EXPECT_EQ(name, "charlie");
+    EXPECT_FALSE(fs.entryAt(dir, 3, &name, &child));
+    EXPECT_EQ(fs.entryCount(dir), 3u);
+}
+
+TEST(FsImage, OpCostAccumulatesAndResets)
+{
+    FsImage fs(1024);
+    fs.create("/a", true);
+    fs.create("/a/f", false);
+    sim::Cycles c1 = fs.takeOpCost();
+    EXPECT_GT(c1, 0u);
+    EXPECT_EQ(fs.takeOpCost(), 0u);
+    fs.lookup("/a/f");
+    EXPECT_GT(fs.takeOpCost(), 0u);
+}
+
+class FsImageSweep
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(FsImageSweep, MaxExtentParameterIsHonoured)
+{
+    std::uint32_t cap = GetParam();
+    FsImage fs(4096, 4096, cap);
+    Ino f = fs.create("/f", false);
+    for (int i = 0; i < 8; i++) {
+        Extent e;
+        ASSERT_TRUE(fs.appendExtent(f, &e));
+        EXPECT_LE(e.count, cap);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, FsImageSweep,
+                         ::testing::Values(1u, 4u, 16u, 64u, 256u));
+
+} // namespace
+} // namespace m3v::services

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for clock domains, including the platform frequencies the
+ * paper uses (80 MHz BOOM, 100 MHz Rocket, 3 GHz x86 for gem5 runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+
+namespace m3v::sim {
+namespace {
+
+TEST(Clock, RocketHundredMegahertz)
+{
+    Clock c(100'000'000);
+    EXPECT_EQ(c.period(), 10'000u); // 10 ns in ps
+    EXPECT_EQ(c.cyclesToTicks(1), 10'000u);
+    EXPECT_EQ(c.cyclesToTicks(100), 1'000'000u);
+    EXPECT_EQ(c.ticksToCycles(1'000'000), 100u);
+}
+
+TEST(Clock, BoomEightyMegahertz)
+{
+    Clock c(80'000'000);
+    EXPECT_EQ(c.period(), 12'500u); // 12.5 ns
+    EXPECT_EQ(c.cyclesToTicks(80'000'000), kTicksPerSec);
+}
+
+TEST(Clock, ThreeGigahertzNoDriftOverBillionsOfCycles)
+{
+    Clock c(3'000'000'000ULL);
+    // 3e9 cycles must be exactly one second, despite the non-integral
+    // 333.33 ps period.
+    EXPECT_EQ(c.cyclesToTicks(3'000'000'000ULL), kTicksPerSec);
+    EXPECT_EQ(c.cyclesToTicks(6'000'000'000ULL), 2 * kTicksPerSec);
+}
+
+TEST(Clock, RoundTripErrorBounded)
+{
+    Clock c(3'000'000'000ULL);
+    for (Cycles cyc : {1ULL, 7ULL, 1000ULL, 999'999'937ULL}) {
+        Tick t = c.cyclesToTicks(cyc);
+        Cycles back = c.ticksToCycles(t);
+        // Round trip may lose at most one cycle to truncation.
+        EXPECT_LE(cyc - back, 1u);
+    }
+}
+
+class ClockSweepTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ClockSweepTest, CyclesToTicksIsMonotoneAndLinear)
+{
+    Clock c(GetParam());
+    Tick prev = 0;
+    for (Cycles cyc = 1; cyc <= 4096; cyc *= 2) {
+        Tick t = c.cyclesToTicks(cyc);
+        EXPECT_GT(t, prev);
+        // Doubling cycles doubles ticks within 1 tick of rounding.
+        Tick twice = c.cyclesToTicks(cyc * 2);
+        EXPECT_LE(twice - 2 * t, 1u);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, ClockSweepTest,
+    ::testing::Values(80'000'000ULL, 100'000'000ULL, 1'000'000'000ULL,
+                      3'000'000'000ULL, 2'700'000'000ULL));
+
+} // namespace
+} // namespace m3v::sim

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for coroutine tasks: delays, nesting, waits, channels,
+ * and pool lifetime management.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.h"
+
+namespace m3v::sim {
+namespace {
+
+Task
+delayTwice(EventQueue &eq, Tick d, std::vector<Tick> &log)
+{
+    co_await Delay{eq, d};
+    log.push_back(eq.now());
+    co_await Delay{eq, d};
+    log.push_back(eq.now());
+}
+
+TEST(Task, DelayAdvancesSimTime)
+{
+    EventQueue eq;
+    TaskPool pool(eq);
+    std::vector<Tick> log;
+    pool.spawn(delayTwice(eq, 100, log));
+    eq.run();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], 100u);
+    EXPECT_EQ(log[1], 200u);
+    EXPECT_EQ(pool.active(), 0u);
+}
+
+Task
+inner(EventQueue &eq, std::vector<int> &log)
+{
+    log.push_back(1);
+    co_await Delay{eq, 10};
+    log.push_back(2);
+}
+
+Task
+outer(EventQueue &eq, std::vector<int> &log)
+{
+    log.push_back(0);
+    co_await inner(eq, log);
+    log.push_back(3);
+}
+
+TEST(Task, NestedTasksRunInOrder)
+{
+    EventQueue eq;
+    TaskPool pool(eq);
+    std::vector<int> log;
+    pool.spawn(outer(eq, log));
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(pool.active(), 0u);
+}
+
+Task
+waiter(Wait &w, std::vector<int> &log)
+{
+    log.push_back(1);
+    co_await w;
+    log.push_back(2);
+}
+
+TEST(Task, WaitBlocksUntilSignal)
+{
+    EventQueue eq;
+    TaskPool pool(eq);
+    Wait w(eq);
+    std::vector<int> log;
+    pool.spawn(waiter(w, log));
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(pool.active(), 1u);
+    w.signal();
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(pool.active(), 0u);
+}
+
+TEST(Task, WaitSignalBeforeAwaitCompletesImmediately)
+{
+    EventQueue eq;
+    TaskPool pool(eq);
+    Wait w(eq);
+    w.signal();
+    std::vector<int> log;
+    pool.spawn(waiter(w, log));
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+Task
+consume(Channel<int> &ch, int n, std::vector<int> &log)
+{
+    for (int i = 0; i < n; i++) {
+        int v = co_await ch.receive();
+        log.push_back(v);
+    }
+}
+
+TEST(Task, ChannelDeliversInFifoOrder)
+{
+    EventQueue eq;
+    TaskPool pool(eq);
+    Channel<int> ch(eq);
+    std::vector<int> log;
+    pool.spawn(consume(ch, 3, log));
+    eq.run();
+    EXPECT_TRUE(log.empty());
+    ch.push(10);
+    ch.push(20);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{10, 20}));
+    ch.push(30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{10, 20, 30}));
+    EXPECT_EQ(pool.active(), 0u);
+}
+
+TEST(Task, ChannelTryReceive)
+{
+    EventQueue eq;
+    Channel<int> ch(eq);
+    int v = 0;
+    EXPECT_FALSE(ch.tryReceive(v));
+    ch.push(7);
+    EXPECT_TRUE(ch.tryReceive(v));
+    EXPECT_EQ(v, 7);
+    EXPECT_FALSE(ch.tryReceive(v));
+}
+
+Task
+forever(Wait &w)
+{
+    co_await w;
+}
+
+TEST(Task, PoolDestroysUnfinishedTasks)
+{
+    EventQueue eq;
+    Wait w(eq);
+    {
+        TaskPool pool(eq);
+        pool.spawn(forever(w), "stuck");
+        eq.run();
+        EXPECT_EQ(pool.active(), 1u);
+        // Pool destructor must free the suspended frame without UB
+        // (verified by ASAN builds; here we just exercise the path).
+    }
+}
+
+Task
+spawnMany(EventQueue &eq, int &done)
+{
+    co_await Delay{eq, 1};
+    done++;
+}
+
+TEST(Task, ManyConcurrentTasks)
+{
+    EventQueue eq;
+    TaskPool pool(eq);
+    int done = 0;
+    for (int i = 0; i < 500; i++)
+        pool.spawn(spawnMany(eq, done));
+    eq.run();
+    EXPECT_EQ(done, 500);
+    EXPECT_EQ(pool.active(), 0u);
+}
+
+Task
+deepNest(EventQueue &eq, int depth, int &leaf)
+{
+    if (depth == 0) {
+        co_await Delay{eq, 1};
+        leaf++;
+        co_return;
+    }
+    co_await deepNest(eq, depth - 1, leaf);
+}
+
+TEST(Task, DeepNestingDoesNotOverflow)
+{
+    EventQueue eq;
+    TaskPool pool(eq);
+    int leaf = 0;
+    pool.spawn(deepNest(eq, 200, leaf));
+    eq.run();
+    EXPECT_EQ(leaf, 1);
+    EXPECT_EQ(pool.active(), 0u);
+}
+
+} // namespace
+} // namespace m3v::sim

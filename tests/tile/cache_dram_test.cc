@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the cache footprint model and the DRAM timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tile/cache_model.h"
+#include "tile/dram.h"
+
+namespace m3v::tile {
+namespace {
+
+TEST(CacheModel, ColdTouchCostsFullFootprint)
+{
+    CacheModel c(16 * 1024, 64, 10);
+    // 8 KiB footprint = 128 lines -> 1280 cycles.
+    EXPECT_EQ(c.touch(1, 8 * 1024), 1280u);
+    EXPECT_EQ(c.resident(1), 8u * 1024);
+}
+
+TEST(CacheModel, WarmTouchIsFree)
+{
+    CacheModel c(16 * 1024, 64, 10);
+    c.touch(1, 8 * 1024);
+    EXPECT_EQ(c.touch(1, 8 * 1024), 0u);
+}
+
+TEST(CacheModel, TwoSmallRegionsCoexist)
+{
+    CacheModel c(16 * 1024, 64, 10);
+    c.touch(1, 6 * 1024);
+    c.touch(2, 6 * 1024);
+    EXPECT_EQ(c.touch(1, 6 * 1024), 0u);
+    EXPECT_EQ(c.touch(2, 6 * 1024), 0u);
+}
+
+TEST(CacheModel, LargeRegionEvictsLru)
+{
+    CacheModel c(16 * 1024, 64, 10);
+    c.touch(1, 8 * 1024);
+    c.touch(2, 12 * 1024); // evicts part of region 1
+    EXPECT_LT(c.resident(1), 8u * 1024);
+    // Region 1 must now partially refill.
+    EXPECT_GT(c.touch(1, 8 * 1024), 0u);
+}
+
+TEST(CacheModel, KernelThrashesAppLikeLinuxScan)
+{
+    // The Figure 10 story: a kernel footprint comparable to L1I wipes
+    // the app's working set on every syscall.
+    CacheModel l1i(16 * 1024, 64, 10);
+    l1i.touch(1, 12 * 1024); // app
+    sim::Cycles warm_kernel = 0;
+    sim::Cycles app_refill = 0;
+    for (int i = 0; i < 10; i++) {
+        warm_kernel += l1i.touch(2, 14 * 1024); // syscall path
+        app_refill += l1i.touch(1, 12 * 1024);
+    }
+    // Both thrash each round.
+    EXPECT_GT(app_refill, 10u * 100);
+    EXPECT_GT(warm_kernel, 10u * 100);
+
+    // Small components (M3v style) do not thrash.
+    CacheModel small(16 * 1024, 64, 10);
+    small.touch(1, 6 * 1024);
+    small.touch(2, 6 * 1024);
+    sim::Cycles total = 0;
+    for (int i = 0; i < 10; i++) {
+        total += small.touch(2, 6 * 1024);
+        total += small.touch(1, 6 * 1024);
+    }
+    EXPECT_EQ(total, 0u);
+}
+
+TEST(CacheModel, FootprintLargerThanCacheAlwaysMisses)
+{
+    CacheModel c(16 * 1024, 64, 10);
+    sim::Cycles first = c.touch(1, 32 * 1024);
+    sim::Cycles second = c.touch(1, 32 * 1024);
+    EXPECT_GT(second, 0u);
+    EXPECT_LT(second, first);
+    EXPECT_EQ(c.resident(1), 16u * 1024);
+}
+
+TEST(CacheModel, FlushDropsEverything)
+{
+    CacheModel c(16 * 1024, 64, 10);
+    c.touch(1, 8 * 1024);
+    c.flush();
+    EXPECT_EQ(c.resident(1), 0u);
+    EXPECT_EQ(c.touch(1, 8 * 1024), 1280u);
+}
+
+class DramTest : public ::testing::Test
+{
+  protected:
+    DramTest() : dram(eq, "mem0", DramParams{}) {}
+
+    sim::EventQueue eq;
+    Dram dram;
+};
+
+TEST_F(DramTest, AccessLatencyAndBandwidth)
+{
+    sim::Tick done_at = 0;
+    dram.access(0, 4096, [&]() { done_at = eq.now(); });
+    eq.run();
+    // 30 cycles + 4096/16 = 256 cycles = 286 cycles @ 200 MHz (5ns).
+    EXPECT_EQ(done_at, 286u * 5000u);
+}
+
+TEST_F(DramTest, RequestsAreServedInOrder)
+{
+    std::vector<int> order;
+    dram.access(0, 64, [&]() { order.push_back(1); });
+    dram.access(0, 64, [&]() { order.push_back(2); });
+    dram.access(0, 64, [&]() { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(dram.requests(), 3u);
+    EXPECT_EQ(dram.bytesTransferred(), 192u);
+}
+
+TEST_F(DramTest, QueueingDelaysLaterRequests)
+{
+    sim::Tick t1 = 0, t2 = 0;
+    dram.access(0, 4096, [&]() { t1 = eq.now(); });
+    dram.access(0, 4096, [&]() { t2 = eq.now(); });
+    eq.run();
+    EXPECT_EQ(t2 - t1, t1); // second takes as long again
+}
+
+TEST_F(DramTest, DataRoundTrips)
+{
+    const char msg[] = "m3v memory tile";
+    dram.write(1000, msg, sizeof(msg));
+    char buf[sizeof(msg)] = {};
+    dram.read(1000, buf, sizeof(msg));
+    EXPECT_STREQ(buf, msg);
+    dram.fill(1000, 0, sizeof(msg));
+    dram.read(1000, buf, sizeof(msg));
+    EXPECT_EQ(buf[0], 0);
+}
+
+} // namespace
+} // namespace m3v::tile

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Property test: leveldb-lite against a reference std::map model
+ * under randomized operation streams (puts, overwrites, gets of
+ * present and absent keys, scans) across several seeds and store
+ * configurations. Every get and scan must agree with the reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "linuxref/kernel.h"
+#include "sim/rng.h"
+#include "workloads/kv.h"
+#include "workloads/vfs_linux.h"
+
+namespace m3v::workloads {
+namespace {
+
+struct Config
+{
+    std::uint64_t seed;
+    std::size_t memtableLimit;
+    unsigned compactionTrigger;
+    unsigned ops;
+};
+
+class KvPropertyTest : public ::testing::TestWithParam<Config>
+{
+};
+
+sim::Task
+randomOps(Vfs &vfs, const Config &cfg, bool *done)
+{
+    sim::Rng rng(cfg.seed);
+    std::map<std::string, std::string> ref;
+
+    KvParams params;
+    params.memtableLimit = cfg.memtableLimit;
+    params.compactionTrigger = cfg.compactionTrigger;
+    KvStore db(vfs, params);
+    co_await db.open();
+
+    for (unsigned i = 0; i < cfg.ops; i++) {
+        auto roll = rng.nextBounded(100);
+        std::string key =
+            "k" + std::to_string(rng.nextBounded(40));
+        if (roll < 50) {
+            // Put (insert or overwrite).
+            std::string value =
+                "v" + std::to_string(i) + "-" +
+                std::string(rng.nextBounded(120), 'x');
+            ref[key] = value;
+            co_await db.put(key, value);
+        } else if (roll < 85) {
+            // Get (present or absent).
+            std::string value;
+            bool found = false;
+            co_await db.get(key, &value, &found);
+            auto it = ref.find(key);
+            EXPECT_EQ(found, it != ref.end()) << "key " << key;
+            if (found && it != ref.end()) {
+                EXPECT_EQ(value, it->second) << "key " << key;
+            }
+        } else {
+            // Scan.
+            unsigned count = 1 + static_cast<unsigned>(
+                                     rng.nextBounded(10));
+            std::vector<std::pair<std::string, std::string>> out;
+            co_await db.scan(key, count, &out);
+            auto it = ref.lower_bound(key);
+            for (const auto &kv : out) {
+                if (it == ref.end()) {
+                    ADD_FAILURE() << "scan longer than reference";
+                    break;
+                }
+                EXPECT_EQ(kv.first, it->first);
+                EXPECT_EQ(kv.second, it->second);
+                ++it;
+            }
+            // The store must return min(count, available).
+            std::size_t avail = static_cast<std::size_t>(
+                std::distance(ref.lower_bound(key), ref.end()));
+            EXPECT_EQ(out.size(), std::min<std::size_t>(count,
+                                                        avail));
+        }
+    }
+    co_await db.close();
+    *done = true;
+}
+
+TEST_P(KvPropertyTest, MatchesReferenceModel)
+{
+    Config cfg = GetParam();
+    sim::EventQueue eq;
+    tile::Core core(eq, "c", tile::CoreModel::boom(), 0);
+    linuxref::LinuxKernel kernel(eq, "k", core);
+    auto *p = kernel.createProcess("kv");
+    bool done = false;
+    kernel.start(p, sim::invoke([&]() -> sim::Task {
+        LinuxVfs vfs(kernel, *p);
+        co_await randomOps(vfs, cfg, &done);
+        co_await kernel.sysExit(*p);
+    }));
+    eq.run();
+    EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, KvPropertyTest,
+    ::testing::Values(Config{1, 4 * 1024, 3, 250},
+                      Config{2, 2 * 1024, 2, 250},
+                      Config{3, 16 * 1024, 4, 250},
+                      Config{4, 1 * 1024, 5, 180},
+                      Config{5, 8 * 1024, 3, 300}));
+
+} // namespace
+} // namespace m3v::workloads

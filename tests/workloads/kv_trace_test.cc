@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Integration tests: the trace player and leveldb-lite running on
+ * BOTH substrates (m3fs on the M3v platform, tmpfs on the Linux
+ * model) with identical application code — the portability the
+ * paper's musl-based compatibility layer provides.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "services/m3fs.h"
+#include "workloads/kv.h"
+#include "workloads/trace.h"
+#include "workloads/vfs_linux.h"
+#include "workloads/vfs_m3v.h"
+#include "workloads/ycsb.h"
+
+namespace m3v::workloads {
+namespace {
+
+/** Runs a workload body against an M3v app + m3fs. */
+struct M3vRig
+{
+    M3vRig() : sys(eq), fs(sys, 0)
+    {
+        app = sys.createApp(1, "app");
+        client = fs.addClient(app);
+        fs.startService();
+    }
+
+    void
+    run(std::function<sim::Task(Vfs &)> body)
+    {
+        sys.start(app, [this, body](os::MuxEnv &env) -> sim::Task {
+            M3vVfs vfs(env, client);
+            co_await body(vfs);
+        });
+        eq.run();
+    }
+
+    sim::EventQueue eq;
+    os::System sys;
+    services::M3fs fs;
+    os::System::App *app = nullptr;
+    services::M3fs::Client client;
+};
+
+/** Runs a workload body against the Linux model + tmpfs. */
+struct LinuxRig
+{
+    LinuxRig()
+        : core(eq, "c", tile::CoreModel::boom(), 0),
+          kernel(eq, "k", core)
+    {
+        proc = kernel.createProcess("app");
+    }
+
+    void
+    run(std::function<sim::Task(Vfs &)> body)
+    {
+        kernel.start(proc, sim::invoke([this, body]() -> sim::Task {
+            LinuxVfs vfs(kernel, *proc);
+            co_await body(vfs);
+            co_await kernel.sysExit(*proc);
+        }));
+        eq.run();
+    }
+
+    sim::EventQueue eq;
+    tile::Core core;
+    linuxref::LinuxKernel kernel;
+    linuxref::LinuxProcess *proc = nullptr;
+};
+
+sim::Task
+traceBody(Vfs &vfs, const Trace &trace, TraceStats *stats,
+          bool *done)
+{
+    co_await traceSetup(vfs, trace);
+    co_await tracePlay(vfs, trace, stats);
+    *done = true;
+}
+
+TEST(TracePlayer, FindTraceRunsOnM3v)
+{
+    M3vRig rig;
+    Trace trace = makeFindTrace(6, 10);
+    TraceStats stats;
+    bool done = false;
+    rig.run([&](Vfs &vfs) -> sim::Task {
+        co_await traceBody(vfs, trace, &stats, &done);
+    });
+    EXPECT_TRUE(done);
+    // 6 dirs: 1 + 6 stats + 6 readdirs (11 calls each) + 60 stats.
+    EXPECT_GE(stats.fsOps, 100u);
+}
+
+TEST(TracePlayer, FindTraceRunsOnLinux)
+{
+    LinuxRig rig;
+    Trace trace = makeFindTrace(6, 10);
+    TraceStats stats;
+    bool done = false;
+    rig.run([&](Vfs &vfs) -> sim::Task {
+        co_await traceBody(vfs, trace, &stats, &done);
+    });
+    EXPECT_TRUE(done);
+    EXPECT_GE(stats.fsOps, 100u);
+}
+
+TEST(TracePlayer, SqliteTraceRunsOnBothSubstrates)
+{
+    Trace trace = makeSqliteTrace(8);
+    for (int which = 0; which < 2; which++) {
+        TraceStats stats;
+        bool done = false;
+        auto body = [&](Vfs &vfs) -> sim::Task {
+            co_await traceBody(vfs, trace, &stats, &done);
+        };
+        if (which == 0) {
+            M3vRig rig;
+            rig.run(body);
+        } else {
+            LinuxRig rig;
+            rig.run(body);
+        }
+        EXPECT_TRUE(done);
+        EXPECT_GT(stats.bytesWritten, 8u * 2000);
+        EXPECT_GT(stats.bytesRead, 8u * 2000);
+    }
+}
+
+sim::Task
+kvSmokeBody(Vfs &vfs, bool *done)
+{
+    KvStore db(vfs);
+    co_await db.open();
+    // Enough data to force flushes and a compaction.
+    for (int i = 0; i < 300; i++) {
+        co_await db.put(ycsbKey(static_cast<std::uint64_t>(i)),
+                        std::string(100, static_cast<char>(
+                                             'a' + i % 26)));
+    }
+    EXPECT_GE(db.stats().flushes, 1u);
+
+    // Point lookups: memtable and SST paths.
+    std::string v;
+    bool found = false;
+    co_await db.get(ycsbKey(0), &v, &found);
+    EXPECT_TRUE(found);
+    EXPECT_EQ(v, std::string(100, 'a'));
+    co_await db.get(ycsbKey(299), &v, &found);
+    EXPECT_TRUE(found);
+    co_await db.get("user99999999", &v, &found);
+    EXPECT_FALSE(found);
+
+    // Updates win over older SST values.
+    co_await db.put(ycsbKey(0), "fresh");
+    co_await db.get(ycsbKey(0), &v, &found);
+    EXPECT_TRUE(found);
+    EXPECT_EQ(v, "fresh");
+
+    // Scans merge across memtable and tables, sorted.
+    std::vector<std::pair<std::string, std::string>> out;
+    co_await db.scan(ycsbKey(10), 20, &out);
+    EXPECT_EQ(out.size(), 20u);
+    EXPECT_EQ(out.front().first, ycsbKey(10));
+    for (std::size_t i = 1; i < out.size(); i++)
+        EXPECT_LT(out[i - 1].first, out[i].first);
+
+    co_await db.close();
+    *done = true;
+}
+
+TEST(KvStore, WorksOnM3fs)
+{
+    M3vRig rig;
+    bool done = false;
+    rig.run([&](Vfs &vfs) -> sim::Task {
+        co_await kvSmokeBody(vfs, &done);
+    });
+    EXPECT_TRUE(done);
+}
+
+TEST(KvStore, WorksOnLinuxTmpfs)
+{
+    LinuxRig rig;
+    bool done = false;
+    rig.run([&](Vfs &vfs) -> sim::Task {
+        co_await kvSmokeBody(vfs, &done);
+    });
+    EXPECT_TRUE(done);
+}
+
+TEST(KvStore, CompactionReducesTableCount)
+{
+    LinuxRig rig;
+    bool done = false;
+    rig.run([&](Vfs &vfs) -> sim::Task {
+        KvParams params;
+        params.memtableLimit = 2 * 1024;
+        params.compactionTrigger = 3;
+        KvStore db(vfs, params);
+        co_await db.open();
+        for (int i = 0; i < 200; i++)
+            co_await db.put(ycsbKey(static_cast<std::uint64_t>(i)),
+                            std::string(64, 'x'));
+        EXPECT_GE(db.stats().compactions, 1u);
+        EXPECT_LT(db.tableCount(), 3u + 1u);
+        // Everything still readable after compaction.
+        std::string v;
+        bool found = false;
+        co_await db.get(ycsbKey(7), &v, &found);
+        EXPECT_TRUE(found);
+        co_await db.close();
+        done = true;
+    });
+    EXPECT_TRUE(done);
+}
+
+TEST(KvStore, YcsbMixedWorkloadCompletes)
+{
+    LinuxRig rig;
+    bool done = false;
+    rig.run([&](Vfs &vfs) -> sim::Task {
+        YcsbConfig cfg;
+        auto w = ycsbGenerate(cfg, YcsbMix::mixed());
+        KvStore db(vfs);
+        co_await db.open();
+        for (const auto &op : w.load)
+            co_await db.put(op.key, op.value);
+        unsigned hits = 0;
+        for (const auto &op : w.run) {
+            switch (op.kind) {
+              case YcsbOp::Kind::Read: {
+                std::string v;
+                bool found = false;
+                co_await db.get(op.key, &v, &found);
+                hits += found;
+                break;
+              }
+              case YcsbOp::Kind::Insert:
+              case YcsbOp::Kind::Update:
+                co_await db.put(op.key, op.value);
+                break;
+              case YcsbOp::Kind::Scan: {
+                std::vector<std::pair<std::string, std::string>> o;
+                co_await db.scan(op.key, op.scanLen, &o);
+                break;
+              }
+            }
+        }
+        // Reads target loaded records: they must be found.
+        EXPECT_GT(hits, 0u);
+        co_await db.close();
+        done = true;
+    });
+    EXPECT_TRUE(done);
+}
+
+} // namespace
+} // namespace m3v::workloads
