@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voice_assistant.dir/bench/voice_assistant.cc.o"
+  "CMakeFiles/bench_voice_assistant.dir/bench/voice_assistant.cc.o.d"
+  "bench/voice_assistant"
+  "bench/voice_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voice_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fs.dir/bench/fig07_fs.cc.o"
+  "CMakeFiles/fig07_fs.dir/bench/fig07_fs.cc.o.d"
+  "bench/fig07_fs"
+  "bench/fig07_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_udp.cc" "CMakeFiles/fig08_udp.dir/bench/fig08_udp.cc.o" "gcc" "CMakeFiles/fig08_udp.dir/bench/fig08_udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/m3v_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxref/CMakeFiles/m3v_linuxref.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/m3v_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/m3v_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m3v_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtu/CMakeFiles/m3v_dtu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/m3v_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/m3v_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m3v_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

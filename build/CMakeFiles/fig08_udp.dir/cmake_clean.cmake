@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_udp.dir/bench/fig08_udp.cc.o"
+  "CMakeFiles/fig08_udp.dir/bench/fig08_udp.cc.o.d"
+  "bench/fig08_udp"
+  "bench/fig08_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scale.dir/bench/fig09_scale.cc.o"
+  "CMakeFiles/fig09_scale.dir/bench/fig09_scale.cc.o.d"
+  "bench/fig09_scale"
+  "bench/fig09_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cloud.dir/bench/fig10_cloud.cc.o"
+  "CMakeFiles/fig10_cloud.dir/bench/fig10_cloud.cc.o.d"
+  "bench/fig10_cloud"
+  "bench/fig10_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

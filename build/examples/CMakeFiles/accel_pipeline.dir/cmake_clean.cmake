@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_pipeline.dir/accel_pipeline.cpp.o"
+  "CMakeFiles/accel_pipeline.dir/accel_pipeline.cpp.o.d"
+  "accel_pipeline"
+  "accel_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_trace.dir/find_trace.cpp.o"
+  "CMakeFiles/find_trace.dir/find_trace.cpp.o.d"
+  "find_trace"
+  "find_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

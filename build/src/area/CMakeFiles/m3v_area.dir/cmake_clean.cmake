@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_area.dir/area.cc.o"
+  "CMakeFiles/m3v_area.dir/area.cc.o.d"
+  "libm3v_area.a"
+  "libm3v_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

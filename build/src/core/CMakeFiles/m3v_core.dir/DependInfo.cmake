@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/addrspace.cc" "src/core/CMakeFiles/m3v_core.dir/addrspace.cc.o" "gcc" "src/core/CMakeFiles/m3v_core.dir/addrspace.cc.o.d"
+  "/root/repo/src/core/tilemux.cc" "src/core/CMakeFiles/m3v_core.dir/tilemux.cc.o" "gcc" "src/core/CMakeFiles/m3v_core.dir/tilemux.cc.o.d"
+  "/root/repo/src/core/vdtu.cc" "src/core/CMakeFiles/m3v_core.dir/vdtu.cc.o" "gcc" "src/core/CMakeFiles/m3v_core.dir/vdtu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtu/CMakeFiles/m3v_dtu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/m3v_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/m3v_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m3v_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_core.dir/addrspace.cc.o"
+  "CMakeFiles/m3v_core.dir/addrspace.cc.o.d"
+  "CMakeFiles/m3v_core.dir/tilemux.cc.o"
+  "CMakeFiles/m3v_core.dir/tilemux.cc.o.d"
+  "CMakeFiles/m3v_core.dir/vdtu.cc.o"
+  "CMakeFiles/m3v_core.dir/vdtu.cc.o.d"
+  "libm3v_core.a"
+  "libm3v_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtu/dtu.cc" "src/dtu/CMakeFiles/m3v_dtu.dir/dtu.cc.o" "gcc" "src/dtu/CMakeFiles/m3v_dtu.dir/dtu.cc.o.d"
+  "/root/repo/src/dtu/memory_tile.cc" "src/dtu/CMakeFiles/m3v_dtu.dir/memory_tile.cc.o" "gcc" "src/dtu/CMakeFiles/m3v_dtu.dir/memory_tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/m3v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/m3v_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/m3v_tile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_dtu.dir/dtu.cc.o"
+  "CMakeFiles/m3v_dtu.dir/dtu.cc.o.d"
+  "CMakeFiles/m3v_dtu.dir/memory_tile.cc.o"
+  "CMakeFiles/m3v_dtu.dir/memory_tile.cc.o.d"
+  "libm3v_dtu.a"
+  "libm3v_dtu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_dtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_linuxref.dir/kernel.cc.o"
+  "CMakeFiles/m3v_linuxref.dir/kernel.cc.o.d"
+  "CMakeFiles/m3v_linuxref.dir/tmpfs.cc.o"
+  "CMakeFiles/m3v_linuxref.dir/tmpfs.cc.o.d"
+  "libm3v_linuxref.a"
+  "libm3v_linuxref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_linuxref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

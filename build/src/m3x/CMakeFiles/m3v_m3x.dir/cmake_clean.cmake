@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_m3x.dir/system.cc.o"
+  "CMakeFiles/m3v_m3x.dir/system.cc.o.d"
+  "libm3v_m3x.a"
+  "libm3v_m3x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_m3x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

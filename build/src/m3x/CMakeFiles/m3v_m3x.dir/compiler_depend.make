@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for m3v_m3x.
+# This may be replaced when dependencies are built.

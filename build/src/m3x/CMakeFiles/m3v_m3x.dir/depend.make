@@ -1,0 +1,2 @@
+# Empty dependencies file for m3v_m3x.
+# This may be replaced when dependencies are built.

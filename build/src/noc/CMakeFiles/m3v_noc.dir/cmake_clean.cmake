@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_noc.dir/noc.cc.o"
+  "CMakeFiles/m3v_noc.dir/noc.cc.o.d"
+  "CMakeFiles/m3v_noc.dir/router.cc.o"
+  "CMakeFiles/m3v_noc.dir/router.cc.o.d"
+  "libm3v_noc.a"
+  "libm3v_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_os.dir/accel.cc.o"
+  "CMakeFiles/m3v_os.dir/accel.cc.o.d"
+  "CMakeFiles/m3v_os.dir/caps.cc.o"
+  "CMakeFiles/m3v_os.dir/caps.cc.o.d"
+  "CMakeFiles/m3v_os.dir/controller.cc.o"
+  "CMakeFiles/m3v_os.dir/controller.cc.o.d"
+  "CMakeFiles/m3v_os.dir/env.cc.o"
+  "CMakeFiles/m3v_os.dir/env.cc.o.d"
+  "CMakeFiles/m3v_os.dir/system.cc.o"
+  "CMakeFiles/m3v_os.dir/system.cc.o.d"
+  "libm3v_os.a"
+  "libm3v_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

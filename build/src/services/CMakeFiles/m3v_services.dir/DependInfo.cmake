@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/file_client.cc" "src/services/CMakeFiles/m3v_services.dir/file_client.cc.o" "gcc" "src/services/CMakeFiles/m3v_services.dir/file_client.cc.o.d"
+  "/root/repo/src/services/fs_image.cc" "src/services/CMakeFiles/m3v_services.dir/fs_image.cc.o" "gcc" "src/services/CMakeFiles/m3v_services.dir/fs_image.cc.o.d"
+  "/root/repo/src/services/m3fs.cc" "src/services/CMakeFiles/m3v_services.dir/m3fs.cc.o" "gcc" "src/services/CMakeFiles/m3v_services.dir/m3fs.cc.o.d"
+  "/root/repo/src/services/net.cc" "src/services/CMakeFiles/m3v_services.dir/net.cc.o" "gcc" "src/services/CMakeFiles/m3v_services.dir/net.cc.o.d"
+  "/root/repo/src/services/nic.cc" "src/services/CMakeFiles/m3v_services.dir/nic.cc.o" "gcc" "src/services/CMakeFiles/m3v_services.dir/nic.cc.o.d"
+  "/root/repo/src/services/pager.cc" "src/services/CMakeFiles/m3v_services.dir/pager.cc.o" "gcc" "src/services/CMakeFiles/m3v_services.dir/pager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/m3v_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m3v_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtu/CMakeFiles/m3v_dtu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/m3v_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/m3v_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m3v_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_services.dir/file_client.cc.o"
+  "CMakeFiles/m3v_services.dir/file_client.cc.o.d"
+  "CMakeFiles/m3v_services.dir/fs_image.cc.o"
+  "CMakeFiles/m3v_services.dir/fs_image.cc.o.d"
+  "CMakeFiles/m3v_services.dir/m3fs.cc.o"
+  "CMakeFiles/m3v_services.dir/m3fs.cc.o.d"
+  "CMakeFiles/m3v_services.dir/net.cc.o"
+  "CMakeFiles/m3v_services.dir/net.cc.o.d"
+  "CMakeFiles/m3v_services.dir/nic.cc.o"
+  "CMakeFiles/m3v_services.dir/nic.cc.o.d"
+  "CMakeFiles/m3v_services.dir/pager.cc.o"
+  "CMakeFiles/m3v_services.dir/pager.cc.o.d"
+  "libm3v_services.a"
+  "libm3v_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libm3v_services.a"
+)

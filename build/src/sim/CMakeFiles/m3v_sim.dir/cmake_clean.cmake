@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_sim.dir/clock.cc.o"
+  "CMakeFiles/m3v_sim.dir/clock.cc.o.d"
+  "CMakeFiles/m3v_sim.dir/event_queue.cc.o"
+  "CMakeFiles/m3v_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/m3v_sim.dir/log.cc.o"
+  "CMakeFiles/m3v_sim.dir/log.cc.o.d"
+  "CMakeFiles/m3v_sim.dir/rng.cc.o"
+  "CMakeFiles/m3v_sim.dir/rng.cc.o.d"
+  "CMakeFiles/m3v_sim.dir/stats.cc.o"
+  "CMakeFiles/m3v_sim.dir/stats.cc.o.d"
+  "CMakeFiles/m3v_sim.dir/task.cc.o"
+  "CMakeFiles/m3v_sim.dir/task.cc.o.d"
+  "libm3v_sim.a"
+  "libm3v_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tile/cache_model.cc" "src/tile/CMakeFiles/m3v_tile.dir/cache_model.cc.o" "gcc" "src/tile/CMakeFiles/m3v_tile.dir/cache_model.cc.o.d"
+  "/root/repo/src/tile/core.cc" "src/tile/CMakeFiles/m3v_tile.dir/core.cc.o" "gcc" "src/tile/CMakeFiles/m3v_tile.dir/core.cc.o.d"
+  "/root/repo/src/tile/core_model.cc" "src/tile/CMakeFiles/m3v_tile.dir/core_model.cc.o" "gcc" "src/tile/CMakeFiles/m3v_tile.dir/core_model.cc.o.d"
+  "/root/repo/src/tile/dram.cc" "src/tile/CMakeFiles/m3v_tile.dir/dram.cc.o" "gcc" "src/tile/CMakeFiles/m3v_tile.dir/dram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/m3v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/m3v_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

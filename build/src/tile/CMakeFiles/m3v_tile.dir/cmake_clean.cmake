@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_tile.dir/cache_model.cc.o"
+  "CMakeFiles/m3v_tile.dir/cache_model.cc.o.d"
+  "CMakeFiles/m3v_tile.dir/core.cc.o"
+  "CMakeFiles/m3v_tile.dir/core.cc.o.d"
+  "CMakeFiles/m3v_tile.dir/core_model.cc.o"
+  "CMakeFiles/m3v_tile.dir/core_model.cc.o.d"
+  "CMakeFiles/m3v_tile.dir/dram.cc.o"
+  "CMakeFiles/m3v_tile.dir/dram.cc.o.d"
+  "libm3v_tile.a"
+  "libm3v_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bitio.cc" "src/workloads/CMakeFiles/m3v_workloads.dir/bitio.cc.o" "gcc" "src/workloads/CMakeFiles/m3v_workloads.dir/bitio.cc.o.d"
+  "/root/repo/src/workloads/flac.cc" "src/workloads/CMakeFiles/m3v_workloads.dir/flac.cc.o" "gcc" "src/workloads/CMakeFiles/m3v_workloads.dir/flac.cc.o.d"
+  "/root/repo/src/workloads/kv.cc" "src/workloads/CMakeFiles/m3v_workloads.dir/kv.cc.o" "gcc" "src/workloads/CMakeFiles/m3v_workloads.dir/kv.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/m3v_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/m3v_workloads.dir/trace.cc.o.d"
+  "/root/repo/src/workloads/vfs_linux.cc" "src/workloads/CMakeFiles/m3v_workloads.dir/vfs_linux.cc.o" "gcc" "src/workloads/CMakeFiles/m3v_workloads.dir/vfs_linux.cc.o.d"
+  "/root/repo/src/workloads/vfs_m3v.cc" "src/workloads/CMakeFiles/m3v_workloads.dir/vfs_m3v.cc.o" "gcc" "src/workloads/CMakeFiles/m3v_workloads.dir/vfs_m3v.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/workloads/CMakeFiles/m3v_workloads.dir/ycsb.cc.o" "gcc" "src/workloads/CMakeFiles/m3v_workloads.dir/ycsb.cc.o.d"
+  "/root/repo/src/workloads/zipf.cc" "src/workloads/CMakeFiles/m3v_workloads.dir/zipf.cc.o" "gcc" "src/workloads/CMakeFiles/m3v_workloads.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/m3v_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxref/CMakeFiles/m3v_linuxref.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/m3v_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m3v_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtu/CMakeFiles/m3v_dtu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/m3v_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/m3v_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m3v_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3v_workloads.dir/bitio.cc.o"
+  "CMakeFiles/m3v_workloads.dir/bitio.cc.o.d"
+  "CMakeFiles/m3v_workloads.dir/flac.cc.o"
+  "CMakeFiles/m3v_workloads.dir/flac.cc.o.d"
+  "CMakeFiles/m3v_workloads.dir/kv.cc.o"
+  "CMakeFiles/m3v_workloads.dir/kv.cc.o.d"
+  "CMakeFiles/m3v_workloads.dir/trace.cc.o"
+  "CMakeFiles/m3v_workloads.dir/trace.cc.o.d"
+  "CMakeFiles/m3v_workloads.dir/vfs_linux.cc.o"
+  "CMakeFiles/m3v_workloads.dir/vfs_linux.cc.o.d"
+  "CMakeFiles/m3v_workloads.dir/vfs_m3v.cc.o"
+  "CMakeFiles/m3v_workloads.dir/vfs_m3v.cc.o.d"
+  "CMakeFiles/m3v_workloads.dir/ycsb.cc.o"
+  "CMakeFiles/m3v_workloads.dir/ycsb.cc.o.d"
+  "CMakeFiles/m3v_workloads.dir/zipf.cc.o"
+  "CMakeFiles/m3v_workloads.dir/zipf.cc.o.d"
+  "libm3v_workloads.a"
+  "libm3v_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3v_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("noc")
+subdirs("tile")
+subdirs("dtu")
+subdirs("core")
+subdirs("os")
+subdirs("m3x")
+subdirs("linuxref")
+subdirs("services")
+subdirs("workloads")
+subdirs("area")
+subdirs("integration")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tilemux_test.dir/tilemux_test.cc.o"
+  "CMakeFiles/core_tilemux_test.dir/tilemux_test.cc.o.d"
+  "core_tilemux_test"
+  "core_tilemux_test.pdb"
+  "core_tilemux_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tilemux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

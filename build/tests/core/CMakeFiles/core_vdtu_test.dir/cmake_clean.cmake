@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_vdtu_test.dir/vdtu_test.cc.o"
+  "CMakeFiles/core_vdtu_test.dir/vdtu_test.cc.o.d"
+  "core_vdtu_test"
+  "core_vdtu_test.pdb"
+  "core_vdtu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_vdtu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

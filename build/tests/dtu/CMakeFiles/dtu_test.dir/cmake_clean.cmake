@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtu_test.dir/dtu_test.cc.o"
+  "CMakeFiles/dtu_test.dir/dtu_test.cc.o.d"
+  "dtu_test"
+  "dtu_test.pdb"
+  "dtu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linuxref_test.dir/linux_test.cc.o"
+  "CMakeFiles/linuxref_test.dir/linux_test.cc.o.d"
+  "linuxref_test"
+  "linuxref_test.pdb"
+  "linuxref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linuxref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3x_test.dir/m3x_test.cc.o"
+  "CMakeFiles/m3x_test.dir/m3x_test.cc.o.d"
+  "m3x_test"
+  "m3x_test.pdb"
+  "m3x_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3x_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

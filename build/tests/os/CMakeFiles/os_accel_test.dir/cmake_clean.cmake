@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_accel_test.dir/accel_test.cc.o"
+  "CMakeFiles/os_accel_test.dir/accel_test.cc.o.d"
+  "os_accel_test"
+  "os_accel_test.pdb"
+  "os_accel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_accel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_caps_test.dir/caps_test.cc.o"
+  "CMakeFiles/os_caps_test.dir/caps_test.cc.o.d"
+  "os_caps_test"
+  "os_caps_test.pdb"
+  "os_caps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_caps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_controller_errors_test.dir/controller_errors_test.cc.o"
+  "CMakeFiles/os_controller_errors_test.dir/controller_errors_test.cc.o.d"
+  "os_controller_errors_test"
+  "os_controller_errors_test.pdb"
+  "os_controller_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_controller_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

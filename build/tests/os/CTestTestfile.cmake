@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/os
+# Build directory: /root/repo/build/tests/os
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/os/os_caps_test[1]_include.cmake")
+include("/root/repo/build/tests/os/os_system_test[1]_include.cmake")
+include("/root/repo/build/tests/os/os_accel_test[1]_include.cmake")
+include("/root/repo/build/tests/os/os_controller_errors_test[1]_include.cmake")

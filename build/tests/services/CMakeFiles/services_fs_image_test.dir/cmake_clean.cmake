@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_fs_image_test.dir/fs_image_test.cc.o"
+  "CMakeFiles/services_fs_image_test.dir/fs_image_test.cc.o.d"
+  "services_fs_image_test"
+  "services_fs_image_test.pdb"
+  "services_fs_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_fs_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_cache_dram_test.dir/cache_dram_test.cc.o"
+  "CMakeFiles/tile_cache_dram_test.dir/cache_dram_test.cc.o.d"
+  "tile_cache_dram_test"
+  "tile_cache_dram_test.pdb"
+  "tile_cache_dram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_cache_dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_core_test.dir/core_test.cc.o"
+  "CMakeFiles/tile_core_test.dir/core_test.cc.o.d"
+  "tile_core_test"
+  "tile_core_test.pdb"
+  "tile_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

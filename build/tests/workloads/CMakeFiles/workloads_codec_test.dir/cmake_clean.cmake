@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_codec_test.dir/codec_test.cc.o"
+  "CMakeFiles/workloads_codec_test.dir/codec_test.cc.o.d"
+  "workloads_codec_test"
+  "workloads_codec_test.pdb"
+  "workloads_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

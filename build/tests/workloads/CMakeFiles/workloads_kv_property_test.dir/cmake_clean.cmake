@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_kv_property_test.dir/kv_property_test.cc.o"
+  "CMakeFiles/workloads_kv_property_test.dir/kv_property_test.cc.o.d"
+  "workloads_kv_property_test"
+  "workloads_kv_property_test.pdb"
+  "workloads_kv_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_kv_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

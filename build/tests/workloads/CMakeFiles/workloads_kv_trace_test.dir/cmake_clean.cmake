@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_kv_trace_test.dir/kv_trace_test.cc.o"
+  "CMakeFiles/workloads_kv_trace_test.dir/kv_trace_test.cc.o.d"
+  "workloads_kv_trace_test"
+  "workloads_kv_trace_test.pdb"
+  "workloads_kv_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_kv_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
