@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 verification: build and run the full test suite twice —
+# once plain (the configuration the benchmarks use) and once under
+# ASan + UBSan (M3VSIM_SANITIZE=ON), chaos/robustness tests included.
+# Run from the repository root: ./ci/check.sh
+set -eu
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== sanitized build (ASan + UBSan) =="
+cmake -B build-asan -S . -DM3VSIM_SANITIZE=ON >/dev/null
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -j "$(nproc)")
+
+echo "== all checks passed =="

@@ -88,6 +88,39 @@ TileMux::killActivity(ActId id)
         eq_.schedule(0, [act]() { act->onExit(); });
 }
 
+void
+TileMux::crashActivity(ActId id)
+{
+    Activity *act = activity(id);
+    if (!act || act->state_ == Activity::State::Dead)
+        return;
+    if (core_.current() == &act->thread_) {
+        // The victim is on the core right now: yank its thread off
+        // before the kill (the trap a real crash would take), or the
+        // in-flight compute/wait would resume the coroutine past its
+        // own death.
+        core_.preemptCurrent();
+        current_ = nullptr;
+        reapLocal(*act, crashes_);
+        kickScheduler();
+        return;
+    }
+    reapLocal(*act, crashes_);
+}
+
+void
+TileMux::reapLocal(Activity &act, sim::Counter &reason)
+{
+    reason.inc();
+    ActId id = act.id();
+    killActivity(id);
+    if (crashHandler_) {
+        // Upcall outside the kernel path: the controller reaps the
+        // activity's endpoints, capabilities, and credits.
+        eq_.schedule(0, [this, id]() { crashHandler_(id); });
+    }
+}
+
 Activity *
 TileMux::activity(ActId id)
 {
@@ -144,6 +177,7 @@ TileMux::registerPoller(Activity &act)
 sim::Task
 TileMux::waitForMsg(Activity &act, dtu::EpId ep)
 {
+    act.hogSlices_ = 0;
     // Check the shared-memory "others ready" flag (a couple of loads).
     co_await act.thread().compute(4);
 
@@ -186,6 +220,7 @@ TileMux::waitForMsg(Activity &act, dtu::EpId ep)
 sim::Task
 TileMux::translCall(Activity &act, dtu::VirtAddr va, bool write)
 {
+    act.hogSlices_ = 0;
     tmCalls_.inc();
     co_await act.thread().trapCall([this, &act, va, write]() {
         sim::Cycles cost =
@@ -220,6 +255,7 @@ TileMux::translCall(Activity &act, dtu::VirtAddr va, bool write)
 sim::Task
 TileMux::yieldCall(Activity &act)
 {
+    act.hogSlices_ = 0;
     tmCalls_.inc();
     co_await act.thread().trapCall([this, &act]() {
         core_.kernelWork(params_.entryCost + touchMux(), [this,
@@ -235,6 +271,7 @@ TileMux::yieldCall(Activity &act)
 sim::Task
 TileMux::exitCall(Activity &act)
 {
+    act.hogSlices_ = 0;
     tmCalls_.inc();
     co_await act.thread().trapCall([this, &act]() {
         core_.kernelWork(params_.entryCost + touchMux(), [this,
@@ -275,7 +312,23 @@ TileMux::onIrq(tile::IrqKind kind)
         } else {
             current_->state_ = Activity::State::Ready;
             if (kind == tile::IrqKind::Timer) {
-                ready_.push_back(current_); // slice over: go last
+                if (current_->thread().inExternalWait()) {
+                    // Blocked on the DTU (e.g. a command sitting in
+                    // retransmission backoff), not hogging the core:
+                    // a wait slice is not a hog slice.
+                    current_->hogSlices_ = 0;
+                } else {
+                    current_->hogSlices_++;
+                }
+                if (params_.watchdogSlices > 0 &&
+                    current_->hogSlices_ >= params_.watchdogSlices) {
+                    // Hung: N consecutive full slices without one
+                    // TMCall. Kill it here instead of requeueing so
+                    // the other activities keep the core.
+                    reapLocal(*current_, watchdogKills_);
+                } else {
+                    ready_.push_back(current_); // slice over: go last
+                }
             } else {
                 ready_.push_front(current_); // keep its turn
             }
@@ -457,8 +510,11 @@ TileMux::switchTo(Activity *next)
         if (vdtu_.unreadOf(next->id()) > 0)
             next->thread().wake();
         // Tickless: only arm the slice timer when someone else is
-        // waiting for the core (keeps idle phases event-free).
-        if (!ready_.empty())
+        // waiting for the core (keeps idle phases event-free). With
+        // the watchdog enabled the timer stays armed even for a lone
+        // activity — a hog on an otherwise-blocked tile would never
+        // be preempted, and the watchdog would never see it.
+        if (!ready_.empty() || params_.watchdogSlices > 0)
             core_.setTimer(params_.timeSlice);
         else
             core_.cancelTimer();

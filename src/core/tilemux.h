@@ -83,6 +83,15 @@ struct TileMuxParams
 
     /** Activity id representing the idle loop in CUR_ACT. */
     dtu::ActId idleAct = 0xfffd;
+
+    /**
+     * Watchdog: an activity that burns this many *consecutive* full
+     * time slices without a single TMCall is declared hung and
+     * killed (the crash handler then notifies the controller, which
+     * reaps the activity's resources). 0 disables the watchdog —
+     * the default, so the fast path is unchanged.
+     */
+    unsigned watchdogSlices = 0;
 };
 
 /**
@@ -123,6 +132,8 @@ class Activity
     std::string name_;
     std::size_t footprint_;
     State state_ = State::Init;
+    /** Consecutive full slices burned without a TMCall (watchdog). */
+    unsigned hogSlices_ = 0;
     tile::Thread thread_;
     AddrSpace as_;
 };
@@ -166,6 +177,25 @@ class TileMux : public sim::SimObject
 
     /** Forcefully terminate an activity (controller kill sidecall). */
     void killActivity(dtu::ActId id);
+
+    /**
+     * Fault-injection entry point: the activity crashes as if it hit
+     * an unrecoverable exception. Local cleanup is identical to
+     * killActivity, and the crash handler (if set) is invoked so the
+     * controller can reap the activity's global resources.
+     */
+    void crashActivity(dtu::ActId id);
+
+    /**
+     * Install the crash/watchdog upcall. Invoked (from a fresh event,
+     * never inside the kernel path) with the dead activity's id after
+     * a watchdog kill or injected crash.
+     */
+    void
+    setCrashHandler(std::function<void(dtu::ActId)> h)
+    {
+        crashHandler_ = std::move(h);
+    }
 
     Activity *activity(dtu::ActId id);
 
@@ -214,9 +244,16 @@ class TileMux : public sim::SimObject
     std::uint64_t coreReqIrqs() const { return coreReqIrqs_.value(); }
     std::uint64_t timerIrqs() const { return timerIrqs_.value(); }
     std::uint64_t tmCalls() const { return tmCalls_.value(); }
+    std::uint64_t watchdogKills() const
+    {
+        return watchdogKills_.value();
+    }
+    std::uint64_t crashes() const { return crashes_.value(); }
 
   private:
     void onIrq(tile::IrqKind kind);
+    /** Kill a hung/crashed activity and schedule the crash upcall. */
+    void reapLocal(Activity &act, sim::Counter &reason);
     void handleCoreRequest();
     void handleSidecall();
     /** Pick next and switch (kernel context). */
@@ -242,11 +279,14 @@ class TileMux : public sim::SimObject
     PageFaultHandler pageFault_;
     SidecallHandler sidecall_;
     dtu::EpId sidecallEp_ = dtu::kInvalidEp;
+    std::function<void(dtu::ActId)> crashHandler_;
 
     sim::Counter switches_;
     sim::Counter coreReqIrqs_;
     sim::Counter timerIrqs_;
     sim::Counter tmCalls_;
+    sim::Counter watchdogKills_;
+    sim::Counter crashes_;
 };
 
 } // namespace m3v::core

@@ -113,6 +113,10 @@ VDtu::unreadOf(ActId act) const
 bool
 VDtu::acceptPacket(noc::Packet &pkt, std::function<void()> on_space)
 {
+    // Corrupted packets are discarded by the base DTU; never exert
+    // backpressure for something that will not be stored.
+    if (pkt.corrupted)
+        return Dtu::acceptPacket(pkt, std::move(on_space));
     // Backpressure: a message that will require a core request cannot
     // be accepted while the core-request queue is full. The NoC's
     // packet-level flow control holds it at the last hop (section 3.8).

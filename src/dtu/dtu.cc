@@ -22,6 +22,7 @@ errorName(Error e)
       case Error::PmpFault: return "PmpFault";
       case Error::MsgTooBig: return "MsgTooBig";
       case Error::Aborted: return "Aborted";
+      case Error::Timeout: return "Timeout";
     }
     return "Unknown";
 }
@@ -29,7 +30,8 @@ errorName(Error e)
 Dtu::Dtu(sim::EventQueue &eq, std::string name, noc::Noc &noc,
          noc::TileId tile, std::uint64_t freq_hz, DtuTiming timing)
     : SimObject(eq, std::move(name)), clk_(freq_hz), noc_(noc),
-      tile_(tile), timing_(timing), eps_(kNumEps)
+      tile_(tile), timing_(timing), eps_(kNumEps),
+      reliable_(noc.params().faults != nullptr)
 {
     noc_.attachTile(tile, this);
 }
@@ -292,15 +294,7 @@ Dtu::doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
             // slot and return the credit to the sender.
             rs2.occupied = false;
             rs2.unread = false;
-
-            auto cr = std::make_unique<WireData>();
-            cr->kind = WireKind::CreditReturn;
-            cr->creditEp = credit_ep;
-            if (dst == tile_) {
-                deliverLocal(std::move(cr));
-            } else {
-                sendPacket(dst, std::move(cr));
-            }
+            sendCreditReturn(dst, credit_ep);
 
             Inflight inf;
             inf.cmdCb = [this, cb = std::move(cb)](Error e) {
@@ -533,14 +527,38 @@ Dtu::ack(ActId act, EpId rep_id, int slot)
     rs.unread = false;
     if (credit_ep == kInvalidEp)
         return; // replies carry no credits
+    sendCreditReturn(dst, credit_ep);
+}
+
+void
+Dtu::sendCreditReturn(noc::TileId dst, EpId credit_ep)
+{
     auto cr = std::make_unique<WireData>();
     cr->kind = WireKind::CreditReturn;
     cr->creditEp = credit_ep;
-    if (dst == tile_) {
-        deliverLocal(std::move(cr));
-    } else {
-        sendPacket(dst, std::move(cr));
+    respond(dst, std::move(cr));
+}
+
+std::size_t
+Dtu::reclaimCredits(EpId rep_id)
+{
+    if (rep_id >= eps_.size())
+        return 0;
+    Endpoint &rep = eps_[rep_id];
+    if (rep.kind != EpKind::Receive)
+        return 0;
+    std::size_t n = 0;
+    for (auto &rs : rep.recv.slots) {
+        if (!rs.occupied)
+            continue;
+        if (rs.msg.creditEp != kInvalidEp) {
+            sendCreditReturn(rs.msg.srcTile, rs.msg.creditEp);
+            creditsReclaimed_.inc();
+            n++;
+        }
+        rs = RecvSlot{};
     }
+    return n;
 }
 
 bool
@@ -579,6 +597,13 @@ bool
 Dtu::acceptPacket(noc::Packet &pkt, std::function<void()> on_space)
 {
     (void)on_space;
+    if (pkt.corrupted) {
+        // The link CRC failed: discard the packet. In reliable mode
+        // the sender's retransmission recovers it.
+        corruptDropped_.inc();
+        noc::Packet consumed = std::move(pkt);
+        return true;
+    }
     auto *wd = dynamic_cast<WireData *>(pkt.data.get());
     if (!wd)
         sim::panic("%s: foreign packet payload", name().c_str());
@@ -606,6 +631,16 @@ Dtu::deliverLocal(std::unique_ptr<WireData> wd)
 void
 Dtu::sendPacket(noc::TileId dst, std::unique_ptr<WireData> wd)
 {
+    if (reliable_ && isRetxKind(wd->kind) && wd->seq == 0) {
+        // First transmission of a reliable request: stamp the wire
+        // sequence number, keep a copy, and arm the retx timer.
+        wd->seq = wireSeq_++;
+        Retx r;
+        r.dst = dst;
+        r.wd = *wd;
+        retx_.emplace(wd->seq, std::move(r));
+        armRetxTimer(wd->seq);
+    }
     noc::Packet pkt;
     pkt.src = tile_;
     pkt.dst = dst;
@@ -613,6 +648,109 @@ Dtu::sendPacket(noc::TileId dst, std::unique_ptr<WireData> wd)
     pkt.data = std::move(wd);
     txQueue_.push_back(std::move(pkt));
     pumpTx();
+}
+
+bool
+Dtu::isRetxKind(WireKind k)
+{
+    switch (k) {
+      case WireKind::MsgXfer:
+      case WireKind::CreditReturn:
+      case WireKind::MemReadReq:
+      case WireKind::MemWriteReq:
+      case WireKind::ExtReq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+Dtu::armRetxTimer(std::uint64_t seq)
+{
+    auto it = retx_.find(seq);
+    if (it == retx_.end())
+        return;
+    sim::Cycles to = timing_.retxTimeoutCycles << it->second.attempts;
+    it->second.timer = eq_.schedule(
+        clk_.cyclesToTicks(to), [this, seq]() { retxTimeout(seq); });
+}
+
+void
+Dtu::retxTimeout(std::uint64_t seq)
+{
+    auto it = retx_.find(seq);
+    if (it == retx_.end())
+        return;
+    Retx &r = it->second;
+    if (r.attempts + 1 >= timing_.retxMaxAttempts) {
+        // Give up: surface Error::Timeout to whoever is waiting. For
+        // MsgXfer the inflight callback restores the send credit; a
+        // lost CreditReturn has no waiter (the credit is gone until
+        // the controller reclaims it).
+        std::uint64_t req_id = r.wd.reqId;
+        WireKind kind = r.wd.kind;
+        retx_.erase(it);
+        timeouts_.inc();
+        if (kind == WireKind::CreditReturn)
+            return;
+        auto inf = inflight_.find(req_id);
+        if (inf == inflight_.end())
+            return;
+        Inflight cbs = std::move(inf->second);
+        inflight_.erase(inf);
+        if (cbs.cmdCb)
+            cbs.cmdCb(Error::Timeout);
+        else if (cbs.readCb)
+            cbs.readCb(Error::Timeout, {});
+        else if (cbs.extCb)
+            cbs.extCb(Error::Timeout, {});
+        return;
+    }
+    r.attempts++;
+    retransmits_.inc();
+    auto copy = std::make_unique<WireData>(r.wd);
+    noc::Packet pkt;
+    pkt.src = tile_;
+    pkt.dst = r.dst;
+    pkt.bytes = copy->wireBytes();
+    pkt.data = std::move(copy);
+    txQueue_.push_back(std::move(pkt));
+    pumpTx();
+    armRetxTimer(seq);
+}
+
+void
+Dtu::retxComplete(std::uint64_t seq)
+{
+    if (!reliable_ || seq == 0)
+        return;
+    auto it = retx_.find(seq);
+    if (it == retx_.end())
+        return;
+    it->second.timer.cancel();
+    retx_.erase(it);
+}
+
+void
+Dtu::rememberOutcome(noc::TileId src, std::uint64_t seq, Error e)
+{
+    auto &window = seen_[src];
+    window.push_back(SeenEntry{seq, e});
+    if (window.size() > kSeenWindow)
+        window.pop_front();
+}
+
+const Error *
+Dtu::findOutcome(noc::TileId src, std::uint64_t seq) const
+{
+    auto it = seen_.find(src);
+    if (it == seen_.end())
+        return nullptr;
+    for (const auto &entry : it->second)
+        if (entry.seq == seq)
+            return &entry.outcome;
+    return nullptr;
 }
 
 void
@@ -646,9 +784,17 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
 
       case WireKind::MsgDelivered:
       case WireKind::MsgNack: {
+        retxComplete(wd.seq);
         auto it = inflight_.find(wd.reqId);
-        if (it == inflight_.end())
-            sim::panic("%s: stray delivery ack", name().c_str());
+        if (it == inflight_.end()) {
+            // Duplicate response (the request was retransmitted but
+            // the first response got through) or a late response
+            // after retx exhaustion. Only legal in reliable mode.
+            if (!reliable_)
+                sim::panic("%s: stray delivery ack", name().c_str());
+            straysDropped_.inc();
+            break;
+        }
         auto cb = std::move(it->second.cmdCb);
         inflight_.erase(it);
         cb(wd.kind == WireKind::MsgNack ? wd.error : Error::None);
@@ -656,14 +802,28 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
       }
 
       case WireKind::CreditReturn: {
-        if (wd.creditEp < eps_.size()) {
-            Endpoint &sep = eps_[wd.creditEp];
-            if (sep.kind == EpKind::Send &&
-                sep.send.credits < sep.send.maxCredits)
-                sep.send.credits++;
+        if (reliable_ && wd.seq != 0) {
+            if (findOutcome(src, wd.seq)) {
+                duplicates_.inc();
+            } else {
+                rememberOutcome(src, wd.seq, Error::None);
+                addCredit(wd.creditEp);
+            }
+            // Always (re-)acknowledge so the sender stops resending.
+            auto ca = std::make_unique<WireData>();
+            ca->kind = WireKind::CreditAck;
+            ca->reqId = wd.reqId;
+            ca->seq = wd.seq;
+            respond(src, std::move(ca));
+        } else {
+            addCredit(wd.creditEp);
         }
         break;
       }
+
+      case WireKind::CreditAck:
+        retxComplete(wd.seq);
+        break;
 
       case WireKind::MemReadReq: {
         // Core tiles do not serve memory requests (memory tiles do,
@@ -671,6 +831,7 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
         auto resp = std::make_unique<WireData>();
         resp->kind = WireKind::MemReadResp;
         resp->reqId = wd.reqId;
+        resp->seq = wd.seq;
         resp->error = Error::PmpFault;
         respond(src, std::move(resp));
         break;
@@ -680,15 +841,21 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
         auto resp = std::make_unique<WireData>();
         resp->kind = WireKind::MemWriteAck;
         resp->reqId = wd.reqId;
+        resp->seq = wd.seq;
         resp->error = Error::PmpFault;
         respond(src, std::move(resp));
         break;
       }
 
       case WireKind::MemReadResp: {
+        retxComplete(wd.seq);
         auto it = inflight_.find(wd.reqId);
-        if (it == inflight_.end())
-            sim::panic("%s: stray read response", name().c_str());
+        if (it == inflight_.end()) {
+            if (!reliable_)
+                sim::panic("%s: stray read response", name().c_str());
+            straysDropped_.inc();
+            break;
+        }
         auto cb = std::move(it->second.readCb);
         inflight_.erase(it);
         cb(wd.error, std::move(wd.data));
@@ -696,9 +863,14 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
       }
 
       case WireKind::MemWriteAck: {
+        retxComplete(wd.seq);
         auto it = inflight_.find(wd.reqId);
-        if (it == inflight_.end())
-            sim::panic("%s: stray write ack", name().c_str());
+        if (it == inflight_.end()) {
+            if (!reliable_)
+                sim::panic("%s: stray write ack", name().c_str());
+            straysDropped_.inc();
+            break;
+        }
         auto cb = std::move(it->second.cmdCb);
         inflight_.erase(it);
         cb(wd.error);
@@ -715,6 +887,7 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
             auto resp = std::make_unique<WireData>();
             resp->kind = WireKind::ExtResp;
             resp->reqId = req->reqId;
+            resp->seq = req->seq;
             switch (req->extOp) {
               case ExtOp::SetEp:
                 configEp(req->epStart, std::move(req->eps.at(0)));
@@ -740,9 +913,14 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
       }
 
       case WireKind::ExtResp: {
+        retxComplete(wd.seq);
         auto it = inflight_.find(wd.reqId);
-        if (it == inflight_.end())
-            sim::panic("%s: stray ext response", name().c_str());
+        if (it == inflight_.end()) {
+            if (!reliable_)
+                sim::panic("%s: stray ext response", name().c_str());
+            straysDropped_.inc();
+            break;
+        }
         auto cb = std::move(it->second.extCb);
         inflight_.erase(it);
         cb(wd.error, std::move(wd.eps));
@@ -752,12 +930,42 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
 }
 
 void
+Dtu::addCredit(EpId credit_ep)
+{
+    if (credit_ep >= eps_.size())
+        return;
+    Endpoint &sep = eps_[credit_ep];
+    if (sep.kind == EpKind::Send &&
+        sep.send.credits < sep.send.maxCredits)
+        sep.send.credits++;
+}
+
+void
 Dtu::handleMsgXfer(WireData &wd, noc::TileId src)
 {
+    if (reliable_ && wd.seq != 0) {
+        if (const Error *out = findOutcome(src, wd.seq)) {
+            // Retransmitted copy of a message we already processed:
+            // do not store it again, just re-send the old response.
+            duplicates_.inc();
+            auto resp = std::make_unique<WireData>();
+            resp->kind = *out == Error::None ? WireKind::MsgDelivered
+                                             : WireKind::MsgNack;
+            resp->reqId = wd.reqId;
+            resp->seq = wd.seq;
+            resp->error = *out;
+            respond(src, std::move(resp));
+            return;
+        }
+    }
+
     auto nack = [&](Error e) {
+        if (reliable_ && wd.seq != 0)
+            rememberOutcome(src, wd.seq, e);
         auto resp = std::make_unique<WireData>();
         resp->kind = WireKind::MsgNack;
         resp->reqId = wd.reqId;
+        resp->seq = wd.seq;
         resp->error = e;
         respond(src, std::move(resp));
     };
@@ -782,9 +990,12 @@ Dtu::handleMsgXfer(WireData &wd, noc::TileId src)
     rs.msg.seq = nextSeq_++;
     msgsRecv_.inc();
 
+    if (reliable_ && wd.seq != 0)
+        rememberOutcome(src, wd.seq, Error::None);
     auto resp = std::make_unique<WireData>();
     resp->kind = WireKind::MsgDelivered;
     resp->reqId = wd.reqId;
+    resp->seq = wd.seq;
     respond(src, std::move(resp));
 
     onMessageStored(wd.dstEp, rep.act);

@@ -38,6 +38,7 @@
 #include "dtu/wire.h"
 #include "noc/noc.h"
 #include "sim/clock.h"
+#include "sim/event_queue.h"
 #include "sim/sim_object.h"
 #include "sim/stats.h"
 
@@ -66,6 +67,15 @@ struct DtuTiming
 
     /** Internal loopback latency for tile-local delivery. */
     sim::Cycles loopback = 16;
+
+    /**
+     * Reliable mode only: initial retransmission timeout in DTU
+     * cycles. Doubles per attempt (bounded exponential backoff).
+     */
+    sim::Cycles retxTimeoutCycles = 2000;
+
+    /** Reliable mode only: attempts before Error::Timeout. */
+    unsigned retxMaxAttempts = 8;
 };
 
 /** The per-tile data transfer unit. */
@@ -156,6 +166,14 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     void ack(ActId act, EpId rep_id, int slot);
 
     /**
+     * Privileged cleanup (controller reaping a dead activity): drop
+     * every message held in receive endpoint @p rep_id, returning the
+     * flow-control credit of each to its sender so surviving clients
+     * are not wedged. Returns the number of credits reclaimed.
+     */
+    std::size_t reclaimCredits(EpId rep_id);
+
+    /**
      * Device-originated local message delivery: a tile-local device
      * (e.g. the NIC) DMAs a frame into a driver mailbox and signals
      * it. Modelled as a direct store into @p rep (the usual counters,
@@ -183,10 +201,36 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     bool acceptPacket(noc::Packet &pkt,
                       std::function<void()> on_space) override;
 
+    /**
+     * True when the attached NoC carries a fault plan: the wire
+     * protocol then runs with sequence numbers, retransmission, and
+     * duplicate suppression. Decided once at construction so the
+     * fault-free fast path stays branch-identical.
+     */
+    bool reliable() const { return reliable_; }
+
     // Statistics.
     std::uint64_t msgsSent() const { return msgsSent_.value(); }
     std::uint64_t msgsReceived() const { return msgsRecv_.value(); }
     std::uint64_t nacksReceived() const { return nacks_.value(); }
+    std::uint64_t retransmits() const { return retransmits_.value(); }
+    std::uint64_t timeouts() const { return timeouts_.value(); }
+    std::uint64_t duplicatesDropped() const
+    {
+        return duplicates_.value();
+    }
+    std::uint64_t corruptDropped() const
+    {
+        return corruptDropped_.value();
+    }
+    std::uint64_t straysDropped() const
+    {
+        return straysDropped_.value();
+    }
+    std::uint64_t creditsReclaimed() const
+    {
+        return creditsReclaimed_.value();
+    }
 
   protected:
     /**
@@ -236,6 +280,20 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     void deliverLocal(std::unique_ptr<WireData> wd);
     void storeMessage(WireData &wd);
     void respond(noc::TileId dst, std::unique_ptr<WireData> wd);
+    void sendCreditReturn(noc::TileId dst, EpId credit_ep);
+    void addCredit(EpId credit_ep);
+
+    //
+    // Reliable wire protocol (active iff the NoC has a fault plan).
+    //
+    static bool isRetxKind(WireKind k);
+    void armRetxTimer(std::uint64_t seq);
+    void retxTimeout(std::uint64_t seq);
+    void retxComplete(std::uint64_t seq);
+    /** Record the outcome of request @p seq from @p src for dedup. */
+    void rememberOutcome(noc::TileId src, std::uint64_t seq, Error e);
+    /** Outcome of an already-seen request, or nullptr if fresh. */
+    const Error *findOutcome(noc::TileId src, std::uint64_t seq) const;
 
     void doSend(ActId act, EpId ep_id, VirtAddr buf,
                 std::vector<std::uint8_t> payload, EpId reply_ep,
@@ -273,9 +331,41 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     bool txBusy_ = false;
     void pumpTx();
 
+    /** Reliable mode: is the wire protocol running with retx? */
+    bool reliable_ = false;
+
+    /** Per-DTU wire sequence counter (reliable mode). */
+    std::uint64_t wireSeq_ = 1;
+
+    /** An unacknowledged reliable packet awaiting retransmission. */
+    struct Retx
+    {
+        noc::TileId dst = 0;
+        WireData wd;
+        unsigned attempts = 0;
+        sim::EventHandle timer;
+    };
+    /** Outstanding reliable packets keyed by wire seq. */
+    std::unordered_map<std::uint64_t, Retx> retx_;
+
+    /** Receiver-side duplicate-suppression window, per source tile. */
+    struct SeenEntry
+    {
+        std::uint64_t seq = 0;
+        Error outcome = Error::None;
+    };
+    static constexpr std::size_t kSeenWindow = 128;
+    std::unordered_map<noc::TileId, std::deque<SeenEntry>> seen_;
+
     sim::Counter msgsSent_;
     sim::Counter msgsRecv_;
     sim::Counter nacks_;
+    sim::Counter retransmits_;
+    sim::Counter timeouts_;
+    sim::Counter duplicates_;
+    sim::Counter corruptDropped_;
+    sim::Counter straysDropped_;
+    sim::Counter creditsReclaimed_;
     std::function<void(EpId, ActId)> msgNotify_;
 };
 

@@ -35,6 +35,11 @@ MemoryTile::available() const
 bool
 MemoryTile::acceptPacket(noc::Packet &pkt, std::function<void()>)
 {
+    if (pkt.corrupted) {
+        // Link CRC failure: drop; the requester retransmits.
+        noc::Packet consumed = std::move(pkt);
+        return true;
+    }
     auto *wd = dynamic_cast<WireData *>(pkt.data.get());
     if (!wd)
         sim::panic("%s: foreign packet payload", name().c_str());
@@ -48,10 +53,13 @@ MemoryTile::acceptPacket(noc::Packet &pkt, std::function<void()>)
         PhysAddr addr = owned->addr;
         std::size_t size = owned->size;
         std::uint64_t req_id = owned->reqId;
-        dram_.access(addr, size, [this, src, addr, size, req_id]() {
+        std::uint64_t seq = owned->seq;
+        dram_.access(addr, size,
+                     [this, src, addr, size, req_id, seq]() {
             auto resp = std::make_unique<WireData>();
             resp->kind = WireKind::MemReadResp;
             resp->reqId = req_id;
+            resp->seq = seq;
             resp->data.resize(size);
             dram_.read(addr, resp->data.data(), size);
             sendResp(src, std::move(resp));
@@ -69,6 +77,7 @@ MemoryTile::acceptPacket(noc::Packet &pkt, std::function<void()>)
             auto resp = std::make_unique<WireData>();
             resp->kind = WireKind::MemWriteAck;
             resp->reqId = req_id;
+            resp->seq = req->seq;
             sendResp(src, std::move(resp));
         });
         break;

@@ -36,6 +36,7 @@ enum class WireKind : std::uint8_t
     MsgDelivered, ///< receiver stored the message (flow-control ack)
     MsgNack,      ///< receiver could not store it (error code inside)
     CreditReturn, ///< receiver acknowledged: return one credit
+    CreditAck,    ///< reliable mode: CreditReturn acknowledgement
     MemReadReq,   ///< DMA read request to a memory/remote tile
     MemReadResp,  ///< data response
     MemWriteReq,  ///< DMA write request (carries data)
@@ -51,6 +52,15 @@ struct WireData : noc::PacketData
 
     /** Correlates requests and responses. */
     std::uint64_t reqId = 0;
+
+    /**
+     * Wire-level sequence number, stamped per sending DTU in reliable
+     * mode (0 otherwise). Retransmissions reuse the original seq; the
+     * receiver keeps a per-source window of recently seen seqs to
+     * suppress duplicates. Fits in the 16-byte header, so it does not
+     * change wireBytes().
+     */
+    std::uint64_t seq = 0;
 
     // --- MsgXfer / MsgNack ---
     EpId dstEp = kInvalidEp;

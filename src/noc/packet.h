@@ -23,6 +23,11 @@ using TileId = std::uint32_t;
 /** Base class for opaque packet payloads defined by higher layers. */
 struct PacketData
 {
+    PacketData() = default;
+    PacketData(const PacketData &) = default;
+    PacketData(PacketData &&) = default;
+    PacketData &operator=(const PacketData &) = default;
+    PacketData &operator=(PacketData &&) = default;
     virtual ~PacketData() = default;
 };
 
@@ -34,6 +39,13 @@ struct Packet
 
     /** Wire size in bytes (payload only; header is added per hop). */
     std::size_t bytes = 0;
+
+    /**
+     * Set by a faulty link (sim::FaultPlan): the payload failed its
+     * CRC. Receivers discard such packets; reliable senders recover
+     * via retransmission.
+     */
+    bool corrupted = false;
 
     /** Opaque payload interpreted by the receiving component. */
     std::unique_ptr<PacketData> data;

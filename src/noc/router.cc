@@ -10,6 +10,8 @@ OutPort::OutPort(sim::EventQueue &eq, const sim::Clock &clk,
                  const NocParams &params, std::string name)
     : eq_(eq), clk_(clk), params_(params), name_(std::move(name))
 {
+    if (params_.faults)
+        faultSite_ = params_.faults->makeSite(name_);
 }
 
 bool
@@ -40,11 +42,23 @@ OutPort::startDrain()
     // The head packet occupies the port for the router pipeline plus
     // its serialization time on the outgoing link.
     draining_ = true;
-    const Packet &head = queue_.front();
+    Packet &head = queue_.front();
     std::size_t wire_bytes = head.bytes + params_.headerBytes;
     sim::Cycles ser =
         (wire_bytes + params_.linkBytesPerCycle - 1) /
         params_.linkBytesPerCycle;
+    if (faultSite_.active()) {
+        // The fault decision for this packet is taken once, when it
+        // reaches the head of the queue. A dropped packet still
+        // occupies the link for its serialization time (the flits
+        // leave; they just never arrive).
+        sim::Tick now = eq_.now();
+        dropHead_ = faultSite_.shouldDrop(now);
+        if (!dropHead_ && !head.corrupted &&
+            faultSite_.shouldCorrupt(now))
+            head.corrupted = true;
+        ser += faultSite_.delayCycles(now);
+    }
     sim::Tick delay =
         clk_.cyclesToTicks(params_.pipelineCycles + ser);
     eq_.schedule(delay, [this]() { tryHandOver(); });
@@ -55,6 +69,18 @@ OutPort::tryHandOver()
 {
     if (queue_.empty())
         sim::panic("%s: drain with empty queue", name_.c_str());
+    if (dropHead_) {
+        dropHead_ = false;
+        queue_.pop_front();
+        dropped_.inc();
+        notifySpaceWaiters();
+        if (!queue_.empty()) {
+            startDrain();
+        } else {
+            draining_ = false;
+        }
+        return;
+    }
     Packet &head = queue_.front();
     bool ok = target_->acceptPacket(head, [this]() { tryHandOver(); });
     if (!ok) {

@@ -21,6 +21,7 @@
 
 #include "noc/packet.h"
 #include "sim/clock.h"
+#include "sim/fault.h"
 #include "sim/sim_object.h"
 #include "sim/stats.h"
 
@@ -49,6 +50,16 @@ struct NocParams
     /** Mesh dimensions (routers). The paper's platform is 2x2. */
     unsigned meshCols = 2;
     unsigned meshRows = 2;
+
+    /**
+     * Optional fault plan. When set, every output port becomes a
+     * fault site (named after the port) that can drop, corrupt, or
+     * delay the packets it drains, and the DTUs attached to the
+     * fabric switch their wire protocol into reliable mode
+     * (retransmission + duplicate suppression). Null by default: the
+     * fast path is then byte-identical to a fault-free build.
+     */
+    sim::FaultPlan *faults = nullptr;
 };
 
 /**
@@ -74,6 +85,9 @@ class OutPort
 
     std::uint64_t forwarded() const { return forwarded_.value(); }
 
+    /** Packets this port dropped under a fault plan. */
+    std::uint64_t dropped() const { return dropped_.value(); }
+
   private:
     void startDrain();
     void tryHandOver();
@@ -86,8 +100,12 @@ class OutPort
     HopTarget *target_ = nullptr;
     std::deque<Packet> queue_;
     bool draining_ = false;
+    /** Fault decision for the head packet, taken at drain start. */
+    bool dropHead_ = false;
     std::vector<std::function<void()>> spaceWaiters_;
     sim::Counter forwarded_;
+    sim::Counter dropped_;
+    sim::FaultSite faultSite_;
 };
 
 /**

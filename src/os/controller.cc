@@ -61,6 +61,43 @@ Controller::registerActivity(ActId id, noc::TileId tile)
 }
 
 void
+Controller::reapActivity(ActId id)
+{
+    reaps_.inc();
+
+    // Endpoint sweep on the activity's home tile: reclaim the credits
+    // of messages parked in its receive endpoints (the senders paid
+    // them and would otherwise be wedged forever), then invalidate.
+    auto at = actTiles_.find(id);
+    if (at != actTiles_.end()) {
+        if (dtu::Dtu *d = locate_(at->second)) {
+            for (EpId i = 0; i < dtu::kNumEps; i++) {
+                if (d->ep(i).act != id)
+                    continue;
+                reclaimed_.inc(d->reclaimCredits(i));
+                d->invalidateEp(i);
+            }
+        }
+        actTiles_.erase(at);
+    }
+
+    // Revoke the whole capability table. The derivation tree may
+    // reach into other activities' tables (children of the victim's
+    // caps die with it); invalidate whatever they were activated
+    // into, wherever that is.
+    if (caps_->hasTable(id)) {
+        caps_->dropTable(id, [this](Capability &cap) {
+            if (!cap.activated)
+                return;
+            if (dtu::Dtu *d = locate_(cap.actTile)) {
+                reclaimed_.inc(d->reclaimCredits(cap.actEp));
+                d->invalidateEp(cap.actEp);
+            }
+        });
+    }
+}
+
+void
 Controller::setSidecallChannel(noc::TileId tile, EpId sep)
 {
     sidecallSeps_[tile] = sep;

@@ -83,7 +83,24 @@ class Controller
     /** Stop the main loop after the current syscall. */
     void stop() { running_ = false; }
 
+    /**
+     * Reap a crashed or watchdog-killed activity (the TileMux crash
+     * upcall lands here): invalidate every endpoint the activity owns
+     * on its tile — reclaiming the flow-control credits of messages
+     * stuck in its receive endpoints so surviving senders are not
+     * wedged — and revoke its whole capability table, invalidating
+     * any endpoints those capabilities were activated into elsewhere.
+     * Modelled as privileged cleanup outside the syscall loop; the
+     * credit-return packets it triggers travel the NoC as usual.
+     */
+    void reapActivity(dtu::ActId id);
+
     std::uint64_t syscallsHandled() const { return syscalls_.value(); }
+    std::uint64_t activitiesReaped() const { return reaps_.value(); }
+    std::uint64_t creditsReclaimed() const
+    {
+        return reclaimed_.value();
+    }
 
   private:
     sim::Task handle(dtu::ActId caller, const SyscallReq &req,
@@ -105,6 +122,8 @@ class Controller
     std::map<noc::TileId, dtu::EpId> sidecallSeps_;
     dtu::EpId sidecallRep_ = dtu::kInvalidEp;
     sim::Counter syscalls_;
+    sim::Counter reaps_;
+    sim::Counter reclaimed_;
 };
 
 } // namespace m3v::os

@@ -122,6 +122,11 @@ System::System(sim::EventQueue &eq, SystemParams params)
 
         core::TileMux *mux = muxes_[i].get();
         core::VDtu *vd = vdtus_[i].get();
+        // Watchdog/crash upcall: the controller reaps the dead
+        // activity's endpoints, capabilities, and credits.
+        mux->setCrashHandler([this](ActId id) {
+            controller_->reapActivity(id);
+        });
         mux->setSidecallEp(
             kSidecallRep,
             [mux, vd](const dtu::Message &msg, int slot) {

@@ -9,6 +9,37 @@ namespace m3v::services {
 using dtu::Error;
 using os::Bytes;
 
+namespace {
+
+/** Client-side retry policy for timed-out RPCs. */
+constexpr unsigned kRpcAttempts = 4;
+constexpr sim::Cycles kRpcBackoff = 4096;
+
+/**
+ * Operations the server may execute twice without changing the
+ * client-visible outcome, so a timed-out RPC (where the request or
+ * its reply may have been lost *after* the server acted) can simply
+ * be re-sent. NextOut allocates a fresh extent and Mkdir/Unlink
+ * mutate the namespace, so their timeouts surface to the caller.
+ */
+bool
+isIdempotent(FsReq::Op op)
+{
+    switch (op) {
+      case FsReq::Op::Open:
+      case FsReq::Op::NextIn:
+      case FsReq::Op::Commit:
+      case FsReq::Op::Close:
+      case FsReq::Op::Stat:
+      case FsReq::Op::Readdir:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
 FileSession::FileSession(os::Env &env, const M3fs::Client &client,
                          unsigned ep_idx)
     : env_(env), sgate_(client.sgateEp), reply_(client.replyEp),
@@ -19,14 +50,26 @@ FileSession::FileSession(os::Env &env, const M3fs::Client &client,
 sim::Task
 FileSession::rpc(FsReq req, FsResp *resp)
 {
-    Bytes respb;
-    Error err = Error::Aborted;
-    co_await env_.call(sgate_, reply_, os::podBytes(req), &respb,
-                       &err);
-    if (err != Error::None)
-        sim::panic("FileSession: fs transport failed: %s",
-                   dtu::errorName(err));
-    *resp = os::podFrom<FsResp>(respb);
+    sim::Cycles backoff = kRpcBackoff;
+    for (unsigned attempt = 0;; attempt++) {
+        Bytes respb;
+        Error err = Error::Aborted;
+        co_await env_.call(sgate_, reply_, os::podBytes(req), &respb,
+                           &err);
+        if (err == Error::None) {
+            *resp = os::podFrom<FsResp>(respb);
+            co_return;
+        }
+        if (err != Error::Timeout || !isIdempotent(req.op) ||
+            attempt + 1 >= kRpcAttempts) {
+            *resp = FsResp{};
+            resp->err = err;
+            co_return;
+        }
+        rpcRetries_++;
+        co_await env_.thread().compute(backoff);
+        backoff *= 2;
+    }
 }
 
 sim::Task

@@ -72,7 +72,17 @@ class FileSession
     /** Number of NextIn/NextOut RPCs performed (extent switches). */
     std::uint64_t extentRpcs() const { return extentRpcs_; }
 
+    /** RPCs re-sent after a transport timeout. */
+    std::uint64_t rpcRetries() const { return rpcRetries_; }
+
   private:
+    /**
+     * Issue one m3fs RPC. A transport timeout (the reliable DTU layer
+     * exhausted its retransmissions) is retried with exponential
+     * backoff for idempotent operations; otherwise — and for any
+     * other transport error — the error is surfaced in resp->err so
+     * callers see a typed failure instead of a panic.
+     */
     sim::Task rpc(FsReq req, FsResp *resp);
 
     os::Env &env_;
@@ -89,6 +99,7 @@ class FileSession
     std::uint64_t winLen_ = 0;
     bool winValid_ = false;
     std::uint64_t extentRpcs_ = 0;
+    std::uint64_t rpcRetries_ = 0;
     /** Next NextOut allocation hint in blocks. */
     std::uint32_t nextHint_ = 4;
 };

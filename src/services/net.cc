@@ -193,9 +193,14 @@ UdpSocket::rpc(NetReqHdr hdr, Bytes payload, NetRespHdr *resp)
     Error err = Error::Aborted;
     co_await env_.call(wiring_.sgateEp, wiring_.replyEp,
                        withPayload(hdr, payload), &respb, &err);
-    if (err != Error::None)
-        sim::panic("UdpSocket: net transport failed: %s",
-                   dtu::errorName(err));
+    if (err != Error::None) {
+        // UDP semantics: a lost request is a lost datagram. Surface
+        // the transport error instead of panicking; callers see it
+        // through the op's err out-parameter.
+        *resp = NetRespHdr{};
+        resp->err = err;
+        co_return;
+    }
     *resp = os::podFrom<NetRespHdr>(respb);
 }
 

@@ -1,0 +1,132 @@
+#include "sim/fault.h"
+
+#include <utility>
+
+namespace m3v::sim {
+
+namespace {
+
+bool
+matches(const FaultWindow &w, FaultKind kind, const std::string &site,
+        Tick now)
+{
+    if (w.kind != kind)
+        return false;
+    if (now < w.start || now >= w.end)
+        return false;
+    return site.compare(0, w.site.size(), w.site) == 0;
+}
+
+} // namespace
+
+FaultSite::FaultSite(FaultPlan *plan, std::string name, Rng rng)
+    : plan_(plan), name_(std::move(name)), rng_(rng)
+{
+}
+
+bool
+FaultSite::shouldDrop(Tick now)
+{
+    if (!plan_)
+        return false;
+    for (const auto &w : plan_->windows_) {
+        if (!matches(w, FaultKind::DropPacket, name_, now))
+            continue;
+        if (rng_.nextBool(w.probability)) {
+            plan_->drops_.inc();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultSite::shouldCorrupt(Tick now)
+{
+    if (!plan_)
+        return false;
+    for (const auto &w : plan_->windows_) {
+        if (!matches(w, FaultKind::CorruptPacket, name_, now))
+            continue;
+        if (rng_.nextBool(w.probability)) {
+            plan_->corrupts_.inc();
+            return true;
+        }
+    }
+    return false;
+}
+
+Cycles
+FaultSite::delayCycles(Tick now)
+{
+    if (!plan_)
+        return 0;
+    Cycles total = 0;
+    for (const auto &w : plan_->windows_) {
+        if (!matches(w, FaultKind::DelayPacket, name_, now))
+            continue;
+        if (rng_.nextBool(w.probability)) {
+            plan_->delays_.inc();
+            total += w.delayCycles;
+        }
+    }
+    return total;
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed), root_(seed)
+{
+}
+
+void
+FaultPlan::addWindow(FaultWindow w)
+{
+    windows_.push_back(std::move(w));
+}
+
+void
+FaultPlan::addDrop(std::string site_prefix, double probability,
+                   Tick start, Tick end)
+{
+    FaultWindow w;
+    w.site = std::move(site_prefix);
+    w.kind = FaultKind::DropPacket;
+    w.start = start;
+    w.end = end;
+    w.probability = probability;
+    addWindow(std::move(w));
+}
+
+void
+FaultPlan::addCorrupt(std::string site_prefix, double probability,
+                      Tick start, Tick end)
+{
+    FaultWindow w;
+    w.site = std::move(site_prefix);
+    w.kind = FaultKind::CorruptPacket;
+    w.start = start;
+    w.end = end;
+    w.probability = probability;
+    addWindow(std::move(w));
+}
+
+void
+FaultPlan::addDelay(std::string site_prefix, double probability,
+                    Cycles delay_cycles, Tick start, Tick end)
+{
+    FaultWindow w;
+    w.site = std::move(site_prefix);
+    w.kind = FaultKind::DelayPacket;
+    w.start = start;
+    w.end = end;
+    w.probability = probability;
+    w.delayCycles = delay_cycles;
+    addWindow(std::move(w));
+}
+
+FaultSite
+FaultPlan::makeSite(std::string name)
+{
+    return FaultSite(this, std::move(name), root_.split());
+}
+
+} // namespace m3v::sim

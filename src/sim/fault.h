@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A FaultPlan describes *when* and *where* faults happen: a list of
+ * fault windows, each matching a set of sites (by name prefix), a
+ * fault kind, a time interval, and a probability. Components that can
+ * misbehave ask the plan for a FaultSite at construction time; every
+ * site draws from its own split() of the plan's root Rng, so the
+ * decision sequence at one site is independent of traffic at every
+ * other site and two runs with the same seed inject exactly the same
+ * faults.
+ *
+ * The plan also owns the counters for everything it injected, so a
+ * benchmark or test can report drop/corrupt/delay rates alongside the
+ * recovery counters kept by the affected components.
+ *
+ * Components keep a null FaultPlan pointer by default; all fault
+ * hooks are single null/active checks on that path, so a build with
+ * faults disabled is behavior- and timing-identical to one without
+ * the framework.
+ */
+
+#ifndef M3VSIM_SIM_FAULT_H_
+#define M3VSIM_SIM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace m3v::sim {
+
+class FaultPlan;
+
+/** What goes wrong. */
+enum class FaultKind : std::uint8_t
+{
+    DropPacket,    ///< the packet silently disappears on the link
+    CorruptPacket, ///< the packet arrives with its CRC-failed flag set
+    DelayPacket,   ///< the packet is held back for extra link cycles
+};
+
+/**
+ * One scheduled fault window: between [start, end) ticks, every event
+ * at a site whose name starts with @ref site is hit with probability
+ * @ref probability. An empty site prefix matches every site.
+ */
+struct FaultWindow
+{
+    std::string site;
+    FaultKind kind = FaultKind::DropPacket;
+    Tick start = 0;
+    Tick end = ~static_cast<Tick>(0);
+    double probability = 0.0;
+    /** For DelayPacket: extra cycles of the site's clock domain. */
+    Cycles delayCycles = 0;
+};
+
+/**
+ * A component's handle into the plan. Default-constructed sites are
+ * inert (never fault) and cost one branch per query; active sites
+ * look up matching windows and draw one Bernoulli trial per match.
+ */
+class FaultSite
+{
+  public:
+    FaultSite() = default;
+
+    bool active() const { return plan_ != nullptr; }
+    const std::string &name() const { return name_; }
+
+    /** Should the packet passing through now be dropped? */
+    bool shouldDrop(Tick now);
+
+    /** Should the packet passing through now be corrupted? */
+    bool shouldCorrupt(Tick now);
+
+    /** Extra delay (in site-clock cycles) for the packet, usually 0. */
+    Cycles delayCycles(Tick now);
+
+  private:
+    friend class FaultPlan;
+
+    FaultSite(FaultPlan *plan, std::string name, Rng rng);
+
+    FaultPlan *plan_ = nullptr;
+    std::string name_;
+    Rng rng_{0};
+};
+
+/**
+ * The full fault schedule for a run, plus injection counters. Build
+ * one, add windows, and hand it (by pointer) to the components that
+ * should misbehave — see noc::NocParams::faults.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(std::uint64_t seed);
+
+    FaultPlan(const FaultPlan &) = delete;
+    FaultPlan &operator=(const FaultPlan &) = delete;
+
+    void addWindow(FaultWindow w);
+
+    /** Convenience: drop packets at sites matching @p site_prefix. */
+    void addDrop(std::string site_prefix, double probability,
+                 Tick start = 0, Tick end = ~static_cast<Tick>(0));
+
+    /** Convenience: corrupt packets at matching sites. */
+    void addCorrupt(std::string site_prefix, double probability,
+                    Tick start = 0, Tick end = ~static_cast<Tick>(0));
+
+    /** Convenience: delay packets at matching sites. */
+    void addDelay(std::string site_prefix, double probability,
+                  Cycles delay_cycles, Tick start = 0,
+                  Tick end = ~static_cast<Tick>(0));
+
+    /**
+     * Create the site named @p name. Seeded by splitting the root
+     * Rng, so call order must be deterministic (it is: components
+     * create sites in construction order).
+     */
+    FaultSite makeSite(std::string name);
+
+    std::uint64_t seed() const { return seed_; }
+
+    /** Packets dropped by the plan. */
+    const Counter &drops() const { return drops_; }
+    /** Packets marked corrupt by the plan. */
+    const Counter &corrupts() const { return corrupts_; }
+    /** Packets delayed by the plan. */
+    const Counter &delays() const { return delays_; }
+
+  private:
+    friend class FaultSite;
+
+    std::uint64_t seed_;
+    Rng root_;
+    std::vector<FaultWindow> windows_;
+    Counter drops_;
+    Counter corrupts_;
+    Counter delays_;
+};
+
+} // namespace m3v::sim
+
+#endif // M3VSIM_SIM_FAULT_H_

@@ -177,6 +177,17 @@ class Thread
     bool wakePending() const { return wakePending_; }
 
     /**
+     * True while the thread is suspended in externalWait() — blocked
+     * on hardware (e.g. a DTU command), not computing. Holds across
+     * preemption until the wake arrives.
+     */
+    bool
+    inExternalWait() const
+    {
+        return waitMode_ == WaitMode::External;
+    }
+
+    /**
      * Drop a latched wake. Call right before starting an operation
      * whose completion is signalled via wake()+externalWait(): stale
      * latches from earlier notifications (e.g. message-arrival hooks

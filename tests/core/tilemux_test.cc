@@ -394,5 +394,116 @@ TEST_F(TileMuxTest, PageFaultHandlerResolvesUnmappedPage)
     EXPECT_EQ(faults, 1);
 }
 
+//
+// Watchdog and crash injection.
+//
+
+/** A one-tile rig with a configurable TileMux. */
+struct WatchdogRig
+{
+    explicit WatchdogRig(TileMuxParams params)
+        : noc(eq, noc::NocParams{}),
+          core(eq, "core", tile::CoreModel::boom(), 0),
+          vdtu(eq, "vdtu", noc, 0, 80'000'000),
+          mux(eq, "mux", core, vdtu, params)
+    {
+        noc.finalize();
+    }
+
+    sim::EventQueue eq;
+    noc::Noc noc;
+    tile::Core core;
+    VDtu vdtu;
+    TileMux mux;
+};
+
+sim::Task
+hogBody(Activity &act, bool *finished)
+{
+    co_await act.thread().compute(2'000'000'000);
+    *finished = true;
+    co_await act.mux().exitCall(act);
+}
+
+sim::Task
+politeBody(Activity &act, int rounds, bool *finished)
+{
+    for (int i = 0; i < rounds; i++) {
+        co_await act.thread().compute(10'000);
+        co_await act.mux().yieldCall(act);
+    }
+    *finished = true;
+    co_await act.mux().exitCall(act);
+}
+
+TEST(TileMuxWatchdog, KillsLoneHogAndUpcalls)
+{
+    // A hog on an otherwise-idle tile must still be caught: the
+    // watchdog keeps the slice timer armed even when nobody else is
+    // ready.
+    TileMuxParams params;
+    params.watchdogSlices = 2;
+    WatchdogRig rig(params);
+    Activity *hog = rig.mux.createActivity(7, "hog");
+    std::vector<ActId> crashed;
+    rig.mux.setCrashHandler([&](ActId id) { crashed.push_back(id); });
+    bool finished = false;
+    rig.mux.startActivity(hog, hogBody(*hog, &finished));
+    rig.eq.run();
+    EXPECT_FALSE(finished);
+    EXPECT_EQ(hog->state(), Activity::State::Dead);
+    EXPECT_EQ(rig.mux.watchdogKills(), 1u);
+    ASSERT_EQ(crashed.size(), 1u);
+    EXPECT_EQ(crashed[0], 7u);
+}
+
+TEST(TileMuxWatchdog, TmCallsResetTheCounter)
+{
+    // An activity that keeps making TMCalls outlives any number of
+    // time slices.
+    TileMuxParams params;
+    params.watchdogSlices = 2;
+    WatchdogRig rig(params);
+    Activity *act = rig.mux.createActivity(3, "polite");
+    bool finished = false;
+    rig.mux.startActivity(act, politeBody(*act, 50, &finished));
+    rig.eq.run();
+    EXPECT_TRUE(finished);
+    EXPECT_EQ(rig.mux.watchdogKills(), 0u);
+}
+
+TEST(TileMuxWatchdog, DisabledByDefault)
+{
+    WatchdogRig rig(TileMuxParams{});
+    Activity *hog = rig.mux.createActivity(7, "hog");
+    bool finished = false;
+    rig.mux.startActivity(hog, hogBody(*hog, &finished));
+    rig.eq.run();
+    EXPECT_TRUE(finished);
+    EXPECT_EQ(rig.mux.watchdogKills(), 0u);
+}
+
+TEST(TileMuxWatchdog, CrashInjectionStopsARunningActivity)
+{
+    WatchdogRig rig(TileMuxParams{});
+    Activity *victim = rig.mux.createActivity(5, "victim");
+    std::vector<ActId> crashed;
+    rig.mux.setCrashHandler([&](ActId id) { crashed.push_back(id); });
+    bool finished = false;
+    rig.mux.startActivity(victim, hogBody(*victim, &finished));
+    rig.eq.schedule(sim::kTicksPerMs, [&]() {
+        rig.mux.crashActivity(victim->id());
+    });
+    rig.eq.run();
+    EXPECT_FALSE(finished);
+    EXPECT_EQ(victim->state(), Activity::State::Dead);
+    EXPECT_EQ(rig.mux.crashes(), 1u);
+    ASSERT_EQ(crashed.size(), 1u);
+    EXPECT_EQ(crashed[0], 5u);
+    // A second crash of the same activity is a no-op.
+    rig.mux.crashActivity(victim->id());
+    EXPECT_EQ(rig.mux.crashes(), 1u);
+}
+
 } // namespace
 } // namespace m3v::core

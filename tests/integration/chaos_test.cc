@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Chaos soak test: a full-stack workload (file system + network +
+ * compute) runs under a seeded fault plan that drops, corrupts, and
+ * delays packets on every NoC link, while a watchdog kill and an
+ * injected activity crash exercise the recovery path end to end.
+ *
+ * The checks: application-visible results are identical to a
+ * fault-free run, the same seed reproduces the same run bit for bit,
+ * and the injected failures actually happened (drops, retransmits,
+ * one watchdog kill, one crash, both reaped by the controller).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "os/system.h"
+#include "services/file_client.h"
+#include "services/m3fs.h"
+#include "services/net.h"
+#include "sim/fault.h"
+
+namespace m3v {
+namespace {
+
+using os::Bytes;
+
+struct ChaosResult
+{
+    // Application-visible outcomes (must match the fault-free run).
+    bool fsOk = false;
+    Bytes fsData;
+    unsigned echoes = 0;
+    bool hogSurvived = false;
+    bool victimSurvived = false;
+
+    // Run fingerprint (must match across same-seed runs).
+    sim::Tick endTime = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t corrupts = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t watchdogKills = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t reaped = 0;
+};
+
+/**
+ * Run the workload. @p with_faults toggles the fault windows; the
+ * plan (and thus the reliable wire protocol) is present either way,
+ * so the two configurations are timing-comparable.
+ */
+ChaosResult
+runWorkload(std::uint64_t seed, bool with_faults)
+{
+    ChaosResult res;
+    sim::EventQueue eq;
+    sim::FaultPlan plan(seed);
+    if (with_faults) {
+        plan.addDrop("", 0.01);
+        plan.addCorrupt("", 0.005);
+        plan.addDelay("", 0.01, 200);
+    }
+
+    os::SystemParams params;
+    params.userTiles = 4;
+    params.dram.capacityBytes = 128 << 20;
+    params.noc.faults = &plan;
+    params.mux.watchdogSlices = 3;
+    os::System sys(eq, params);
+
+    services::M3fs fs(sys, 0);
+    services::Nic nic(eq, "nic");
+    services::ExtHost host(eq, "host", services::ExtHost::Mode::Echo);
+    nic.connect(&host);
+    host.connect(&nic);
+    services::NetService net(sys, 1, nic);
+
+    // FS worker on tile 2: write a file, read it back.
+    auto *fs_app = sys.createApp(2, "fsworker");
+    auto fs_client = fs.addClient(fs_app);
+    sys.start(fs_app, [&, fs_client](os::MuxEnv &env) -> sim::Task {
+        services::FileSession f(env, fs_client);
+        dtu::Error err = dtu::Error::None;
+        co_await f.open("/chaos",
+                        services::kOpenW | services::kOpenCreate,
+                        &err);
+        if (err != dtu::Error::None)
+            co_return;
+        Bytes data(1024);
+        for (std::size_t i = 0; i < data.size(); i++)
+            data[i] = static_cast<std::uint8_t>(i * 7 + 1);
+        for (int i = 0; i < 6; i++) {
+            co_await f.write(data, &err);
+            if (err != dtu::Error::None)
+                co_return;
+        }
+        co_await f.close(&err);
+
+        services::FileSession r(env, fs_client, 1);
+        co_await r.open("/chaos", services::kOpenR, &err);
+        Bytes back;
+        for (;;) {
+            Bytes chunk;
+            co_await r.read(1024, &chunk, &err);
+            if (err != dtu::Error::None || chunk.empty())
+                break;
+            back.insert(back.end(), chunk.begin(), chunk.end());
+        }
+        co_await r.close(&err);
+        res.fsOk = err == dtu::Error::None;
+        res.fsData = std::move(back);
+    });
+
+    // A hog on the same tile: computes "forever" without a single
+    // TMCall, so the watchdog kills it after three full slices.
+    auto *hog = sys.createApp(2, "hog");
+    sys.start(hog, [&](os::MuxEnv &env) -> sim::Task {
+        co_await env.thread().compute(2'000'000'000);
+        res.hogSurvived = true;
+    });
+
+    // UDP worker on tile 3: strict ping-pong echoes.
+    auto *udp_app = sys.createApp(3, "udpworker");
+    auto wiring = net.addClient(udp_app);
+    sys.start(udp_app, [&, wiring](os::MuxEnv &env) -> sim::Task {
+        services::UdpSocket sock(env, wiring);
+        dtu::Error err = dtu::Error::None;
+        co_await sock.create(7777, &err);
+        if (err != dtu::Error::None)
+            co_return;
+        for (int i = 0; i < 5; i++) {
+            Bytes msg(8, static_cast<std::uint8_t>(i + 1));
+            co_await sock.sendTo(0x0a000001, 9, msg, &err);
+            if (err != dtu::Error::None)
+                co_return;
+            Bytes back;
+            co_await sock.recv(&back, &err);
+            if (back != msg)
+                co_return;
+            res.echoes++;
+        }
+    });
+
+    // A well-behaved victim on tile 3 that we crash mid-run: its
+    // endpoints, capabilities, and credits must be reaped without
+    // wedging the UDP worker next to it.
+    auto *victim = sys.createApp(3, "victim");
+    sys.start(victim, [&](os::MuxEnv &env) -> sim::Task {
+        for (int i = 0; i < 1'000'000; i++) {
+            co_await env.thread().compute(50'000);
+            co_await env.yield();
+        }
+        res.victimSurvived = true;
+    });
+    eq.schedule(2 * sim::kTicksPerMs, [&]() {
+        sys.mux(3).crashActivity(victim->act->id());
+    });
+
+    fs.startService();
+    net.startService();
+    eq.run();
+
+    res.endTime = eq.now();
+    res.drops = plan.drops().value();
+    res.corrupts = plan.corrupts().value();
+    for (unsigned i = 0; i < params.userTiles; i++) {
+        res.retransmits += sys.vdtu(i).retransmits();
+        res.timeouts += sys.vdtu(i).timeouts();
+    }
+    res.watchdogKills = sys.mux(2).watchdogKills();
+    res.crashes = sys.mux(3).crashes();
+    res.reaped = sys.controller().activitiesReaped();
+    return res;
+}
+
+TEST(ChaosTest, FaultyRunMatchesFaultFreeResults)
+{
+    ChaosResult clean = runWorkload(42, false);
+    ChaosResult chaos = runWorkload(42, true);
+
+    // The fault-free run sanity-checks the workload itself.
+    ASSERT_TRUE(clean.fsOk);
+    ASSERT_EQ(clean.fsData.size(), 6u * 1024);
+    ASSERT_EQ(clean.echoes, 5u);
+    EXPECT_EQ(clean.drops, 0u);
+    EXPECT_EQ(clean.retransmits, 0u);
+
+    // Under faults, every application-visible result is unchanged.
+    EXPECT_TRUE(chaos.fsOk);
+    EXPECT_EQ(chaos.fsData, clean.fsData);
+    EXPECT_EQ(chaos.echoes, clean.echoes);
+
+    // ...and the faults really happened and were recovered from.
+    EXPECT_GT(chaos.drops, 0u);
+    EXPECT_GT(chaos.retransmits, 0u);
+    EXPECT_EQ(chaos.timeouts, 0u);
+
+    // Both runs killed the hog via the watchdog and crashed the
+    // victim; the controller reaped both.
+    for (const ChaosResult *r : {&clean, &chaos}) {
+        EXPECT_FALSE(r->hogSurvived);
+        EXPECT_FALSE(r->victimSurvived);
+        EXPECT_EQ(r->watchdogKills, 1u);
+        EXPECT_EQ(r->crashes, 1u);
+        EXPECT_EQ(r->reaped, 2u);
+    }
+}
+
+TEST(ChaosTest, SameSeedReproducesBitForBit)
+{
+    ChaosResult a = runWorkload(1234, true);
+    ChaosResult b = runWorkload(1234, true);
+    EXPECT_EQ(a.endTime, b.endTime);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.corrupts, b.corrupts);
+    EXPECT_EQ(a.retransmits, b.retransmits);
+    EXPECT_EQ(a.fsData, b.fsData);
+    EXPECT_EQ(a.echoes, b.echoes);
+
+    ChaosResult c = runWorkload(99, true);
+    // A different seed must inject a different fault sequence (the
+    // run length is the most sensitive fingerprint).
+    EXPECT_NE(a.endTime, c.endTime);
+}
+
+} // namespace
+} // namespace m3v

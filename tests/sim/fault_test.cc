@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault-injection plan: window
+ * matching, probability extremes, determinism across same-seed runs,
+ * per-site decorrelation, and injection counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault.h"
+
+namespace m3v::sim {
+namespace {
+
+TEST(FaultTest, DefaultSiteIsInert)
+{
+    FaultSite site;
+    EXPECT_FALSE(site.active());
+    EXPECT_FALSE(site.shouldDrop(0));
+    EXPECT_FALSE(site.shouldCorrupt(123456));
+    EXPECT_EQ(site.delayCycles(99), 0u);
+}
+
+TEST(FaultTest, EmptyPlanInjectsNothing)
+{
+    FaultPlan plan(1);
+    FaultSite site = plan.makeSite("noc.tile0.inj");
+    ASSERT_TRUE(site.active());
+    for (Tick t = 0; t < 1000; t += 7) {
+        EXPECT_FALSE(site.shouldDrop(t));
+        EXPECT_FALSE(site.shouldCorrupt(t));
+        EXPECT_EQ(site.delayCycles(t), 0u);
+    }
+    EXPECT_EQ(plan.drops().value(), 0u);
+}
+
+TEST(FaultTest, ProbabilityOneAlwaysFiresInsideWindow)
+{
+    FaultPlan plan(2);
+    plan.addDrop("", 1.0, 100, 200);
+    FaultSite site = plan.makeSite("x");
+    EXPECT_FALSE(site.shouldDrop(99));
+    EXPECT_TRUE(site.shouldDrop(100));
+    EXPECT_TRUE(site.shouldDrop(199));
+    EXPECT_FALSE(site.shouldDrop(200)); // [start, end)
+    EXPECT_EQ(plan.drops().value(), 2u);
+}
+
+TEST(FaultTest, ProbabilityZeroNeverFires)
+{
+    FaultPlan plan(3);
+    plan.addCorrupt("", 0.0);
+    FaultSite site = plan.makeSite("x");
+    for (Tick t = 0; t < 1000; t++)
+        EXPECT_FALSE(site.shouldCorrupt(t));
+    EXPECT_EQ(plan.corrupts().value(), 0u);
+}
+
+TEST(FaultTest, SitePrefixSelectsSites)
+{
+    FaultPlan plan(4);
+    plan.addDrop("noc.r0", 1.0);
+    FaultSite hit = plan.makeSite("noc.r0.port3");
+    FaultSite miss = plan.makeSite("noc.r1.port0");
+    FaultSite shorter = plan.makeSite("noc.r");
+    EXPECT_TRUE(hit.shouldDrop(0));
+    EXPECT_FALSE(miss.shouldDrop(0));
+    EXPECT_FALSE(shorter.shouldDrop(0));
+}
+
+TEST(FaultTest, KindsAreIndependent)
+{
+    FaultPlan plan(5);
+    plan.addDrop("a", 1.0);
+    plan.addCorrupt("b", 1.0);
+    FaultSite a = plan.makeSite("a");
+    FaultSite b = plan.makeSite("b");
+    EXPECT_TRUE(a.shouldDrop(0));
+    EXPECT_FALSE(a.shouldCorrupt(0));
+    EXPECT_FALSE(b.shouldDrop(0));
+    EXPECT_TRUE(b.shouldCorrupt(0));
+}
+
+TEST(FaultTest, DelayCyclesAccumulateAcrossWindows)
+{
+    FaultPlan plan(6);
+    plan.addDelay("x", 1.0, 10);
+    plan.addDelay("x", 1.0, 32);
+    FaultSite site = plan.makeSite("x");
+    EXPECT_EQ(site.delayCycles(0), 42u);
+    EXPECT_EQ(plan.delays().value(), 2u);
+}
+
+TEST(FaultTest, SameSeedSameDecisions)
+{
+    auto run = [](std::uint64_t seed) {
+        FaultPlan plan(seed);
+        plan.addDrop("", 0.5);
+        FaultSite site = plan.makeSite("x");
+        std::vector<bool> out;
+        for (Tick t = 0; t < 256; t++)
+            out.push_back(site.shouldDrop(t));
+        return out;
+    };
+    EXPECT_EQ(run(42), run(42));
+    EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultTest, SitesDrawDecorrelatedStreams)
+{
+    // Two sites under one window must not mirror each other's
+    // decisions (each gets its own split() of the root Rng).
+    FaultPlan plan(7);
+    plan.addDrop("", 0.5);
+    FaultSite a = plan.makeSite("a");
+    FaultSite b = plan.makeSite("b");
+    unsigned differ = 0;
+    for (Tick t = 0; t < 256; t++)
+        if (a.shouldDrop(t) != b.shouldDrop(t))
+            differ++;
+    EXPECT_GT(differ, 50u);
+}
+
+TEST(FaultTest, CountersTrackInjections)
+{
+    FaultPlan plan(8);
+    plan.addDrop("", 1.0);
+    plan.addCorrupt("", 1.0);
+    FaultSite site = plan.makeSite("x");
+    for (Tick t = 0; t < 10; t++) {
+        site.shouldDrop(t);
+        site.shouldCorrupt(t);
+    }
+    EXPECT_EQ(plan.drops().value(), 10u);
+    EXPECT_EQ(plan.corrupts().value(), 10u);
+    EXPECT_EQ(plan.delays().value(), 0u);
+}
+
+} // namespace
+} // namespace m3v::sim
