@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench_util.h"
@@ -516,10 +517,18 @@ main()
     std::printf("(3 GHz x86-style cores; traceplayer + file system "
                 "per tile; runs/s)\n\n");
 
+    // M3V_FIG09_TILES caps the tile sweep (CI smoke runs use a
+    // reduced configuration; unset means the full figure).
+    unsigned max_tiles = 12;
+    if (const char *cap = std::getenv("M3V_FIG09_TILES"))
+        max_tiles = static_cast<unsigned>(std::atoi(cap));
+
     const unsigned counts[] = {1, 2, 4, 8, 12};
     sim::TablePrinter table({"# tiles", "M3x find", "M3v find",
                              "M3x SQLite", "M3v SQLite"});
     for (unsigned n : counts) {
+        if (n > max_tiles)
+            continue;
         double m3x_find = m3xRunsPerSec(n, true);
         double m3v_find = m3vRunsPerSec(n, true);
         double m3x_sql = m3xRunsPerSec(n, false);

@@ -34,6 +34,83 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
 
+/**
+ * Steady-state schedule/fire on a long-lived queue: one event in, one
+ * event out per iteration. This is the allocation-free hot path — the
+ * closure fits the inline buffer and the event record comes from the
+ * slab freelist.
+ */
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    int sink = 0;
+    for (auto _ : state) {
+        eq.schedule(100, [&sink]() { sink++; });
+        eq.runOne();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+/**
+ * Schedule-then-cancel, the retransmission-timer pattern: most timers
+ * are cancelled long before they fire. A small live event per
+ * iteration keeps time advancing so tombstones are swept.
+ */
+void
+BM_EventQueueScheduleCancel(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    int sink = 0;
+    for (auto _ : state) {
+        sim::EventHandle h =
+            eq.schedule(50 * sim::kTicksPerNs, [&sink]() { sink++; });
+        h.cancel();
+        eq.schedule(sim::kTicksPerNs, [&sink]() { sink++; });
+        eq.runOne();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+/**
+ * Steady-state pop+push with a large standing backlog and a mix of
+ * near-future (wheel), same-tick (FIFO), and far-future (overflow
+ * heap) delays — the fig09-style many-tile profile. range(0) is the
+ * number of pending events held in the queue throughout.
+ */
+void
+BM_EventQueueMixedHorizon(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    sim::Rng rng(12345);
+    int sink = 0;
+    auto mixed_delay = [&rng]() -> sim::Tick {
+        std::uint64_t r = rng.next() % 100;
+        if (r < 60) // short: NoC hops, DMA, core cycles
+            return 1 + rng.next() % (200 * sim::kTicksPerNs);
+        if (r < 95) // medium: traps, slices (still mostly in-wheel)
+            return 1 + rng.next() % (2 * sim::kTicksPerUs);
+        // far: retx timeouts, watchdog periods (overflow heap)
+        return 1 + rng.next() % (500 * sim::kTicksPerUs);
+    };
+    const int backlog = static_cast<int>(state.range(0));
+    for (int i = 0; i < backlog; i++)
+        eq.schedule(mixed_delay(), [&sink]() { sink++; });
+    for (auto _ : state) {
+        eq.runOne();
+        eq.schedule(mixed_delay(), [&sink]() { sink++; });
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["pending"] =
+        static_cast<double>(eq.pending());
+}
+BENCHMARK(BM_EventQueueMixedHorizon)->Arg(1000)->Arg(100000);
+
 sim::Task
 chainTask(sim::EventQueue &eq, int depth)
 {
@@ -45,9 +122,11 @@ chainTask(sim::EventQueue &eq, int depth)
 void
 BM_TaskChain(benchmark::State &state)
 {
+    // The queue and pool live across iterations: this measures
+    // coroutine task overhead, not queue construction.
+    sim::EventQueue eq;
+    sim::TaskPool pool(eq);
     for (auto _ : state) {
-        sim::EventQueue eq;
-        sim::TaskPool pool(eq);
         pool.spawn(chainTask(eq, static_cast<int>(state.range(0))));
         eq.run();
     }

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Event-core benchmark smoke run: exercises the simulator's hot path
+# (micro_sim event-queue benchmarks) plus a reduced fig09 scalability
+# run, and records the headline numbers in BENCH_eventcore.json so
+# regressions show up in review diffs.
+#
+# Run from the repository root: ./ci/bench_smoke.sh
+# Output: BENCH_eventcore.json (repo root).
+set -eu
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_eventcore.json}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target micro_sim fig09_scale
+
+echo "== micro_sim (event-queue benchmarks) =="
+MICRO_JSON=$(mktemp)
+trap 'rm -f "$MICRO_JSON"' EXIT
+"$BUILD_DIR/bench/micro_sim" \
+    --benchmark_filter='BM_EventQueue|BM_TaskChain' \
+    --benchmark_min_time=0.2 \
+    --benchmark_format=json >"$MICRO_JSON"
+jq -r '.benchmarks[] | "\(.name): \(.real_time | floor) ns"' \
+    "$MICRO_JSON"
+
+echo "== fig09_scale (reduced: 4 tiles max) =="
+M3V_FIG09_TILES=4 "$BUILD_DIR/bench/fig09_scale"
+
+# Headline metrics: steady-state schedule/fire cost, throughput, and
+# the largest standing backlog the mixed-horizon benchmark held.
+jq '{
+  ns_per_event: (
+    [.benchmarks[] | select(.name == "BM_EventQueueScheduleFire")
+     | .real_time][0]),
+  events_per_sec: (
+    [.benchmarks[] | select(.name == "BM_EventQueueScheduleFire")
+     | .items_per_second][0]),
+  peak_pending: (
+    [.benchmarks[] | select(.name | startswith("BM_EventQueueMixedHorizon"))
+     | .pending] | max),
+  benchmarks: [.benchmarks[] | {
+    name, ns_per_op: .real_time,
+    items_per_sec: (.items_per_second // null),
+    pending: (.pending // null)
+  }]
+}' "$MICRO_JSON" >"$OUT"
+
+echo "== wrote $OUT =="
+jq '{ns_per_event, events_per_sec, peak_pending}' "$OUT"

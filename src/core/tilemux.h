@@ -122,7 +122,7 @@ class Activity
     TileMux &mux() { return mux_; }
 
     /** Completion hook (app exit, used by benchmarks). */
-    std::function<void()> onExit;
+    sim::UniqueFunction<void()> onExit;
 
   private:
     friend class TileMux;

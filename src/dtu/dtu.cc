@@ -100,7 +100,7 @@ Dtu::extRequest(noc::TileId dst, ExtOp op, EpId ep_start,
 //
 
 void
-Dtu::enqueueCmd(std::function<void()> run)
+Dtu::enqueueCmd(sim::UniqueFunction<void()> run)
 {
     if (cmdBusy_) {
         cmdQueue_.push_back(PendingCmd{std::move(run)});

@@ -269,10 +269,10 @@ class Dtu : public sim::SimObject, public noc::HopTarget
   private:
     struct PendingCmd
     {
-        std::function<void()> run;
+        sim::UniqueFunction<void()> run;
     };
 
-    void enqueueCmd(std::function<void()> run);
+    void enqueueCmd(sim::UniqueFunction<void()> run);
     void cmdFinished();
     void sendPacket(noc::TileId dst, std::unique_ptr<WireData> wd);
     void handlePacket(WireData &wd, noc::TileId src);

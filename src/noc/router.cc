@@ -31,7 +31,7 @@ OutPort::enqueue(Packet &&pkt)
 }
 
 void
-OutPort::waitForSpace(std::function<void()> cb)
+OutPort::waitForSpace(sim::UniqueFunction<void()> cb)
 {
     spaceWaiters_.push_back(std::move(cb));
 }

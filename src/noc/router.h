@@ -81,7 +81,7 @@ class OutPort
     void enqueue(Packet &&pkt);
 
     /** Register a one-shot waiter for queue space. */
-    void waitForSpace(std::function<void()> cb);
+    void waitForSpace(sim::UniqueFunction<void()> cb);
 
     std::uint64_t forwarded() const { return forwarded_.value(); }
 
@@ -102,7 +102,7 @@ class OutPort
     bool draining_ = false;
     /** Fault decision for the head packet, taken at drain start. */
     bool dropHead_ = false;
-    std::vector<std::function<void()>> spaceWaiters_;
+    std::vector<sim::UniqueFunction<void()>> spaceWaiters_;
     sim::Counter forwarded_;
     sim::Counter dropped_;
     sim::FaultSite faultSite_;

@@ -6,11 +6,38 @@
  * FIFO via a sequence number), which keeps simulations deterministic.
  * schedule() returns a handle that can cancel the event (used e.g. when
  * a compute phase is preempted by an interrupt).
+ *
+ * The implementation is allocation-free in steady state:
+ *
+ *  - Event closures live in a slab-pooled event record; the closure
+ *    itself is stored inline in the record via UniqueFunction's small
+ *    buffer (captures up to 48 bytes — which covers the simulator's
+ *    dominant [this]/[h]-style handlers). Freed records are recycled
+ *    through an intrusive freelist.
+ *
+ *  - EventHandle addresses its record by {slot index, generation}.
+ *    cancel()/pending() are two loads and a compare; a handle whose
+ *    record was recycled (fired, cancelled, or reused) sees a
+ *    generation mismatch and is inert. Handles must not outlive their
+ *    EventQueue.
+ *
+ *  - Ordering uses a two-level calendar queue: a near-future wheel of
+ *    kNumBuckets buckets, each kTicksPerBucket ticks wide, over a
+ *    sorted binary heap for events beyond the wheel horizon (~1 µs).
+ *    Same-tick schedules go to a dedicated FIFO ring, so the common
+ *    schedule(0, ...) pattern (task resumptions, channel wakeups)
+ *    never touches the wheel at all. Buckets are append-only and
+ *    sorted lazily when the wheel reaches them. Cancelled events
+ *    leave a tombstone entry that is discarded when encountered.
+ *
+ * Pop order is exactly (tick, seq) — bit-identical to the previous
+ * single binary-heap implementation.
  */
 
 #ifndef M3VSIM_SIM_EVENT_QUEUE_H_
 #define M3VSIM_SIM_EVENT_QUEUE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -25,7 +52,8 @@ class EventQueue;
 /**
  * Cancellation handle for a scheduled event. Default-constructed
  * handles are inert. Cancelling an already-fired or already-cancelled
- * event is a no-op.
+ * event is a no-op. Handles are cheap to copy (pointer + slot +
+ * generation) and must not be used after their EventQueue is gone.
  */
 class EventHandle
 {
@@ -41,22 +69,28 @@ class EventHandle
   private:
     friend class EventQueue;
 
-    struct State
+    EventHandle(EventQueue *q, std::uint32_t slot, std::uint32_t gen)
+        : queue_(q), slot_(slot), gen_(gen)
     {
-        bool cancelled = false;
-        bool fired = false;
-    };
+    }
 
-    explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-
-    std::shared_ptr<State> state_;
+    EventQueue *queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /** The simulation's event queue and clock. */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** log2 of the tick width of one wheel bucket (~2 ns). */
+    static constexpr unsigned kBucketTickShift = 11;
+    /** Number of wheel buckets; horizon = buckets * width ~= 1.05 us.
+     *  Kept small enough that constructing a queue stays cheap. */
+    static constexpr std::size_t kNumBuckets = 512;
+
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -76,12 +110,12 @@ class EventQueue
     /** Schedule @p fn at absolute tick @p when (>= now). */
     EventHandle scheduleAt(Tick when, UniqueFunction<void()> fn);
 
-    /** True if no events are pending. */
-    bool empty() const;
+    /** True if no live (non-cancelled) events are pending. */
+    bool empty() const { return livePending_ == 0; }
 
     /**
-     * Number of pending events. Cancelled events still sitting in the
-     * heap are counted until they are discarded during execution.
+     * Number of live pending events. Cancelled events are removed
+     * from this count immediately at cancel() time.
      */
     std::size_t pending() const { return livePending_; }
 
@@ -89,7 +123,7 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
     /**
-     * Run the next event. Returns false if the queue is empty.
+     * Run the next event. Returns false if no live event is pending.
      * Advances now() to the event's tick.
      */
     bool runOne();
@@ -99,46 +133,124 @@ class EventQueue
 
     /**
      * Run events with tick <= @p when, then advance now() to @p when.
-     * Events scheduled exactly at @p when do fire.
+     * Events scheduled exactly at @p when do fire. Cancelled events
+     * sitting at the queue front are discarded lazily and never delay
+     * the fast-forward of now().
      */
     void runUntil(Tick when);
 
     /**
      * Run until the queue drains or @p max_events have executed.
-     * Returns true if the queue drained.
+     * Returns true if no live events remain.
      */
     bool runCapped(std::uint64_t max_events);
 
   private:
-    struct Item
+    friend class EventHandle;
+
+    static constexpr std::size_t kBucketMask = kNumBuckets - 1;
+    static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
+    static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+    /** Records per slab (power of two). */
+    static constexpr std::size_t kSlabShift = 8;
+    static constexpr std::size_t kSlabSize = std::size_t{1}
+                                             << kSlabShift;
+
+    /**
+     * A queue position referencing a pooled record. If the record's
+     * generation no longer matches, the entry is a tombstone of a
+     * cancelled (or already recycled) event and is skipped.
+     */
+    struct Entry
     {
         Tick when;
         std::uint64_t seq;
-        UniqueFunction<void()> fn;
-        std::shared_ptr<EventHandle::State> state;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    struct Later
+    /**
+     * One wheel bucket: entries appended in schedule order, sorted by
+     * (when, seq) on first drain, consumed via a head cursor.
+     */
+    struct Bucket
     {
-        bool
-        operator()(const Item &a, const Item &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        std::vector<Entry> items;
+        std::uint32_t head = 0;
+        bool sorted = true;
     };
+
+    /** A pooled event record; the closure is stored inline via
+     *  UniqueFunction's small buffer whenever it fits. */
+    struct Record
+    {
+        UniqueFunction<void()> fn;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = kNoSlot;
+    };
+
+    /** Where the current pop candidate lives. */
+    enum class Src
+    {
+        NowFifo,
+        Wheel,
+        Overflow,
+    };
+
+    Record &recordAt(std::uint32_t slot);
+    const Record &recordAt(std::uint32_t slot) const;
+    std::uint32_t allocRecord(UniqueFunction<void()> fn);
+    void freeRecord(std::uint32_t slot);
+    void addSlab();
+
+    bool cancelSlot(std::uint32_t slot, std::uint32_t gen);
+    bool isLive(std::uint32_t slot, std::uint32_t gen) const;
+
+    void insertEntry(const Entry &e);
+    void wheelPush(const Entry &e);
+    void overflowPush(const Entry &e);
+    Entry overflowPop();
+    void rebase(std::uint64_t new_slot);
+    void prepareBucket(Bucket &b);
+    void markBucket(std::size_t idx);
+    void clearBucketBit(std::size_t idx);
+    std::size_t findMarkedFrom(std::size_t start) const;
+
+    /**
+     * Locate the next entry in (when, seq) order, structurally
+     * discarding tombstones on the way. With @p consume the live
+     * entry is removed from its container as well. Returns false if
+     * nothing live remains.
+     */
+    bool nextLive(Entry &out, bool consume);
+    void consumeFrom(Src src, std::size_t bucket_idx);
 
     bool popAndRun();
-    Item popTop();
 
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
-    mutable std::size_t livePending_ = 0;
-    /** Min-heap on (when, seq), managed with std::push_heap/pop_heap
-     *  because items hold move-only closures. */
-    std::vector<Item> queue_;
+    std::size_t livePending_ = 0;
+
+    /** Wheel base in bucket space (now_ >> kBucketTickShift, lazily
+     *  advanced). Bucket index of slot s is s & kBucketMask. */
+    std::uint64_t baseSlot_ = 0;
+    /** Structural entries (incl. tombstones) in the wheel. */
+    std::size_t wheelCount_ = 0;
+    std::array<Bucket, kNumBuckets> wheel_;
+    /** Bit per bucket: set iff the bucket has unconsumed entries. */
+    std::array<std::uint64_t, kBitmapWords> bitmap_{};
+
+    /** FIFO of events scheduled exactly at now_. */
+    std::vector<Entry> nowFifo_;
+    std::size_t nowHead_ = 0;
+
+    /** Min-heap on (when, seq) for events beyond the wheel horizon. */
+    std::vector<Entry> overflow_;
+
+    /** Slab-pooled event records with an intrusive freelist. */
+    std::vector<std::unique_ptr<Record[]>> slabs_;
+    std::uint32_t freeHead_ = kNoSlot;
 };
 
 } // namespace m3v::sim

@@ -76,7 +76,7 @@ class [[nodiscard]] Task
     {
         std::coroutine_handle<> continuation{};
         bool done = false;
-        std::function<void()> onDone{};
+        UniqueFunction<void()> onDone{};
 
         Task
         get_return_object()
@@ -127,7 +127,7 @@ class [[nodiscard]] Task
      * that keep the Task alive and need to observe its completion.
      */
     void
-    setOnDone(std::function<void()> cb)
+    setOnDone(UniqueFunction<void()> cb)
     {
         if (!handle_)
             panic("Task::setOnDone on invalid task");
@@ -212,7 +212,7 @@ class [[nodiscard]] Task
 namespace detail {
 
 inline Task
-invokeImpl(std::function<Task()> fn)
+invokeImpl(UniqueFunction<Task()> fn)
 {
     // fn lives in this coroutine's frame, so the inner coroutine's
     // references into the closure stay valid.
@@ -222,7 +222,7 @@ invokeImpl(std::function<Task()> fn)
 } // namespace detail
 
 inline Task
-invoke(std::function<Task()> f)
+invoke(UniqueFunction<Task()> f)
 {
     return detail::invokeImpl(std::move(f));
 }

@@ -3,12 +3,24 @@
  * A move-only type-erased callable (C++20 stand-in for C++23's
  * std::move_only_function). Event handlers frequently capture
  * unique_ptr payloads, which std::function cannot hold.
+ *
+ * Small closures (up to kInlineSize bytes, suitably aligned and
+ * nothrow-move-constructible) are stored inline in the wrapper itself
+ * — no heap allocation. This is the foundation of the allocation-free
+ * event hot path: the simulator's dominant closures ([this], [h],
+ * [this, id]-style captures) all fit. Larger or over-aligned callables
+ * fall back to a single heap allocation, same as before.
+ *
+ * Type erasure uses a static ops table (three function pointers)
+ * instead of a virtual base, so the inline path needs no vtable-bearing
+ * object and moving is a memcpy-sized operation.
  */
 
 #ifndef M3VSIM_SIM_UNIQUE_FUNCTION_H_
 #define M3VSIM_SIM_UNIQUE_FUNCTION_H_
 
-#include <memory>
+#include <cstddef>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -17,11 +29,23 @@ namespace m3v::sim {
 template <typename Sig>
 class UniqueFunction;
 
-/** Move-only callable wrapper. */
+/** Move-only callable wrapper with small-buffer optimization. */
 template <typename R, typename... Args>
 class UniqueFunction<R(Args...)>
 {
   public:
+    /** Closures up to this size (and max_align_t alignment) are
+     *  stored inline; sized so an event record stays one cache-line
+     *  pair and typical multi-capture lambdas still fit. */
+    static constexpr std::size_t kInlineSize = 48;
+    static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+    /** True if a callable of type F is stored inline (no heap). */
+    template <typename F>
+    static constexpr bool storedInline =
+        sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+        std::is_nothrow_move_constructible_v<F>;
+
     UniqueFunction() = default;
 
     template <typename F,
@@ -29,46 +53,128 @@ class UniqueFunction<R(Args...)>
                   !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
                   std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
     UniqueFunction(F &&f)
-        : impl_(std::make_unique<Impl<std::decay_t<F>>>(
-              std::forward<F>(f)))
     {
+        using DF = std::decay_t<F>;
+        if constexpr (storedInline<DF>) {
+            ::new (static_cast<void *>(buf_)) DF(std::forward<F>(f));
+            ops_ = &InlineOps<DF>::ops;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                DF *(new DF(std::forward<F>(f)));
+            ops_ = &HeapOps<DF>::ops;
+        }
     }
 
-    UniqueFunction(UniqueFunction &&) noexcept = default;
-    UniqueFunction &operator=(UniqueFunction &&) noexcept = default;
+    UniqueFunction(UniqueFunction &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    UniqueFunction &
+    operator=(UniqueFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
     UniqueFunction(const UniqueFunction &) = delete;
     UniqueFunction &operator=(const UniqueFunction &) = delete;
 
-    explicit operator bool() const { return impl_ != nullptr; }
+    ~UniqueFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
 
     R
     operator()(Args... args)
     {
-        return impl_->call(std::forward<Args>(args)...);
+        return ops_->call(buf_, std::forward<Args>(args)...);
     }
 
   private:
-    struct Base
+    struct Ops
     {
-        virtual ~Base() = default;
-        virtual R call(Args... args) = 0;
+        R (*call)(void *, Args...);
+        /** Move-construct into dst from src, then destroy src. */
+        void (*relocate)(void *src, void *dst) noexcept;
+        void (*destroy)(void *) noexcept;
     };
 
     template <typename F>
-    struct Impl final : Base
+    struct InlineOps
     {
-        explicit Impl(F f) : fn(std::move(f)) {}
-
-        R
-        call(Args... args) override
+        static R
+        call(void *p, Args... args)
         {
-            return fn(std::forward<Args>(args)...);
+            return (*static_cast<F *>(p))(std::forward<Args>(args)...);
         }
 
-        F fn;
+        static void
+        relocate(void *src, void *dst) noexcept
+        {
+            F *f = static_cast<F *>(src);
+            ::new (dst) F(std::move(*f));
+            f->~F();
+        }
+
+        static void
+        destroy(void *p) noexcept
+        {
+            static_cast<F *>(p)->~F();
+        }
+
+        static constexpr Ops ops{&call, &relocate, &destroy};
     };
 
-    std::unique_ptr<Base> impl_;
+    template <typename F>
+    struct HeapOps
+    {
+        static F *&ptr(void *p) { return *static_cast<F **>(p); }
+
+        static R
+        call(void *p, Args... args)
+        {
+            return (*ptr(p))(std::forward<Args>(args)...);
+        }
+
+        static void
+        relocate(void *src, void *dst) noexcept
+        {
+            ::new (dst) F *(ptr(src));
+        }
+
+        static void
+        destroy(void *p) noexcept
+        {
+            delete ptr(p);
+        }
+
+        static constexpr Ops ops{&call, &relocate, &destroy};
+    };
+
+    void
+    moveFrom(UniqueFunction &other) noexcept
+    {
+        if (other.ops_) {
+            other.ops_->relocate(other.buf_, buf_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+    const Ops *ops_ = nullptr;
 };
 
 } // namespace m3v::sim

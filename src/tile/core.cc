@@ -76,7 +76,7 @@ Thread::beginKernelCall(std::coroutine_handle<> h)
 
 void
 Thread::enterTrap(std::coroutine_handle<> h,
-                  std::function<void()> handler)
+                  sim::UniqueFunction<void()> handler)
 {
     beginKernelCall(h);
     core_.trapFromThread(std::move(handler));

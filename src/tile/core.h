@@ -146,7 +146,7 @@ class Thread
      * thread is dispatched again.
      */
     auto
-    trapCall(std::function<void()> handler)
+    trapCall(sim::UniqueFunction<void()> handler)
     {
         // The handler is stashed on the thread rather than in the
         // awaiter: GCC 12 duplicates awaiter temporaries bitwise in
@@ -230,7 +230,7 @@ class Thread
     void beginExternalWait(std::coroutine_handle<> h);
     void beginKernelCall(std::coroutine_handle<> h);
     void enterTrap(std::coroutine_handle<> h,
-                   std::function<void()> handler);
+                   sim::UniqueFunction<void()> handler);
     void scheduleComputeEnd();
     void resumeNow();
     void onDispatched();
@@ -258,7 +258,7 @@ class Thread
     sim::Task body_;
     std::function<void(Thread &)> onFinished_;
     /** Handler in flight between trapCall() and its await_suspend. */
-    std::function<void()> pendingTrap_;
+    sim::UniqueFunction<void()> pendingTrap_;
 };
 
 /**
@@ -269,7 +269,9 @@ class Core : public sim::SimObject
 {
   public:
     using IrqHandler = std::function<void(IrqKind)>;
-    using Continuation = std::function<void()>;
+    /** Kernel-work continuations go straight into the event queue;
+     *  the move-only wrapper keeps small captures allocation-free. */
+    using Continuation = sim::UniqueFunction<void()>;
 
     Core(sim::EventQueue &eq, std::string name, CoreModel model,
          noc::TileId tile_id);

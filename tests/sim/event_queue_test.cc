@@ -130,6 +130,40 @@ TEST(EventQueue, RunCappedLimitsExecution)
     EXPECT_EQ(count, 10);
 }
 
+TEST(EventQueue, RunCappedDrainedWhenOnlyCancelledRemain)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&]() { count++; });
+    EventHandle h = eq.schedule(2, [&]() { count++; });
+    h.cancel();
+    // One live event left; the budget covers it, so the queue is
+    // drained — the cancelled event must not make runCapped report
+    // leftover work.
+    EXPECT_TRUE(eq.runCapped(1));
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunUntilIgnoresCancelledFrontEvents)
+{
+    EventQueue eq;
+    bool ran = false;
+    for (Tick t = 1; t <= 5; t++)
+        eq.schedule(t, []() {}).cancel();
+    eq.schedule(50, [&]() { ran = true; });
+    // The cancelled events before the boundary are dead; the live one
+    // is beyond it. Nothing runs, and time still advances to the
+    // boundary.
+    eq.runUntil(20);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.executed(), 0u);
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
 TEST(EventQueue, ExecutedCounts)
 {
     EventQueue eq;
