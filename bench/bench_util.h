@@ -10,8 +10,11 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/log.h"
+#include "sim/metrics.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -64,6 +67,79 @@ printBars(const std::vector<Bar> &bars, const std::string &unit,
         std::printf(" %s\n", unit.c_str());
     }
 }
+
+/** Observability output targets parsed from the command line. */
+struct ObsOptions
+{
+    std::string metricsOut; ///< --metrics-out=<file> (empty: off)
+    std::string traceOut;   ///< --trace-out=<file> (empty: off)
+};
+
+/**
+ * Parse `--metrics-out=` / `--trace-out=` from argv. Unknown
+ * arguments are ignored so figure binaries stay forgiving about
+ * harness-added flags.
+ */
+inline ObsOptions
+parseObsArgs(int argc, char **argv)
+{
+    ObsOptions opts;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        const std::string kMetrics = "--metrics-out=";
+        const std::string kTrace = "--trace-out=";
+        if (arg.rfind(kMetrics, 0) == 0)
+            opts.metricsOut = arg.substr(kMetrics.size());
+        else if (arg.rfind(kTrace, 0) == 0)
+            opts.traceOut = arg.substr(kTrace.size());
+    }
+    return opts;
+}
+
+/**
+ * Collects metrics snapshots from several runs (each with its own
+ * EventQueue/registry) into one JSON object keyed by section name.
+ */
+class MetricsDump
+{
+  public:
+    /** Snapshot @p reg's current values under @p section. */
+    void addSection(const std::string &section,
+                    const sim::MetricsRegistry &reg)
+    {
+        sections_.emplace_back(section, reg.toJson());
+    }
+
+    std::string toJson() const
+    {
+        std::string out = "{";
+        bool first = true;
+        for (const auto &[name, json] : sections_) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\n  \"" + sim::jsonEscape(name) + "\": " + json;
+        }
+        out += "\n}\n";
+        return out;
+    }
+
+    /** Write the combined dump; no-op when @p path is empty. */
+    void write(const std::string &path) const
+    {
+        if (path.empty())
+            return;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            sim::fatal("MetricsDump: cannot open %s", path.c_str());
+        std::string json = toJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> sections_;
+};
 
 /** Cycles at @p freq_hz for a tick duration. */
 inline double

@@ -34,9 +34,14 @@ struct Meas
 
 /** M3v no-op RPC, local (same tile) or remote (two tiles). */
 Meas
-m3vRpc(bool local)
+m3vRpc(bool local, bench::MetricsDump *dump,
+       const std::string &trace_out)
 {
     sim::EventQueue eq;
+    // Must precede construction: subsystems emit their trace
+    // metadata (process/thread names) only when tracing is on.
+    if (!trace_out.empty())
+        eq.tracer().enableAll();
     os::SystemParams params;
     params.userTiles = 2;
     os::System sys(eq, params);
@@ -74,6 +79,11 @@ m3vRpc(bool local)
         }
     });
     eq.run();
+    if (dump)
+        dump->addSection(local ? "m3v_local" : "m3v_remote",
+                         eq.metrics());
+    if (!trace_out.empty())
+        eq.tracer().writeJsonFile(trace_out);
     return Meas{lat.mean(), lat.stddev()};
 }
 
@@ -133,7 +143,7 @@ linuxYield2x()
 
 /** M3x tile-local RPC at 3 GHz (section 6.2 reference). */
 sim::Tick
-m3xLocalRpc()
+m3xLocalRpc(bench::MetricsDump *dump)
 {
     sim::EventQueue eq;
     m3x::M3xParams params;
@@ -170,18 +180,23 @@ m3xLocalRpc()
         co_await sys.exit(*client);
     }));
     eq.run();
+    if (dump)
+        dump->addSection("m3x", eq.metrics());
     return total / kM3xRuns;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using m3v::bench::Bar;
     using m3v::bench::banner;
     using m3v::bench::printBars;
     using m3v::bench::ticksToCycles;
+
+    m3v::bench::ObsOptions obs = m3v::bench::parseObsArgs(argc, argv);
+    m3v::bench::MetricsDump dump;
 
     banner("Figure 6",
            "Local/remote communication on M3v and similar "
@@ -189,8 +204,10 @@ main()
 
     sim::Tick yield2 = linuxYield2x();
     sim::Tick sysc = linuxSyscall();
-    Meas local = m3vRpc(true);
-    Meas remote = m3vRpc(false);
+    Meas local = m3vRpc(true, &dump, "");
+    // The remote run exercises the NoC and both tiles; it is the one
+    // worth tracing.
+    Meas remote = m3vRpc(false, &dump, obs.traceOut);
 
     constexpr std::uint64_t kBoom = 80'000'000;
     std::vector<Bar> us = {
@@ -213,7 +230,7 @@ main()
     printBars(cycles, "Kcycles", 2);
 
     std::printf("\nSection 6.2 reference (gem5-style 3 GHz x86):\n");
-    sim::Tick m3x = m3xLocalRpc();
+    sim::Tick m3x = m3xLocalRpc(&dump);
     std::printf("  M3x tile-local RPC: %.1f us = %.1f Kcycles "
                 "(paper: ~9 us / ~27 Kcycles)\n",
                 sim::ticksToUs(m3x),
@@ -221,5 +238,6 @@ main()
     std::printf("  M3v tile-local RPC @80 MHz: %.1f Kcycles "
                 "(paper: ~5 Kcycles)\n",
                 us_to_kcyc(local.meanUs));
+    dump.write(obs.metricsOut);
     return 0;
 }

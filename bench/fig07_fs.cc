@@ -76,9 +76,12 @@ fsPass(workloads::Vfs &vfs, const std::string &path, bool measure,
 
 /** M3v: app (+ pager) on tile A, m3fs on tile B (B==A for shared). */
 Result
-m3vFs(bool shared)
+m3vFs(bool shared, bench::MetricsDump *dump,
+      const std::string &trace_out)
 {
     sim::EventQueue eq;
+    if (!trace_out.empty())
+        eq.tracer().enableAll();
     os::SystemParams params;
     params.userTiles = 3;
     params.dram.capacityBytes = 256 << 20;
@@ -115,6 +118,11 @@ m3vFs(bool shared)
                             eq, &wr, &rd);
     });
     eq.run();
+    if (dump)
+        dump->addSection(shared ? "m3v_shared" : "m3v_isolated",
+                         eq.metrics());
+    if (!trace_out.empty())
+        eq.tracer().writeJsonFile(trace_out);
     return Result{rd.mean(), wr.mean()};
 }
 
@@ -144,19 +152,22 @@ linuxFs()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using m3v::bench::Bar;
     using m3v::bench::banner;
     using m3v::bench::printBars;
+
+    m3v::bench::ObsOptions obs = m3v::bench::parseObsArgs(argc, argv);
+    m3v::bench::MetricsDump dump;
 
     banner("Figure 7",
            "File read/write throughput (2 MiB files, 4 KiB buffers, "
            "64-block extents)");
 
     Result lin = linuxFs();
-    Result shared = m3vFs(true);
-    Result isolated = m3vFs(false);
+    Result shared = m3vFs(true, &dump, "");
+    Result isolated = m3vFs(false, &dump, obs.traceOut);
 
     std::vector<Bar> bars = {
         {"Linux write", lin.writeMibs, 0},
@@ -170,5 +181,6 @@ main()
     std::printf("\nNote: as in the paper, the isolated results use "
                 "multiple tiles and\ncannot be compared to "
                 "single-tile Linux directly.\n");
+    dump.write(obs.metricsOut);
     return 0;
 }

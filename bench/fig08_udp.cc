@@ -33,9 +33,12 @@ struct Result
 };
 
 Result
-m3vUdp(bool shared)
+m3vUdp(bool shared, bench::MetricsDump *dump,
+       const std::string &trace_out)
 {
     sim::EventQueue eq;
+    if (!trace_out.empty())
+        eq.tracer().enableAll();
     os::SystemParams params;
     params.userTiles = 3;
     os::System sys(eq, params);
@@ -79,6 +82,11 @@ m3vUdp(bool shared)
         }
     });
     eq.run();
+    if (dump)
+        dump->addSection(shared ? "m3v_shared" : "m3v_isolated",
+                         eq.metrics());
+    if (!trace_out.empty())
+        eq.tracer().writeJsonFile(trace_out);
     return Result{lat.mean(), lat.stddev()};
 }
 
@@ -116,19 +124,22 @@ linuxUdp()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using m3v::bench::Bar;
     using m3v::bench::banner;
     using m3v::bench::printBars;
+
+    m3v::bench::ObsOptions obs = m3v::bench::parseObsArgs(argc, argv);
+    m3v::bench::MetricsDump dump;
 
     banner("Figure 8",
            "UDP round-trip latency to a directly connected host "
            "(1-byte packets)");
 
     Result lin = linuxUdp();
-    Result shared = m3vUdp(true);
-    Result isolated = m3vUdp(false);
+    Result shared = m3vUdp(true, &dump, "");
+    Result isolated = m3vUdp(false, &dump, obs.traceOut);
 
     std::vector<Bar> bars = {
         {"Linux", lin.meanUs, lin.stddevUs},
@@ -139,5 +150,6 @@ main()
     std::printf("\nNote: as in the paper, the isolated result uses "
                 "multiple tiles and\ncannot be compared to "
                 "single-tile Linux directly.\n");
+    dump.write(obs.metricsOut);
     return 0;
 }

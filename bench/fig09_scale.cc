@@ -55,9 +55,13 @@ benchTrace(bool find)
 //
 
 double
-m3vRunsPerSec(unsigned tiles, bool find)
+m3vRunsPerSec(unsigned tiles, bool find,
+              bench::MetricsDump *dump = nullptr,
+              const std::string &trace_out = {})
 {
     sim::EventQueue eq;
+    if (!trace_out.empty())
+        eq.tracer().enableAll();
     os::SystemParams params;
     params.userTiles = tiles;
     params.userModel = tile::CoreModel::x86Ooo();
@@ -94,6 +98,12 @@ m3vRunsPerSec(unsigned tiles, bool find)
         });
     }
     eq.run();
+    if (dump)
+        dump->addSection((find ? "m3v_find_" : "m3v_sqlite_") +
+                             std::to_string(tiles),
+                         eq.metrics());
+    if (!trace_out.empty())
+        eq.tracer().writeJsonFile(trace_out);
     if (finished != tiles)
         sim::panic("fig09: only %u/%u m3v players finished", finished,
                    tiles);
@@ -451,7 +461,8 @@ m3xFsServer(m3x::M3xSystem &sys, m3x::M3xAct &self,
 }
 
 double
-m3xRunsPerSec(unsigned tiles, bool find)
+m3xRunsPerSec(unsigned tiles, bool find,
+              bench::MetricsDump *dump = nullptr)
 {
     sim::EventQueue eq;
     m3x::M3xParams params;
@@ -491,6 +502,10 @@ m3xRunsPerSec(unsigned tiles, bool find)
         }));
     }
     eq.run();
+    if (dump)
+        dump->addSection((find ? "m3x_find_" : "m3x_sqlite_") +
+                             std::to_string(tiles),
+                         eq.metrics());
     if (finished != tiles)
         sim::panic("fig09: only %u/%u m3x players finished", finished,
                    tiles);
@@ -507,9 +522,12 @@ m3xRunsPerSec(unsigned tiles, bool find)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using m3v::bench::banner;
+
+    m3v::bench::ObsOptions obs = m3v::bench::parseObsArgs(argc, argv);
+    m3v::bench::MetricsDump dump;
 
     banner("Figure 9",
            "Scalability of context-switch-heavy applications with "
@@ -523,16 +541,20 @@ main()
     if (const char *cap = std::getenv("M3V_FIG09_TILES"))
         max_tiles = static_cast<unsigned>(std::atoi(cap));
 
+    std::string trace_once = obs.traceOut;
     const unsigned counts[] = {1, 2, 4, 8, 12};
     sim::TablePrinter table({"# tiles", "M3x find", "M3v find",
                              "M3x SQLite", "M3v SQLite"});
     for (unsigned n : counts) {
         if (n > max_tiles)
             continue;
-        double m3x_find = m3xRunsPerSec(n, true);
-        double m3v_find = m3vRunsPerSec(n, true);
-        double m3x_sql = m3xRunsPerSec(n, false);
-        double m3v_sql = m3vRunsPerSec(n, false);
+        double m3x_find = m3xRunsPerSec(n, true, &dump);
+        // Trace only the first m3v configuration (the file would be
+        // huge otherwise).
+        double m3v_find = m3vRunsPerSec(n, true, &dump, trace_once);
+        trace_once.clear();
+        double m3x_sql = m3xRunsPerSec(n, false, &dump);
+        double m3v_sql = m3vRunsPerSec(n, false, &dump);
         table.addRow({std::to_string(n), sim::fmtDouble(m3x_find, 0),
                       sim::fmtDouble(m3v_find, 0),
                       sim::fmtDouble(m3x_sql, 0),
@@ -543,5 +565,6 @@ main()
                 "1/2/4 tiles; M3x SQLite 49/82/86/68 at 1/2/4/8;\n"
                 "M3v 84 (find) and 111 (SQLite) at 1 tile, scaling "
                 "almost linearly to 12 tiles.\n");
+    dump.write(obs.metricsOut);
     return 0;
 }

@@ -197,9 +197,14 @@ writeRequestsFile(workloads::Vfs &vfs, const std::string &dir,
 }
 
 Split
-m3vCloud(bool shared, const YcsbMix &mix)
+m3vCloud(bool shared, const YcsbMix &mix,
+         bench::MetricsDump *dump = nullptr,
+         const std::string &trace_out = {},
+         const std::string &section = {})
 {
     sim::EventQueue eq;
+    if (!trace_out.empty())
+        eq.tracer().enableAll();
     os::SystemParams params;
     params.userTiles = 4;
     params.dram.capacityBytes = 256 << 20;
@@ -267,6 +272,10 @@ m3vCloud(bool shared, const YcsbMix &mix)
         sys1 = system_ticks();
     });
     eq.run();
+    if (dump)
+        dump->addSection(section, eq.metrics());
+    if (!trace_out.empty())
+        eq.tracer().writeJsonFile(trace_out);
     double total = sim::ticksToSec(t_end - t_start);
     double system = sim::ticksToSec(sys1 - sys0);
     return Split{total - system, system};
@@ -322,9 +331,13 @@ printRow(const char *label, const Split &s)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using m3v::bench::banner;
+
+    m3v::bench::ObsOptions obs = m3v::bench::parseObsArgs(argc, argv);
+    m3v::bench::MetricsDump dump;
+    std::string trace_once = obs.traceOut;
 
     banner("Figure 10",
            "Cloud service (leveldb-lite + YCSB) vs Linux; 200 "
@@ -345,8 +358,12 @@ main()
 
     for (const Mix &m : mixes) {
         std::printf("\n%s workload:\n", m.name);
-        Split iso = m3vCloud(false, m.mix);
-        Split sh = m3vCloud(true, m.mix);
+        Split iso =
+            m3vCloud(false, m.mix, &dump, trace_once,
+                     std::string("m3v_isolated_") + m.name);
+        trace_once.clear();
+        Split sh = m3vCloud(true, m.mix, &dump, "",
+                            std::string("m3v_shared_") + m.name);
         Split lin = linuxCloud(m.mix);
         printRow("M3v (isolated)", iso);
         printRow("M3v (shared)", sh);
@@ -355,5 +372,6 @@ main()
     std::printf("\nNote: isolated M3v uses multiple tiles and is "
                 "shown for completeness only\n(as in the paper); "
                 "user/system attribution follows section 6.5.2.\n");
+    dump.write(obs.metricsOut);
     return 0;
 }

@@ -16,7 +16,9 @@ cmake --build "$BUILD_DIR" -j --target micro_sim fig09_scale
 
 echo "== micro_sim (event-queue benchmarks) =="
 MICRO_JSON=$(mktemp)
-trap 'rm -f "$MICRO_JSON"' EXIT
+METRICS_JSON=""
+TRACE_JSON=""
+trap 'rm -f "$MICRO_JSON" "$METRICS_JSON" "$TRACE_JSON"' EXIT
 "$BUILD_DIR/bench/micro_sim" \
     --benchmark_filter='BM_EventQueue|BM_TaskChain' \
     --benchmark_min_time=0.2 \
@@ -26,6 +28,50 @@ jq -r '.benchmarks[] | "\(.name): \(.real_time | floor) ns"' \
 
 echo "== fig09_scale (reduced: 4 tiles max) =="
 M3V_FIG09_TILES=4 "$BUILD_DIR/bench/fig09_scale"
+
+echo "== fig06_micro observability smoke =="
+cmake --build "$BUILD_DIR" -j --target fig06_micro
+METRICS_JSON=$(mktemp)
+TRACE_JSON=$(mktemp)
+# (both are removed by the EXIT trap)
+"$BUILD_DIR/bench/fig06_micro" \
+    --metrics-out="$METRICS_JSON" \
+    --trace-out="$TRACE_JSON" >/dev/null
+
+# The metrics dump must carry instruments from every major subsystem
+# (dtu, vdtu, tilemux, noc, m3x) and plausible values: the remote RPC
+# run crosses the NoC, so deliveries and vDTU core requests are
+# nonzero, and the M3x reference run context-switches through its
+# kernel.
+jq -e '
+  .m3v_remote["ctrl.dtu.msgs_sent"] != null and
+  .m3v_remote["tile0.vdtu.core_reqs"] != null and
+  .m3v_remote["tile0.tilemux.switches"] != null and
+  .m3v_remote["noc.delivered"] > 0 and
+  (.m3v_remote | keys | map(select(startswith("tile0.vdtu"))) | length > 0) and
+  .m3v_local["tile0.tilemux.tmcalls"] > 0 and
+  .m3x["m3x.kernel.switches"] > 0 and
+  .m3x["m3x.kernel.slowpaths"] > 0
+' "$METRICS_JSON" >/dev/null || {
+    echo "FAIL: metrics JSON is missing expected keys" >&2
+    jq 'keys' "$METRICS_JSON" >&2 || cat "$METRICS_JSON" >&2
+    exit 1
+}
+
+# The trace must be valid Chrome trace-event JSON with balanced
+# B/E spans and named tracks.
+jq -e '
+  (.traceEvents | length) > 0 and
+  (([.traceEvents[] | select(.ph == "B")] | length) ==
+   ([.traceEvents[] | select(.ph == "E")] | length)) and
+  (([.traceEvents[] | select(.ph == "M" and .name == "process_name")]
+    | length) > 0)
+' "$TRACE_JSON" >/dev/null || {
+    echo "FAIL: trace JSON malformed or missing spans/metadata" >&2
+    exit 1
+}
+echo "metrics+trace OK: $(jq '.traceEvents | length' "$TRACE_JSON") trace events"
+rm -f "$METRICS_JSON" "$TRACE_JSON"
 
 # Headline metrics: steady-state schedule/fire cost, throughput, and
 # the largest standing backlog the mixed-horizon benchmark held.

@@ -15,4 +15,11 @@ cmake -B build-asan -S . -DM3VSIM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j "$(nproc)")
 
+echo "== sanitized re-run: observability + lifecycle regressions =="
+# The metrics/trace layer and the activity-teardown paths are the
+# most UB-prone (handle lifetimes, histogram arithmetic); run them
+# again explicitly so a filter typo above cannot silently skip them.
+(cd build-asan && ctest --output-on-failure -R \
+    'MetricsRegistry|Tracer\.|JsonEscape|Histogram\.|Sampler\.|ResetAct|Restart')
+
 echo "== all checks passed =="

@@ -23,6 +23,20 @@ TileMux::TileMux(sim::EventQueue &eq, std::string name,
       params_(params),
       l1i_(core.model().l1iBytes, 64, core.model().lineFillCycles)
 {
+    switches_ = statCounter("switches");
+    coreReqIrqs_ = statCounter("core_req_irqs");
+    timerIrqs_ = statCounter("timer_irqs");
+    tmCalls_ = statCounter("tmcalls");
+    watchdogKills_ = statCounter("watchdog_kills");
+    crashes_ = statCounter("crashes");
+    trc_ = &eq.tracer();
+    pid_ = vdtu.tileId();
+    if (trc_->anyEnabled()) {
+        trc_->setProcessName(pid_,
+                             "tile" + std::to_string(pid_));
+        trc_->setThreadName(pid_, sim::kTraceTidMux, "tilemux");
+        trc_->setThreadName(pid_, sim::kTraceTidDtu, "vdtu");
+    }
     core_.setIrqHandler([this](tile::IrqKind k) { onIrq(k); });
     vdtu_.setCoreReqIrq(
         [this]() { core_.raiseIrq(tile::IrqKind::CoreRequest); });
@@ -61,6 +75,17 @@ TileMux::createActivity(ActId id, std::string name,
 void
 TileMux::startActivity(Activity *act, sim::Task body)
 {
+    // Only a freshly created activity may be started: restarting one
+    // that is already Ready (or still queued after a yield) would
+    // start a second thread body and enqueue a duplicate ready_
+    // entry, so the activity runs "twice".
+    if (act->state_ != Activity::State::Init) {
+        sim::warn("%s: startActivity on %s in non-Init state; ignored",
+                  name().c_str(), act->name().c_str());
+        return;
+    }
+    if (trc_->anyEnabled())
+        trc_->setThreadName(pid_, act->id(), act->name());
     act->thread_.start(std::move(body));
     act->state_ = Activity::State::Ready;
     ready_.push_back(act);
@@ -83,7 +108,7 @@ TileMux::killActivity(ActId id)
     if (hint_ == act)
         hint_ = nullptr;
     pollers_.erase(id);
-    vdtu_.tlbFlushAct(id);
+    vdtu_.resetAct(id);
     if (act->onExit)
         eq_.schedule(0, [act]() { act->onExit(); });
 }
@@ -101,17 +126,19 @@ TileMux::crashActivity(ActId id)
         // own death.
         core_.preemptCurrent();
         current_ = nullptr;
-        reapLocal(*act, crashes_);
+        reapLocal(*act, *crashes_, "crash");
         kickScheduler();
         return;
     }
-    reapLocal(*act, crashes_);
+    reapLocal(*act, *crashes_, "crash");
 }
 
 void
-TileMux::reapLocal(Activity &act, sim::Counter &reason)
+TileMux::reapLocal(Activity &act, sim::Counter &reason,
+                   const char *why)
 {
     reason.inc();
+    trc_->instant(sim::TraceCat::Fault, pid_, act.id(), why);
     ActId id = act.id();
     killActivity(id);
     if (crashHandler_) {
@@ -200,7 +227,8 @@ TileMux::waitForMsg(Activity &act, dtu::EpId ep)
     }
 
     // Others are ready: block via TMCall so they can run.
-    tmCalls_.inc();
+    tmCalls_->inc();
+    trc_->begin(sim::TraceCat::TmCall, pid_, act.id(), "tmcall:wait");
     co_await act.thread().trapCall([this, &act, has_msg]() {
         core_.kernelWork(params_.entryCost + touchMux(), [this, &act,
                                                           has_msg]() {
@@ -215,13 +243,16 @@ TileMux::waitForMsg(Activity &act, dtu::EpId ep)
             scheduleNext();
         });
     });
+    trc_->end(sim::TraceCat::TmCall, pid_, act.id());
 }
 
 sim::Task
 TileMux::translCall(Activity &act, dtu::VirtAddr va, bool write)
 {
     act.hogSlices_ = 0;
-    tmCalls_.inc();
+    tmCalls_->inc();
+    trc_->begin(sim::TraceCat::TmCall, pid_, act.id(),
+                "tmcall:transl");
     co_await act.thread().trapCall([this, &act, va, write]() {
         sim::Cycles cost =
             params_.entryCost + params_.translCost + touchMux();
@@ -250,13 +281,16 @@ TileMux::translCall(Activity &act, dtu::VirtAddr va, bool write)
             });
         });
     });
+    trc_->end(sim::TraceCat::TmCall, pid_, act.id());
 }
 
 sim::Task
 TileMux::yieldCall(Activity &act)
 {
     act.hogSlices_ = 0;
-    tmCalls_.inc();
+    tmCalls_->inc();
+    trc_->begin(sim::TraceCat::TmCall, pid_, act.id(),
+                "tmcall:yield");
     co_await act.thread().trapCall([this, &act]() {
         core_.kernelWork(params_.entryCost + touchMux(), [this,
                                                           &act]() {
@@ -266,20 +300,23 @@ TileMux::yieldCall(Activity &act)
             scheduleNext();
         });
     });
+    trc_->end(sim::TraceCat::TmCall, pid_, act.id());
 }
 
 sim::Task
 TileMux::exitCall(Activity &act)
 {
     act.hogSlices_ = 0;
-    tmCalls_.inc();
+    tmCalls_->inc();
+    trc_->instant(sim::TraceCat::TmCall, pid_, act.id(),
+                  "tmcall:exit");
     co_await act.thread().trapCall([this, &act]() {
         core_.kernelWork(params_.entryCost + touchMux(), [this,
                                                           &act]() {
             act.state_ = Activity::State::Dead;
             current_ = nullptr;
             pollers_.erase(act.id());
-            vdtu_.tlbFlushAct(act.id());
+            vdtu_.resetAct(act.id());
             if (act.onExit) {
                 // Run the harness hook outside the kernel path.
                 eq_.schedule(0, [&act]() { act.onExit(); });
@@ -325,7 +362,7 @@ TileMux::onIrq(tile::IrqKind kind)
                     // Hung: N consecutive full slices without one
                     // TMCall. Kill it here instead of requeueing so
                     // the other activities keep the core.
-                    reapLocal(*current_, watchdogKills_);
+                    reapLocal(*current_, *watchdogKills_, "watchdog");
                 } else {
                     ready_.push_back(current_); // slice over: go last
                 }
@@ -339,11 +376,15 @@ TileMux::onIrq(tile::IrqKind kind)
     core_.kernelWork(params_.entryCost + touchMux(), [this, kind]() {
         switch (kind) {
           case tile::IrqKind::Timer:
-            timerIrqs_.inc();
+            timerIrqs_->inc();
+            trc_->instant(sim::TraceCat::Irq, pid_,
+                          sim::kTraceTidMux, "timer_irq");
             scheduleNext();
             break;
           case tile::IrqKind::CoreRequest:
-            coreReqIrqs_.inc();
+            coreReqIrqs_->inc();
+            trc_->instant(sim::TraceCat::Irq, pid_,
+                          sim::kTraceTidMux, "core_req_irq");
             handleCoreRequest();
             break;
           case tile::IrqKind::Device:
@@ -498,7 +539,9 @@ TileMux::switchTo(Activity *next)
             next->footprint_ /
                 std::max<std::size_t>(1,
                                       params_.switchTouchDivisor));
-        switches_.inc();
+        switches_->inc();
+        trc_->instant(sim::TraceCat::Sched, pid_, next->id(),
+                      "switch");
     }
 
     core_.kernelWork(cost, [this, next]() {

@@ -239,21 +239,26 @@ class TileMux : public sim::SimObject
     /** Shared-memory flag: are other activities ready? (section 3.7) */
     bool othersReady(const Activity &act) const;
 
-    // Statistics for the evaluation.
-    std::uint64_t ctxSwitches() const { return switches_.value(); }
-    std::uint64_t coreReqIrqs() const { return coreReqIrqs_.value(); }
-    std::uint64_t timerIrqs() const { return timerIrqs_.value(); }
-    std::uint64_t tmCalls() const { return tmCalls_.value(); }
+    // Statistics for the evaluation (registry-backed).
+    std::uint64_t ctxSwitches() const { return switches_->value(); }
+    std::uint64_t coreReqIrqs() const
+    {
+        return coreReqIrqs_->value();
+    }
+    std::uint64_t timerIrqs() const { return timerIrqs_->value(); }
+    std::uint64_t tmCalls() const { return tmCalls_->value(); }
     std::uint64_t watchdogKills() const
     {
-        return watchdogKills_.value();
+        return watchdogKills_->value();
     }
-    std::uint64_t crashes() const { return crashes_.value(); }
+    std::uint64_t crashes() const { return crashes_->value(); }
 
   private:
     void onIrq(tile::IrqKind kind);
-    /** Kill a hung/crashed activity and schedule the crash upcall. */
-    void reapLocal(Activity &act, sim::Counter &reason);
+    /** Kill a hung/crashed activity and schedule the crash upcall;
+     *  @p why names the trace/fault event ("watchdog", "crash"). */
+    void reapLocal(Activity &act, sim::Counter &reason,
+                   const char *why);
     void handleCoreRequest();
     void handleSidecall();
     /** Pick next and switch (kernel context). */
@@ -281,12 +286,16 @@ class TileMux : public sim::SimObject
     dtu::EpId sidecallEp_ = dtu::kInvalidEp;
     std::function<void(dtu::ActId)> crashHandler_;
 
-    sim::Counter switches_;
-    sim::Counter coreReqIrqs_;
-    sim::Counter timerIrqs_;
-    sim::Counter tmCalls_;
-    sim::Counter watchdogKills_;
-    sim::Counter crashes_;
+    sim::Counter *switches_;
+    sim::Counter *coreReqIrqs_;
+    sim::Counter *timerIrqs_;
+    sim::Counter *tmCalls_;
+    sim::Counter *watchdogKills_;
+    sim::Counter *crashes_;
+
+    /** Timeline tracer and this tile's trace pid (= NoC tile id). */
+    sim::Tracer *trc_;
+    std::uint32_t pid_;
 };
 
 } // namespace m3v::core

@@ -17,6 +17,10 @@ VDtu::VDtu(sim::EventQueue &eq, std::string name, noc::Noc &noc,
     : Dtu(eq, std::move(name), noc, tile, freq_hz, timing),
       params_(params), tlb_(params.tlbEntries)
 {
+    tlbMisses_ = statCounter("tlb.misses");
+    tlbHits_ = statCounter("tlb.hits");
+    coreReqCount_ = statCounter("core_reqs");
+    foreignDenials_ = statCounter("foreign_denials");
 }
 
 CurAct
@@ -66,6 +70,34 @@ VDtu::tlbFlushAct(ActId act)
             e = TlbEntry();
 }
 
+void
+VDtu::resetAct(ActId act)
+{
+    tlbFlushAct(act);
+    // Drop buffered messages of the dead activity's receive
+    // endpoints, returning flow-control credits to surviving senders.
+    // Without this the endpoint slots and the unread_ bookkeeping
+    // disagree, and a later fetch under a reused activity id panics.
+    for (EpId i = 0; i < dtu::kNumEps; i++) {
+        const dtu::Endpoint &e = ep(i);
+        if (e.kind == dtu::EpKind::Receive && e.act == act)
+            reclaimCredits(i);
+    }
+    unread_.erase(act);
+    // Purge queued core requests of the dead activity. Freed slots
+    // lift the section 3.8 backpressure, so wake any NoC waiters.
+    std::size_t before = coreReqs_.size();
+    coreReqs_.erase(std::remove_if(coreReqs_.begin(), coreReqs_.end(),
+                                   [act](const CoreReq &r) {
+                                       return r.act == act;
+                                   }),
+                    coreReqs_.end());
+    if (coreReqs_.size() != before)
+        notifySpaceWaiters();
+    if (cur_.act == act)
+        cur_.msgCount = 0;
+}
+
 std::size_t
 VDtu::tlbFill() const
 {
@@ -75,10 +107,10 @@ VDtu::tlbFill() const
     return n;
 }
 
-const TlbEntry *
-VDtu::tlbLookup(ActId act, dtu::VirtAddr page) const
+TlbEntry *
+VDtu::tlbLookup(ActId act, dtu::VirtAddr page)
 {
-    for (const auto &e : tlb_)
+    for (auto &e : tlb_)
         if (e.act == act && e.page == page)
             return &e;
     return nullptr;
@@ -149,8 +181,10 @@ VDtu::checkEpAccess(ActId act, const dtu::Endpoint &ep) const
 {
     if (ep.act != act) {
         // Report "unknown endpoint" (section 3.5): an activity must
-        // not learn about endpoints it does not own.
-        const_cast<sim::Counter &>(foreignDenials_).inc();
+        // not learn about endpoints it does not own. The registry
+        // handle is mutable by design, so the const query path needs
+        // no const_cast.
+        foreignDenials_->inc();
         return Error::ForeignEp;
     }
     return Error::None;
@@ -167,18 +201,18 @@ VDtu::translate(ActId act, dtu::VirtAddr buf, bool write,
         return pmpCheck(phys, write);
     }
     dtu::VirtAddr page = buf & ~(dtu::kPageSize - 1);
-    const TlbEntry *e = tlbLookup(act, page);
+    TlbEntry *e = tlbLookup(act, page);
     if (!e) {
-        tlbMisses_.inc();
+        tlbMisses_->inc();
         return Error::TlbMiss;
     }
     std::uint8_t need = write ? dtu::kPermW : dtu::kPermR;
     if (!(e->perms & need)) {
-        tlbMisses_.inc();
+        tlbMisses_->inc();
         return Error::TlbMiss;
     }
-    const_cast<TlbEntry *>(e)->lastUse = ++tlbClock_;
-    tlbHits_.inc();
+    e->lastUse = ++tlbClock_;
+    tlbHits_->inc();
     phys = e->phys | (buf & (dtu::kPageSize - 1));
     return pmpCheck(phys, write);
 }
@@ -213,7 +247,7 @@ VDtu::onMessageStored(EpId, ActId owner)
     // inject an interrupt if the queue was empty (section 3.8).
     bool was_empty = coreReqs_.empty();
     coreReqs_.push_back(CoreReq{owner});
-    coreReqCount_.inc();
+    coreReqCount_->inc();
     if (was_empty && coreReqIrq_)
         coreReqIrq_();
 }

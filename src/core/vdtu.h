@@ -102,6 +102,16 @@ class VDtu : public dtu::Dtu
     /** Remove all translations of an activity (activity teardown). */
     void tlbFlushAct(dtu::ActId act);
 
+    /**
+     * Full per-activity state teardown (activity kill/exit): flush
+     * the TLB, forget the unread-message count, and purge queued core
+     * requests for @p act. Without this a reused ActId inherits
+     * phantom unread messages and dead activities keep raising
+     * core-request IRQs. Purging may free core-request queue space,
+     * so NoC backpressure waiters are notified.
+     */
+    void resetAct(dtu::ActId act);
+
     /** Number of valid TLB entries (for tests/ablations). */
     std::size_t tlbFill() const;
 
@@ -130,13 +140,13 @@ class VDtu : public dtu::Dtu
     /** Unread-message count of an arbitrary activity (priv. read). */
     std::size_t unreadOf(dtu::ActId act) const;
 
-    // Statistics for the evaluation.
-    std::uint64_t tlbMisses() const { return tlbMisses_.value(); }
-    std::uint64_t tlbHits() const { return tlbHits_.value(); }
-    std::uint64_t coreReqs() const { return coreReqCount_.value(); }
+    // Statistics for the evaluation (registry-backed).
+    std::uint64_t tlbMisses() const { return tlbMisses_->value(); }
+    std::uint64_t tlbHits() const { return tlbHits_->value(); }
+    std::uint64_t coreReqs() const { return coreReqCount_->value(); }
     std::uint64_t foreignEpDenials() const
     {
-        return foreignDenials_.value();
+        return foreignDenials_->value();
     }
 
     // noc::HopTarget override: backpressure when the core-request
@@ -153,7 +163,7 @@ class VDtu : public dtu::Dtu
     void onMessageFetched(dtu::EpId ep_id, dtu::ActId owner) override;
 
   private:
-    const TlbEntry *tlbLookup(dtu::ActId act, dtu::VirtAddr page) const;
+    TlbEntry *tlbLookup(dtu::ActId act, dtu::VirtAddr page);
     dtu::Error pmpCheck(dtu::PhysAddr phys, bool write) const;
     void notifySpaceWaiters();
 
@@ -166,10 +176,10 @@ class VDtu : public dtu::Dtu
     std::unordered_map<dtu::ActId, std::size_t> unread_;
     std::vector<std::function<void()>> spaceWaiters_;
 
-    sim::Counter tlbMisses_;
-    sim::Counter tlbHits_;
-    sim::Counter coreReqCount_;
-    sim::Counter foreignDenials_;
+    sim::Counter *tlbMisses_;
+    sim::Counter *tlbHits_;
+    sim::Counter *coreReqCount_;
+    sim::Counter *foreignDenials_;
 };
 
 } // namespace m3v::core

@@ -34,6 +34,16 @@ Dtu::Dtu(sim::EventQueue &eq, std::string name, noc::Noc &noc,
       reliable_(noc.params().faults != nullptr)
 {
     noc_.attachTile(tile, this);
+    msgsSent_ = statCounter("msgs_sent");
+    msgsRecv_ = statCounter("msgs_recv");
+    nacks_ = statCounter("nacks");
+    retransmits_ = statCounter("retransmits");
+    timeouts_ = statCounter("timeouts");
+    duplicates_ = statCounter("duplicates");
+    corruptDropped_ = statCounter("corrupt_dropped");
+    straysDropped_ = statCounter("strays_dropped");
+    creditsReclaimed_ = statCounter("credits_reclaimed");
+    trc_ = &eq.tracer();
 }
 
 //
@@ -115,6 +125,7 @@ Dtu::cmdFinished()
 {
     if (!cmdBusy_)
         sim::panic("%s: cmdFinished while idle", name().c_str());
+    trc_->end(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu);
     if (cmdQueue_.empty()) {
         cmdBusy_ = false;
         return;
@@ -141,6 +152,7 @@ Dtu::doSend(ActId act, EpId ep_id, VirtAddr buf,
             std::vector<std::uint8_t> payload, EpId reply_ep,
             CmdCallback cb)
 {
+    trc_->begin(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu, "SEND");
     sim::Tick t0 =
         clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
     eq_.schedule(t0, [this, act, ep_id, buf,
@@ -202,9 +214,9 @@ Dtu::doSend(ActId act, EpId ep_id, VirtAddr buf,
                     if (s.kind == EpKind::Send &&
                         s.send.credits < s.send.maxCredits)
                         s.send.credits++;
-                    nacks_.inc();
+                    nacks_->inc();
                 } else {
-                    msgsSent_.inc();
+                    msgsSent_->inc();
                 }
                 cb(e);
                 cmdFinished();
@@ -235,6 +247,8 @@ void
 Dtu::doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
              std::vector<std::uint8_t> payload, CmdCallback cb)
 {
+    trc_->begin(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu,
+                "REPLY");
     sim::Tick t0 =
         clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
     eq_.schedule(t0, [this, act, rep_id, slot, buf,
@@ -299,9 +313,9 @@ Dtu::doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
             Inflight inf;
             inf.cmdCb = [this, cb = std::move(cb)](Error e) {
                 if (e == Error::None)
-                    msgsSent_.inc();
+                    msgsSent_->inc();
                 else
-                    nacks_.inc();
+                    nacks_->inc();
                 cb(e);
                 cmdFinished();
             };
@@ -329,6 +343,7 @@ void
 Dtu::doRead(ActId act, EpId mep_id, std::uint64_t offset,
             std::size_t size, VirtAddr buf, ReadCallback cb)
 {
+    trc_->begin(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu, "READ");
     sim::Tick t0 =
         clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
     eq_.schedule(t0, [this, act, mep_id, offset, size, buf,
@@ -402,6 +417,8 @@ Dtu::doWrite(ActId act, EpId mep_id, std::uint64_t offset,
              std::vector<std::uint8_t> data, VirtAddr buf,
              CmdCallback cb)
 {
+    trc_->begin(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu,
+                "WRITE");
     sim::Tick t0 =
         clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
     eq_.schedule(t0, [this, act, mep_id, offset,
@@ -553,7 +570,7 @@ Dtu::reclaimCredits(EpId rep_id)
             continue;
         if (rs.msg.creditEp != kInvalidEp) {
             sendCreditReturn(rs.msg.srcTile, rs.msg.creditEp);
-            creditsReclaimed_.inc();
+            creditsReclaimed_->inc();
             n++;
         }
         rs = RecvSlot{};
@@ -582,7 +599,7 @@ Dtu::deviceMessage(EpId rep, std::vector<std::uint8_t> payload,
     rs.msg.srcTile = tile_;
     rs.msg.payload = std::move(payload);
     rs.msg.seq = nextSeq_++;
-    msgsRecv_.inc();
+    msgsRecv_->inc();
     onMessageStored(rep, ep.act);
     if (msgNotify_)
         msgNotify_(rep, ep.act);
@@ -600,7 +617,7 @@ Dtu::acceptPacket(noc::Packet &pkt, std::function<void()> on_space)
     if (pkt.corrupted) {
         // The link CRC failed: discard the packet. In reliable mode
         // the sender's retransmission recovers it.
-        corruptDropped_.inc();
+        corruptDropped_->inc();
         noc::Packet consumed = std::move(pkt);
         return true;
     }
@@ -691,7 +708,9 @@ Dtu::retxTimeout(std::uint64_t seq)
         std::uint64_t req_id = r.wd.reqId;
         WireKind kind = r.wd.kind;
         retx_.erase(it);
-        timeouts_.inc();
+        timeouts_->inc();
+        trc_->instant(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu,
+                      "retx_timeout");
         if (kind == WireKind::CreditReturn)
             return;
         auto inf = inflight_.find(req_id);
@@ -708,7 +727,9 @@ Dtu::retxTimeout(std::uint64_t seq)
         return;
     }
     r.attempts++;
-    retransmits_.inc();
+    retransmits_->inc();
+    trc_->instant(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu,
+                  "retransmit");
     auto copy = std::make_unique<WireData>(r.wd);
     noc::Packet pkt;
     pkt.src = tile_;
@@ -792,7 +813,7 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
             // after retx exhaustion. Only legal in reliable mode.
             if (!reliable_)
                 sim::panic("%s: stray delivery ack", name().c_str());
-            straysDropped_.inc();
+            straysDropped_->inc();
             break;
         }
         auto cb = std::move(it->second.cmdCb);
@@ -804,7 +825,7 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
       case WireKind::CreditReturn: {
         if (reliable_ && wd.seq != 0) {
             if (findOutcome(src, wd.seq)) {
-                duplicates_.inc();
+                duplicates_->inc();
             } else {
                 rememberOutcome(src, wd.seq, Error::None);
                 addCredit(wd.creditEp);
@@ -853,7 +874,7 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
         if (it == inflight_.end()) {
             if (!reliable_)
                 sim::panic("%s: stray read response", name().c_str());
-            straysDropped_.inc();
+            straysDropped_->inc();
             break;
         }
         auto cb = std::move(it->second.readCb);
@@ -868,7 +889,7 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
         if (it == inflight_.end()) {
             if (!reliable_)
                 sim::panic("%s: stray write ack", name().c_str());
-            straysDropped_.inc();
+            straysDropped_->inc();
             break;
         }
         auto cb = std::move(it->second.cmdCb);
@@ -918,7 +939,7 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
         if (it == inflight_.end()) {
             if (!reliable_)
                 sim::panic("%s: stray ext response", name().c_str());
-            straysDropped_.inc();
+            straysDropped_->inc();
             break;
         }
         auto cb = std::move(it->second.extCb);
@@ -947,7 +968,7 @@ Dtu::handleMsgXfer(WireData &wd, noc::TileId src)
         if (const Error *out = findOutcome(src, wd.seq)) {
             // Retransmitted copy of a message we already processed:
             // do not store it again, just re-send the old response.
-            duplicates_.inc();
+            duplicates_->inc();
             auto resp = std::make_unique<WireData>();
             resp->kind = *out == Error::None ? WireKind::MsgDelivered
                                              : WireKind::MsgNack;
@@ -988,7 +1009,7 @@ Dtu::handleMsgXfer(WireData &wd, noc::TileId src)
     rs.unread = true;
     rs.msg = std::move(wd.msg);
     rs.msg.seq = nextSeq_++;
-    msgsRecv_.inc();
+    msgsRecv_->inc();
 
     if (reliable_ && wd.seq != 0)
         rememberOutcome(src, wd.seq, Error::None);

@@ -41,6 +41,7 @@
 #include "sim/event_queue.h"
 #include "sim/sim_object.h"
 #include "sim/stats.h"
+#include "sim/trace.h"
 
 namespace m3v::dtu {
 
@@ -209,27 +210,30 @@ class Dtu : public sim::SimObject, public noc::HopTarget
      */
     bool reliable() const { return reliable_; }
 
-    // Statistics.
-    std::uint64_t msgsSent() const { return msgsSent_.value(); }
-    std::uint64_t msgsReceived() const { return msgsRecv_.value(); }
-    std::uint64_t nacksReceived() const { return nacks_.value(); }
-    std::uint64_t retransmits() const { return retransmits_.value(); }
-    std::uint64_t timeouts() const { return timeouts_.value(); }
+    // Statistics (registry-backed, under "<name>.*").
+    std::uint64_t msgsSent() const { return msgsSent_->value(); }
+    std::uint64_t msgsReceived() const { return msgsRecv_->value(); }
+    std::uint64_t nacksReceived() const { return nacks_->value(); }
+    std::uint64_t retransmits() const
+    {
+        return retransmits_->value();
+    }
+    std::uint64_t timeouts() const { return timeouts_->value(); }
     std::uint64_t duplicatesDropped() const
     {
-        return duplicates_.value();
+        return duplicates_->value();
     }
     std::uint64_t corruptDropped() const
     {
-        return corruptDropped_.value();
+        return corruptDropped_->value();
     }
     std::uint64_t straysDropped() const
     {
-        return straysDropped_.value();
+        return straysDropped_->value();
     }
     std::uint64_t creditsReclaimed() const
     {
-        return creditsReclaimed_.value();
+        return creditsReclaimed_->value();
     }
 
   protected:
@@ -357,16 +361,20 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     static constexpr std::size_t kSeenWindow = 128;
     std::unordered_map<noc::TileId, std::deque<SeenEntry>> seen_;
 
-    sim::Counter msgsSent_;
-    sim::Counter msgsRecv_;
-    sim::Counter nacks_;
-    sim::Counter retransmits_;
-    sim::Counter timeouts_;
-    sim::Counter duplicates_;
-    sim::Counter corruptDropped_;
-    sim::Counter straysDropped_;
-    sim::Counter creditsReclaimed_;
+    sim::Counter *msgsSent_;
+    sim::Counter *msgsRecv_;
+    sim::Counter *nacks_;
+    sim::Counter *retransmits_;
+    sim::Counter *timeouts_;
+    sim::Counter *duplicates_;
+    sim::Counter *corruptDropped_;
+    sim::Counter *straysDropped_;
+    sim::Counter *creditsReclaimed_;
     std::function<void(EpId, ActId)> msgNotify_;
+
+  protected:
+    /** Timeline tracer (category-gated; off by default). */
+    sim::Tracer *trc_;
 };
 
 } // namespace m3v::dtu

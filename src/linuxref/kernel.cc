@@ -23,6 +23,8 @@ LinuxKernel::LinuxKernel(sim::EventQueue &eq, std::string name,
       nic_(nic),
       l1i_(core.model().l1iBytes, 64, core.model().lineFillCycles)
 {
+    syscalls_ = statCounter("syscalls");
+    switches_ = statCounter("ctx_switches");
     core_.setIrqHandler([this](tile::IrqKind k) { onIrq(k); });
     if (nic_) {
         nic_->setRxHandler(
@@ -107,7 +109,7 @@ LinuxKernel::switchTo(LinuxProcess *next)
     sim::Cycles cost = 0;
     if (next != current_) {
         cost = costs_.ctxSwitch + touchApp(*next);
-        switches_.inc();
+        switches_->inc();
     }
     core_.kernelWork(cost, [this, next]() {
         current_ = next;
@@ -193,7 +195,7 @@ LinuxKernel::syscallSync(LinuxProcess &p, tile::RegionId reg,
                          std::size_t foot, sim::Cycles path_cost,
                          const std::function<void()> &apply)
 {
-    syscalls_.inc();
+    syscalls_->inc();
     // The referenced closure lives in the awaiting caller's frame, so
     // capturing the reference is safe until this coroutine completes.
     const std::function<void()> *fn = &apply;
@@ -225,7 +227,7 @@ LinuxKernel::sysNoop(LinuxProcess &p)
 sim::Task
 LinuxKernel::sysYield(LinuxProcess &p)
 {
-    syscalls_.inc();
+    syscalls_->inc();
     co_await p.thread().trapCall([this, &p]() {
         sim::Cycles c = costs_.syscallEntry +
                         touchKernel(kRegSched, costs_.footSched) +
@@ -243,7 +245,7 @@ LinuxKernel::sysYield(LinuxProcess &p)
 sim::Task
 LinuxKernel::sysExit(LinuxProcess &p)
 {
-    syscalls_.inc();
+    syscalls_->inc();
     co_await p.thread().trapCall([this, &p]() {
         core_.kernelWork(costs_.syscallEntry, [this, &p]() {
             p.state_ = LinuxProcess::State::Dead;
@@ -461,7 +463,7 @@ LinuxKernel::sysRecvFrom(LinuxProcess &p, int fd, Bytes *out)
 {
     for (;;) {
         bool got = false;
-        syscalls_.inc();
+        syscalls_->inc();
         co_await p.thread().trapCall([this, &p, fd, out, &got]() {
             sim::Cycles c = costs_.syscallEntry +
                             touchKernel(kRegNet, costs_.footNet) +

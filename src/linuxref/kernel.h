@@ -166,8 +166,8 @@ class LinuxKernel : public sim::SimObject
     sim::Task sysRecvFrom(LinuxProcess &p, int fd, Bytes *out);
 
     // Statistics.
-    std::uint64_t syscalls() const { return syscalls_.value(); }
-    std::uint64_t ctxSwitches() const { return switches_.value(); }
+    std::uint64_t syscalls() const { return syscalls_->value(); }
+    std::uint64_t ctxSwitches() const { return switches_->value(); }
     sim::Tick kernelTicks() { return core_.kernelTicks(); }
 
   private:
@@ -217,8 +217,8 @@ class LinuxKernel : public sim::SimObject
     std::map<std::uint16_t, std::pair<LinuxProcess *, int>> ports_;
     std::deque<Bytes> rxPending_;
 
-    sim::Counter syscalls_;
-    sim::Counter switches_;
+    sim::Counter *syscalls_;
+    sim::Counter *switches_;
 };
 
 } // namespace m3v::linuxref

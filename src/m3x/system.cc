@@ -94,6 +94,15 @@ M3xAct::M3xAct(M3xSystem &sys, tile::Core &core, dtu::ActId id,
 M3xSystem::M3xSystem(sim::EventQueue &eq, M3xParams params)
     : eq_(eq), params_(std::move(params))
 {
+    slowPaths_ = eq.metrics().counter("m3x.kernel.slowpaths");
+    fastPaths_ = eq.metrics().counter("m3x.kernel.fastpaths");
+    switches_ = eq.metrics().counter("m3x.kernel.switches");
+    trc_ = &eq.tracer();
+    if (trc_->anyEnabled()) {
+        trc_->setProcessName(kernelTile(), "m3x.kernel");
+        trc_->setThreadName(kernelTile(), sim::kTraceTidMux,
+                            "kernel");
+    }
     noc_ = std::make_unique<noc::Noc>(eq, params_.noc);
     tiles_.resize(params_.userTiles);
     for (unsigned i = 0; i < params_.userTiles; i++) {
@@ -370,10 +379,14 @@ M3xSystem::rpc(M3xAct &self, const M3xChan &chan, EpId direct_sep,
     Error err = Error::Aborted;
     co_await actSend(self, direct_sep, payload, &err);
     if (err == Error::None) {
-        fastPaths_.inc();
+        fastPaths_->inc();
+        trc_->instant(sim::TraceCat::M3x, kernelTile(),
+                      sim::kTraceTidMux, "fast_path");
     } else if (err == Error::RecvGone || err == Error::NoCredits) {
         // Slow path: forward through the kernel (section 2.2).
-        slowPaths_.inc();
+        slowPaths_->inc();
+        trc_->instant(sim::TraceCat::M3x, kernelTile(),
+                      sim::kTraceTidMux, "slow_path");
         KernelReq kr;
         kr.op = KernelReq::Op::Forward;
         kr.srcAct = self.id();
@@ -425,7 +438,7 @@ M3xSystem::replyTo(M3xAct &self, const MsgHdr &reply_to, Bytes resp)
     // A direct reply would need the requester to still be running;
     // on a shared tile it never is, so go through the kernel.
     // (Direct delivery is attempted by the kernel if possible.)
-    slowPaths_.inc();
+    slowPaths_->inc();
     KernelReq kr;
     kr.op = KernelReq::Op::Forward;
     kr.srcAct = self.id();
@@ -565,7 +578,9 @@ M3xSystem::switchTile(TileState &ts, M3xAct *next)
 {
     if (ts.current == next)
         co_return;
-    switches_.inc();
+    switches_->inc();
+    trc_->begin(sim::TraceCat::M3x, kernelTile(), sim::kTraceTidMux,
+                "remote_switch");
     co_await kernThread_->compute(params_.kernelSwitchCost);
 
     if (ts.current) {
@@ -589,6 +604,7 @@ M3xSystem::switchTile(TileState &ts, M3xAct *next)
     sr.act = next->id();
     co_await stubRequest(ts, sr);
     // (ts.current / state are updated by the stub at restore time.)
+    trc_->end(sim::TraceCat::M3x, kernelTile(), sim::kTraceTidMux);
 }
 
 sim::Task

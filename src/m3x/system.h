@@ -194,10 +194,10 @@ class M3xSystem
     /** Voluntary exit. */
     sim::Task exit(M3xAct &self);
 
-    // Statistics for the evaluation.
-    std::uint64_t slowPaths() const { return slowPaths_.value(); }
-    std::uint64_t fastPaths() const { return fastPaths_.value(); }
-    std::uint64_t switches() const { return switches_.value(); }
+    // Statistics for the evaluation (registry-backed).
+    std::uint64_t slowPaths() const { return slowPaths_->value(); }
+    std::uint64_t fastPaths() const { return fastPaths_->value(); }
+    std::uint64_t switches() const { return switches_->value(); }
     sim::Tick kernelBusyTicks() const { return kernelBusy_; }
 
   private:
@@ -278,9 +278,10 @@ class M3xSystem
     std::map<dtu::ActId, M3xAct *> actIndex_;
     dtu::ActId nextAct_ = 1;
 
-    sim::Counter slowPaths_;
-    sim::Counter fastPaths_;
-    sim::Counter switches_;
+    sim::Counter *slowPaths_;
+    sim::Counter *fastPaths_;
+    sim::Counter *switches_;
+    sim::Tracer *trc_;
     sim::Tick kernelBusy_ = 0;
 };
 

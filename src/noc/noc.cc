@@ -25,8 +25,8 @@ struct Noc::TileAttachment
             std::size_t payload = pkt.bytes;
             if (!sink->acceptPacket(pkt, std::move(on_space)))
                 return false;
-            noc->delivered_.inc();
-            noc->deliveredBytes_.inc(payload);
+            noc->delivered_->inc();
+            noc->deliveredBytes_->inc(payload);
             return true;
         }
     };
@@ -43,6 +43,10 @@ struct Noc::TileAttachment
 Noc::Noc(sim::EventQueue &eq, NocParams params)
     : SimObject(eq, "noc"), params_(params), clk_(params.freqHz)
 {
+    delivered_ = statCounter("delivered");
+    deliveredBytes_ = statCounter("delivered_bytes");
+    if (eq.tracer().anyEnabled())
+        eq.tracer().setProcessName(sim::kTracePidNoc, "noc");
     unsigned n = params_.meshCols * params_.meshRows;
     if (n == 0)
         sim::fatal("Noc: empty mesh");

@@ -53,12 +53,12 @@ class Noc : public sim::SimObject
     unsigned hopCount(TileId src, TileId dst) const;
 
     /** Total packets delivered to tile sinks. */
-    std::uint64_t delivered() const { return delivered_.value(); }
+    std::uint64_t delivered() const { return delivered_->value(); }
 
     /** Total payload bytes delivered. */
     std::uint64_t deliveredBytes() const
     {
-        return deliveredBytes_.value();
+        return deliveredBytes_->value();
     }
 
   private:
@@ -75,8 +75,8 @@ class Noc : public sim::SimObject
     /** meshPort_[r][n]: port index on router r toward router n. */
     std::vector<std::vector<std::size_t>> meshPort_;
     std::vector<std::unique_ptr<TileAttachment>> tiles_;
-    sim::Counter delivered_;
-    sim::Counter deliveredBytes_;
+    sim::Counter *delivered_;
+    sim::Counter *deliveredBytes_;
 };
 
 } // namespace m3v::noc

@@ -10,6 +10,9 @@ OutPort::OutPort(sim::EventQueue &eq, const sim::Clock &clk,
                  const NocParams &params, std::string name)
     : eq_(eq), clk_(clk), params_(params), name_(std::move(name))
 {
+    forwarded_ = eq.metrics().counter(name_ + ".forwarded");
+    dropped_ = eq.metrics().counter(name_ + ".dropped");
+    trc_ = &eq.tracer();
     if (params_.faults)
         faultSite_ = params_.faults->makeSite(name_);
 }
@@ -72,7 +75,9 @@ OutPort::tryHandOver()
     if (dropHead_) {
         dropHead_ = false;
         queue_.pop_front();
-        dropped_.inc();
+        dropped_->inc();
+        trc_->instant(sim::TraceCat::Fault, sim::kTracePidNoc, 0,
+                      "pkt_drop");
         notifySpaceWaiters();
         if (!queue_.empty()) {
             startDrain();
@@ -88,7 +93,7 @@ OutPort::tryHandOver()
         return;
     }
     queue_.pop_front();
-    forwarded_.inc();
+    forwarded_->inc();
     notifySpaceWaiters();
     if (!queue_.empty()) {
         startDrain();
@@ -112,6 +117,11 @@ Router::Router(sim::EventQueue &eq, const sim::Clock &clk,
                const NocParams &params, unsigned id, std::string name)
     : SimObject(eq, std::move(name)), clk_(clk), params_(params), id_(id)
 {
+    routed_ = statCounter("routed");
+    trc_ = &eq.tracer();
+    if (trc_->anyEnabled())
+        trc_->setThreadName(sim::kTracePidNoc, id_,
+                            "r" + std::to_string(id_));
 }
 
 std::size_t
@@ -144,7 +154,8 @@ Router::acceptPacket(Packet &pkt, std::function<void()> on_space)
         return false;
     }
     out.enqueue(std::move(pkt));
-    routed_.inc();
+    routed_->inc();
+    trc_->instant(sim::TraceCat::Noc, sim::kTracePidNoc, id_, "hop");
     return true;
 }
 

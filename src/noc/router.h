@@ -24,6 +24,7 @@
 #include "sim/fault.h"
 #include "sim/sim_object.h"
 #include "sim/stats.h"
+#include "sim/trace.h"
 
 namespace m3v::noc {
 
@@ -83,10 +84,10 @@ class OutPort
     /** Register a one-shot waiter for queue space. */
     void waitForSpace(sim::UniqueFunction<void()> cb);
 
-    std::uint64_t forwarded() const { return forwarded_.value(); }
+    std::uint64_t forwarded() const { return forwarded_->value(); }
 
     /** Packets this port dropped under a fault plan. */
-    std::uint64_t dropped() const { return dropped_.value(); }
+    std::uint64_t dropped() const { return dropped_->value(); }
 
   private:
     void startDrain();
@@ -103,8 +104,9 @@ class OutPort
     /** Fault decision for the head packet, taken at drain start. */
     bool dropHead_ = false;
     std::vector<sim::UniqueFunction<void()>> spaceWaiters_;
-    sim::Counter forwarded_;
-    sim::Counter dropped_;
+    sim::Counter *forwarded_;
+    sim::Counter *dropped_;
+    sim::Tracer *trc_;
     sim::FaultSite faultSite_;
 };
 
@@ -137,7 +139,7 @@ class Router : public sim::SimObject, public HopTarget
     bool acceptPacket(Packet &pkt, std::function<void()> on_space)
         override;
 
-    std::uint64_t routed() const { return routed_.value(); }
+    std::uint64_t routed() const { return routed_->value(); }
 
   private:
     const sim::Clock &clk_;
@@ -145,7 +147,8 @@ class Router : public sim::SimObject, public HopTarget
     unsigned id_;
     std::vector<std::unique_ptr<OutPort>> ports_;
     std::vector<std::size_t> routeTable_;
-    sim::Counter routed_;
+    sim::Counter *routed_;
+    sim::Tracer *trc_;
 };
 
 } // namespace m3v::noc

@@ -15,6 +15,10 @@ Controller::Controller(BareEnv &env, CapMgr &caps, DtuLocator locate,
     : env_(&env), caps_(&caps), locate_(std::move(locate)),
       params_(params)
 {
+    sim::MetricsRegistry &m = env.dtu().eventQueue().metrics();
+    syscalls_ = m.counter("ctrl.kernel.syscalls");
+    reaps_ = m.counter("ctrl.kernel.reaps");
+    reclaimed_ = m.counter("ctrl.kernel.credits_reclaimed");
     env.addRecvEp(params_.syscallRep);
 }
 
@@ -63,7 +67,7 @@ Controller::registerActivity(ActId id, noc::TileId tile)
 void
 Controller::reapActivity(ActId id)
 {
-    reaps_.inc();
+    reaps_->inc();
 
     // Endpoint sweep on the activity's home tile: reclaim the credits
     // of messages parked in its receive endpoints (the senders paid
@@ -74,7 +78,7 @@ Controller::reapActivity(ActId id)
             for (EpId i = 0; i < dtu::kNumEps; i++) {
                 if (d->ep(i).act != id)
                     continue;
-                reclaimed_.inc(d->reclaimCredits(i));
+                reclaimed_->inc(d->reclaimCredits(i));
                 d->invalidateEp(i);
             }
         }
@@ -90,7 +94,7 @@ Controller::reapActivity(ActId id)
             if (!cap.activated)
                 return;
             if (dtu::Dtu *d = locate_(cap.actTile)) {
-                reclaimed_.inc(d->reclaimCredits(cap.actEp));
+                reclaimed_->inc(d->reclaimCredits(cap.actEp));
                 d->invalidateEp(cap.actEp);
             }
         });
@@ -211,7 +215,7 @@ Controller::run()
         const dtu::Message &m = env_->msgAt(rep, slot);
         auto caller = static_cast<ActId>(m.label);
         SyscallReq req = podFrom<SyscallReq>(m.payload);
-        syscalls_.inc();
+        syscalls_->inc();
 
         co_await thread.compute(params_.dispatchCost);
         SyscallResp resp;

@@ -95,11 +95,14 @@ class Controller
      */
     void reapActivity(dtu::ActId id);
 
-    std::uint64_t syscallsHandled() const { return syscalls_.value(); }
-    std::uint64_t activitiesReaped() const { return reaps_.value(); }
+    std::uint64_t syscallsHandled() const
+    {
+        return syscalls_->value();
+    }
+    std::uint64_t activitiesReaped() const { return reaps_->value(); }
     std::uint64_t creditsReclaimed() const
     {
-        return reclaimed_.value();
+        return reclaimed_->value();
     }
 
   private:
@@ -121,9 +124,9 @@ class Controller
     std::map<dtu::ActId, noc::TileId> actTiles_;
     std::map<noc::TileId, dtu::EpId> sidecallSeps_;
     dtu::EpId sidecallRep_ = dtu::kInvalidEp;
-    sim::Counter syscalls_;
-    sim::Counter reaps_;
-    sim::Counter reclaimed_;
+    sim::Counter *syscalls_;
+    sim::Counter *reaps_;
+    sim::Counter *reclaimed_;
 };
 
 } // namespace m3v::os

@@ -47,7 +47,7 @@ System::System(sim::EventQueue &eq, SystemParams params)
             eq, tname + ".vdtu", *noc_, userTile(i),
             model.freqHz, params_.vdtu));
         muxes_.push_back(std::make_unique<core::TileMux>(
-            eq, tname + ".mux", *cores_[i], *vdtus_[i], params_.mux));
+            eq, tname + ".tilemux", *cores_[i], *vdtus_[i], params_.mux));
     }
 
     // Controller tile: bare core + plain DTU.

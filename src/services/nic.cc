@@ -38,6 +38,8 @@ parseFrame(const os::Bytes &frame, os::Bytes *payload)
 Nic::Nic(sim::EventQueue &eq, std::string name, NicParams params)
     : SimObject(eq, std::move(name)), params_(params)
 {
+    tx_ = statCounter("tx_frames");
+    rx_ = statCounter("rx_frames");
 }
 
 sim::Tick
@@ -54,7 +56,7 @@ Nic::transmit(os::Bytes frame)
     if (!host_)
         sim::panic("%s: transmit with no connected host",
                    name().c_str());
-    tx_.inc();
+    tx_->inc();
     sim::Tick start =
         std::max(now() + params_.dmaLatency, txBusyUntil_);
     sim::Tick ser = serTime(frame.size());
@@ -77,7 +79,7 @@ Nic::hostDeliver(os::Bytes frame)
     sim::Tick ser = serTime(frame.size());
     eq_.schedule(params_.propagation + ser + params_.dmaLatency,
                  [this, frame = std::move(frame)]() mutable {
-                     rx_.inc();
+                     rx_->inc();
                      if (rxHandler_)
                          rxHandler_(std::move(frame));
                  });
@@ -87,13 +89,15 @@ ExtHost::ExtHost(sim::EventQueue &eq, std::string name, Mode mode,
                  ExtHostParams params)
     : SimObject(eq, std::move(name)), mode_(mode), params_(params)
 {
+    frames_ = statCounter("frames");
+    bytes_ = statCounter("bytes");
 }
 
 void
 ExtHost::onFrame(os::Bytes frame)
 {
-    frames_.inc();
-    bytes_.inc(frame.size());
+    frames_->inc();
+    bytes_->inc(frame.size());
     if (mode_ != Mode::Echo)
         return;
     if (!nic_)

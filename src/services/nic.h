@@ -86,8 +86,8 @@ class Nic : public sim::SimObject
     /** Host-side delivery towards this NIC. */
     void hostDeliver(os::Bytes frame);
 
-    std::uint64_t txFrames() const { return tx_.value(); }
-    std::uint64_t rxFrames() const { return rx_.value(); }
+    std::uint64_t txFrames() const { return tx_->value(); }
+    std::uint64_t rxFrames() const { return rx_->value(); }
 
   private:
     sim::Tick serTime(std::size_t bytes) const;
@@ -96,8 +96,8 @@ class Nic : public sim::SimObject
     ExtHost *host_ = nullptr;
     std::function<void(os::Bytes)> rxHandler_;
     sim::Tick txBusyUntil_ = 0;
-    sim::Counter tx_;
-    sim::Counter rx_;
+    sim::Counter *tx_;
+    sim::Counter *rx_;
 };
 
 /** ExtHost behaviour parameters. */
@@ -125,15 +125,15 @@ class ExtHost : public sim::SimObject
     /** A frame arrived from the NIC's wire. */
     void onFrame(os::Bytes frame);
 
-    std::uint64_t framesReceived() const { return frames_.value(); }
-    std::uint64_t bytesReceived() const { return bytes_.value(); }
+    std::uint64_t framesReceived() const { return frames_->value(); }
+    std::uint64_t bytesReceived() const { return bytes_->value(); }
 
   private:
     Mode mode_;
     ExtHostParams params_;
     Nic *nic_ = nullptr;
-    sim::Counter frames_;
-    sim::Counter bytes_;
+    sim::Counter *frames_;
+    sim::Counter *bytes_;
 };
 
 } // namespace m3v::services

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "sim/log.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
 
 namespace m3v::sim {
 
@@ -46,6 +48,22 @@ EventHandle::pending() const
 
 EventQueue::EventQueue() = default;
 EventQueue::~EventQueue() = default;
+
+MetricsRegistry &
+EventQueue::metrics()
+{
+    if (!metrics_)
+        metrics_ = std::make_unique<MetricsRegistry>();
+    return *metrics_;
+}
+
+Tracer &
+EventQueue::tracer()
+{
+    if (!tracer_)
+        tracer_ = std::make_unique<Tracer>(*this);
+    return *tracer_;
+}
 
 EventQueue::Record &
 EventQueue::recordAt(std::uint32_t slot)

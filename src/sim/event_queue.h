@@ -48,6 +48,8 @@
 namespace m3v::sim {
 
 class EventQueue;
+class MetricsRegistry;
+class Tracer;
 
 /**
  * Cancellation handle for a scheduled event. Default-constructed
@@ -144,6 +146,19 @@ class EventQueue
      * Returns true if no live events remain.
      */
     bool runCapped(std::uint64_t max_events);
+
+    /**
+     * This simulation's metrics registry (lazily created). Components
+     * register instruments here at construction and keep the handles;
+     * the scheduling hot path never touches the registry.
+     */
+    MetricsRegistry &metrics();
+
+    /**
+     * This simulation's tracer (lazily created, all categories off by
+     * default). Components cache the pointer at construction.
+     */
+    Tracer &tracer();
 
   private:
     friend class EventHandle;
@@ -251,6 +266,10 @@ class EventQueue
     /** Slab-pooled event records with an intrusive freelist. */
     std::vector<std::unique_ptr<Record[]>> slabs_;
     std::uint32_t freeHead_ = kNoSlot;
+
+    /** Observability (lazy: never allocated by pure event-core use). */
+    std::unique_ptr<MetricsRegistry> metrics_;
+    std::unique_ptr<Tracer> tracer_;
 };
 
 } // namespace m3v::sim

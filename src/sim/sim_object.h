@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "sim/event_queue.h"
+#include "sim/metrics.h"
 
 namespace m3v::sim {
 
@@ -34,6 +35,20 @@ class SimObject
     Tick now() const { return eq_.now(); }
 
   protected:
+    /** Register (or look up) this object's counter "<name>.<leaf>". */
+    Counter *
+    statCounter(const char *leaf)
+    {
+        return eq_.metrics().counter(name_ + "." + leaf);
+    }
+
+    /** Register (or look up) this object's sampler "<name>.<leaf>". */
+    Sampler *
+    statSampler(const char *leaf)
+    {
+        return eq_.metrics().sampler(name_ + "." + leaf);
+    }
+
     EventQueue &eq_;
 
   private:

@@ -48,12 +48,14 @@ Sampler::stddev() const
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), hi_(hi),
-      width_((hi - lo) / static_cast<double>(buckets)),
-      counts_(buckets, 0)
+    : lo_(lo), hi_(hi), width_(0)
 {
+    // Validate before deriving anything: with buckets == 0 the width
+    // computation divides by zero, so it must not run first.
     if (buckets == 0 || hi <= lo)
         panic("Histogram: invalid range [%f, %f) x %zu", lo, hi, buckets);
+    width_ = (hi - lo) / static_cast<double>(buckets);
+    counts_.assign(buckets, 0);
 }
 
 void

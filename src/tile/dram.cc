@@ -11,6 +11,8 @@ Dram::Dram(sim::EventQueue &eq, std::string name, DramParams params)
     : SimObject(eq, std::move(name)), params_(params),
       clk_(params.freqHz), store_(params.capacityBytes, 0)
 {
+    requests_ = statCounter("requests");
+    bytes_ = statCounter("bytes");
 }
 
 void
@@ -20,8 +22,8 @@ Dram::access(std::size_t addr, std::size_t bytes,
     if (addr + bytes > store_.size())
         sim::panic("%s: access beyond capacity (0x%zx + %zu)",
                    name().c_str(), addr, bytes);
-    requests_.inc();
-    bytes_.inc(bytes);
+    requests_->inc();
+    bytes_->inc(bytes);
     queue_.push_back(Request{bytes, std::move(done)});
     if (!busy_)
         startNext();

@@ -65,8 +65,8 @@ class Dram : public sim::SimObject
     /** Fill a range with a byte value (no timing). */
     void fill(std::size_t addr, std::uint8_t value, std::size_t bytes);
 
-    std::uint64_t requests() const { return requests_.value(); }
-    std::uint64_t bytesTransferred() const { return bytes_.value(); }
+    std::uint64_t requests() const { return requests_->value(); }
+    std::uint64_t bytesTransferred() const { return bytes_->value(); }
 
   private:
     void startNext();
@@ -81,8 +81,8 @@ class Dram : public sim::SimObject
     };
     std::deque<Request> queue_;
     bool busy_ = false;
-    sim::Counter requests_;
-    sim::Counter bytes_;
+    sim::Counter *requests_;
+    sim::Counter *bytes_;
 };
 
 } // namespace m3v::tile

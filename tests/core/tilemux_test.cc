@@ -327,6 +327,48 @@ TEST_F(TileMuxTest, YieldAlternates)
         EXPECT_EQ(order[i], i % 2 == 0 ? 1 : 2);
 }
 
+TEST_F(TileMuxTest, RestartAfterYieldIsIgnored)
+{
+    Activity *a = makeAct(mux0, 1, "restarted");
+    Activity *b = makeAct(mux0, 2, "peer");
+    std::vector<int> order;
+    mux0.startActivity(a, yieldingBody(*a, &order, 1));
+    mux0.startActivity(b, yieldingBody(*b, &order, 2));
+
+    // Let activity 1 reach its first yield (it sits queued on ready_),
+    // then try to start it again: the duplicate must be ignored, or
+    // the body would be enqueued twice and run interleaved with
+    // itself.
+    eq.runUntil(sim::kTicksPerMs);
+    EXPECT_NE(a->state(), Activity::State::Init);
+    mux0.startActivity(a, yieldingBody(*a, &order, 99));
+    eq.run();
+
+    ASSERT_EQ(order.size(), 6u);
+    for (std::size_t i = 0; i < order.size(); i++) {
+        EXPECT_NE(order[i], 99);
+        EXPECT_EQ(order[i], i % 2 == 0 ? 1 : 2);
+    }
+    EXPECT_EQ(a->state(), Activity::State::Dead);
+    EXPECT_EQ(b->state(), Activity::State::Dead);
+}
+
+TEST_F(TileMuxTest, RestartDeadActivityIsIgnored)
+{
+    Activity *a = makeAct(mux0, 1, "once");
+    int progress = 0;
+    mux0.startActivity(a, spinBody(*a, 1000, 2, &progress));
+    eq.run();
+    EXPECT_EQ(progress, 2);
+    EXPECT_EQ(a->state(), Activity::State::Dead);
+
+    // A second start on the dead record must not resurrect it.
+    mux0.startActivity(a, spinBody(*a, 1000, 2, &progress));
+    eq.run();
+    EXPECT_EQ(progress, 2);
+    EXPECT_EQ(a->state(), Activity::State::Dead);
+}
+
 TEST_F(TileMuxTest, ExitRunsHookAndFreesCore)
 {
     Activity *a = makeAct(mux0, 1, "exiter");

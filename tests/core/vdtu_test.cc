@@ -307,5 +307,101 @@ TEST_F(VDtuTest, FullCoreRequestQueueBackpressuresNoc)
     EXPECT_EQ(vdtuB.unread(5, 8), 6u);
 }
 
+TEST_F(VDtuTest, ResetActClearsUnreadCoreReqsAndTlb)
+{
+    vdtuB.configEp(8, Endpoint::makeRecv(5, 256, 4));
+    vdtuA.configEp(8, Endpoint::makeSend(1, kTileB, 8, 0, 4));
+    vdtuA.xchgAct(1);
+    vdtuB.xchgAct(1);
+    vdtuB.tlbInsert(5, 0x3000, 0x3000, kPermRW);
+
+    dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
+    vdtuA.cmdSend(1, 8, buf, bytes("zombie"), kInvalidEp,
+                  [](Error) {});
+    eq.run();
+    EXPECT_EQ(vdtuB.unread(5, 8), 1u);
+    EXPECT_TRUE(vdtuB.coreReqPending());
+    EXPECT_EQ(vdtuB.tlbFill(), 1u);
+
+    // Activity 5 dies: all of its vDTU state must go with it.
+    vdtuB.resetAct(5);
+    EXPECT_EQ(vdtuB.unread(5, 8), 0u);
+    EXPECT_FALSE(vdtuB.coreReqPending());
+    EXPECT_EQ(vdtuB.tlbFill(), 0u);
+    // A reused activity id starts with a clean slate.
+    EXPECT_EQ(vdtuB.fetch(5, 8), -1);
+}
+
+TEST_F(VDtuTest, ResetActReleasesCoreReqBackpressure)
+{
+    vdtuB.configEp(8, Endpoint::makeRecv(5, 256, 16));
+    vdtuA.configEp(8, Endpoint::makeSend(1, kTileB, 8, 0, 16));
+    vdtuA.xchgAct(1);
+    vdtuB.xchgAct(1);
+    dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
+
+    int delivered = 0;
+    for (int i = 0; i < 6; i++) {
+        vdtuA.cmdSend(1, 8, buf, bytes("m"), kInvalidEp,
+                      [&](Error e) {
+                          if (e == Error::None)
+                              delivered++;
+                      });
+    }
+    eq.run();
+    // Core-request queue (depth 4) is full; two sends are parked in
+    // the NoC.
+    EXPECT_EQ(delivered, 4);
+
+    // Killing the recipient must free the queue slots and wake the
+    // parked senders (previously they would hang forever).
+    vdtuB.resetAct(5);
+    eq.run();
+    EXPECT_EQ(delivered, 6);
+}
+
+TEST_F(VDtuTest, ResetActOfCurrentClearsMsgCount)
+{
+    vdtuB.configEp(8, Endpoint::makeRecv(5, 256, 4));
+    vdtuA.configEp(8, Endpoint::makeSend(1, kTileB, 8, 0, 4));
+    vdtuA.xchgAct(1);
+    vdtuB.xchgAct(5);
+
+    dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
+    vdtuA.cmdSend(1, 8, buf, bytes("m"), kInvalidEp, [](Error) {});
+    eq.run();
+    EXPECT_EQ(vdtuB.curAct().msgCount, 1);
+
+    vdtuB.resetAct(5);
+    EXPECT_EQ(vdtuB.curAct().msgCount, 0);
+    EXPECT_EQ(vdtuB.unread(5, 8), 0u);
+}
+
+TEST_F(VDtuTest, ResetActLeavesOtherActivitiesAlone)
+{
+    vdtuB.configEp(8, Endpoint::makeRecv(5, 256, 4));
+    vdtuB.configEp(9, Endpoint::makeRecv(6, 256, 4));
+    vdtuA.configEp(8, Endpoint::makeSend(1, kTileB, 8, 0, 4));
+    vdtuA.configEp(9, Endpoint::makeSend(1, kTileB, 9, 0, 4));
+    vdtuA.xchgAct(1);
+    vdtuB.xchgAct(1);
+    vdtuB.tlbInsert(6, 0x6000, 0x6000, kPermR);
+
+    dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
+    vdtuA.cmdSend(1, 8, buf, bytes("a"), kInvalidEp, [](Error) {});
+    vdtuA.cmdSend(1, 9, buf, bytes("b"), kInvalidEp, [](Error) {});
+    eq.run();
+    EXPECT_EQ(vdtuB.unread(5, 8), 1u);
+    EXPECT_EQ(vdtuB.unread(6, 9), 1u);
+
+    vdtuB.resetAct(5);
+    EXPECT_EQ(vdtuB.unread(5, 8), 0u);
+    EXPECT_EQ(vdtuB.unread(6, 9), 1u);
+    EXPECT_EQ(vdtuB.tlbFill(), 1u);
+    // Activity 6's core request survives.
+    ASSERT_TRUE(vdtuB.coreReqPending());
+    EXPECT_EQ(vdtuB.coreReqGet().act, 6);
+}
+
 } // namespace
 } // namespace m3v::core

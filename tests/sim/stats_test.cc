@@ -92,6 +92,70 @@ TEST(Histogram, PercentileMedian)
     EXPECT_GE(p99, 98.0);
 }
 
+TEST(Histogram, PercentileEmptyReturnsLowerBound)
+{
+    Histogram h(2.0, 10.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 2.0);
+}
+
+TEST(Histogram, PercentileAllUnderflow)
+{
+    Histogram h(10.0, 20.0, 5);
+    h.add(1.0);
+    h.add(2.0);
+    h.add(3.0);
+    // Every sample sits below the range; any percentile clamps to
+    // the lower bound rather than walking past the buckets.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+}
+
+TEST(Histogram, PercentileFullFractionReturnsUpperBound)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(2.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, PercentileSingleBucket)
+{
+    Histogram h(0.0, 10.0, 1);
+    h.add(5.0);
+    // One bucket spans the whole range; its upper edge is the only
+    // answer the histogram can give.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, InvalidConstructionPanics)
+{
+    EXPECT_DEATH(Histogram(0.0, 10.0, 0), "Histogram");
+    EXPECT_DEATH(Histogram(10.0, 10.0, 4), "Histogram");
+    EXPECT_DEATH(Histogram(10.0, 5.0, 4), "Histogram");
+}
+
+TEST(Sampler, ResetMidStreamClearsMoments)
+{
+    Sampler s;
+    s.add(100.0);
+    s.add(200.0);
+    s.reset();
+    // The second stream must see none of the first stream's
+    // min/max/mean/m2 state.
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
 TEST(TablePrinter, RendersAlignedRows)
 {
     TablePrinter t({"name", "value"});
