@@ -8,7 +8,9 @@
 #ifndef M3VSIM_BENCH_BENCH_UTIL_H_
 #define M3VSIM_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -73,12 +75,14 @@ struct ObsOptions
 {
     std::string metricsOut; ///< --metrics-out=<file> (empty: off)
     std::string traceOut;   ///< --trace-out=<file> (empty: off)
+    std::string perfOut;    ///< --perf-out=<file> (empty: off)
+    unsigned jobs = 1;      ///< --jobs=<n> worker threads for cells
 };
 
 /**
- * Parse `--metrics-out=` / `--trace-out=` from argv. Unknown
- * arguments are ignored so figure binaries stay forgiving about
- * harness-added flags.
+ * Parse `--metrics-out=` / `--trace-out=` / `--perf-out=` / `--jobs=`
+ * from argv. Unknown arguments are ignored so figure binaries stay
+ * forgiving about harness-added flags.
  */
 inline ObsOptions
 parseObsArgs(int argc, char **argv)
@@ -88,10 +92,18 @@ parseObsArgs(int argc, char **argv)
         std::string arg = argv[i];
         const std::string kMetrics = "--metrics-out=";
         const std::string kTrace = "--trace-out=";
+        const std::string kPerf = "--perf-out=";
+        const std::string kJobs = "--jobs=";
         if (arg.rfind(kMetrics, 0) == 0)
             opts.metricsOut = arg.substr(kMetrics.size());
         else if (arg.rfind(kTrace, 0) == 0)
             opts.traceOut = arg.substr(kTrace.size());
+        else if (arg.rfind(kPerf, 0) == 0)
+            opts.perfOut = arg.substr(kPerf.size());
+        else if (arg.rfind(kJobs, 0) == 0) {
+            int n = std::atoi(arg.c_str() + kJobs.size());
+            opts.jobs = n > 0 ? static_cast<unsigned>(n) : 1;
+        }
     }
     return opts;
 }
@@ -108,6 +120,18 @@ class MetricsDump
                     const sim::MetricsRegistry &reg)
     {
         sections_.emplace_back(section, reg.toJson());
+    }
+
+    /**
+     * Append another dump's sections in their order. Parallel sweeps
+     * give every cell its own MetricsDump and absorb them in
+     * registration order after the join, so the combined file is
+     * byte-identical for any --jobs.
+     */
+    void absorb(const MetricsDump &other)
+    {
+        sections_.insert(sections_.end(), other.sections_.begin(),
+                         other.sections_.end());
     }
 
     std::string toJson() const
@@ -140,6 +164,40 @@ class MetricsDump
   private:
     std::vector<std::pair<std::string, std::string>> sections_;
 };
+
+/** Monotonic wall-clock milliseconds (for host-side timing). */
+inline double
+wallMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Write a host-performance record for scaling smoke runs
+ * (--perf-out): wall-clock, simulated events, and throughput at the
+ * given worker count. No-op when @p path is empty.
+ */
+inline void
+writePerfJson(const std::string &path, unsigned jobs, double wall_ms,
+              std::uint64_t events)
+{
+    if (path.empty())
+        return;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        sim::fatal("writePerfJson: cannot open %s", path.c_str());
+    double eps = wall_ms > 0 ? static_cast<double>(events) /
+                                   (wall_ms / 1000.0)
+                             : 0.0;
+    std::fprintf(f,
+                 "{\n  \"jobs\": %u,\n  \"wall_ms\": %.1f,\n"
+                 "  \"events\": %llu,\n  \"events_per_sec\": %.0f\n}\n",
+                 jobs, wall_ms,
+                 static_cast<unsigned long long>(events), eps);
+    std::fclose(f);
+}
 
 /** Cycles at @p freq_hz for a tick duration. */
 inline double

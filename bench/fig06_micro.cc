@@ -17,6 +17,7 @@
 #include "linuxref/kernel.h"
 #include "m3x/system.h"
 #include "os/system.h"
+#include "sim/lane.h"
 
 namespace {
 
@@ -202,12 +203,28 @@ main(int argc, char **argv)
            "Local/remote communication on M3v and similar "
            "primitives on Linux");
 
-    sim::Tick yield2 = linuxYield2x();
-    sim::Tick sysc = linuxSyscall();
-    Meas local = m3vRpc(true, &dump, "");
+    // Each measurement is an independent cell (own EventQueue, own
+    // metrics shard); cells run on --jobs threads and all output is
+    // produced in registration order after the join.
+    sim::Tick yield2 = 0, sysc = 0, m3x = 0;
+    Meas local, remote;
+    m3v::bench::MetricsDump dlocal, dremote, dm3x;
+    std::string trace = obs.traceOut;
+    std::vector<sim::UniqueFunction<void()>> cells;
+    cells.push_back([&yield2]() { yield2 = linuxYield2x(); });
+    cells.push_back([&sysc]() { sysc = linuxSyscall(); });
+    cells.push_back(
+        [&local, &dlocal]() { local = m3vRpc(true, &dlocal, ""); });
     // The remote run exercises the NoC and both tiles; it is the one
     // worth tracing.
-    Meas remote = m3vRpc(false, &dump, obs.traceOut);
+    cells.push_back([&remote, &dremote, trace]() {
+        remote = m3vRpc(false, &dremote, trace);
+    });
+    cells.push_back([&m3x, &dm3x]() { m3x = m3xLocalRpc(&dm3x); });
+    sim::runCells(obs.jobs, std::move(cells));
+    dump.absorb(dlocal);
+    dump.absorb(dremote);
+    dump.absorb(dm3x);
 
     constexpr std::uint64_t kBoom = 80'000'000;
     std::vector<Bar> us = {
@@ -230,7 +247,6 @@ main(int argc, char **argv)
     printBars(cycles, "Kcycles", 2);
 
     std::printf("\nSection 6.2 reference (gem5-style 3 GHz x86):\n");
-    sim::Tick m3x = m3xLocalRpc(&dump);
     std::printf("  M3x tile-local RPC: %.1f us = %.1f Kcycles "
                 "(paper: ~9 us / ~27 Kcycles)\n",
                 sim::ticksToUs(m3x),

@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "linuxref/kernel.h"
 #include "services/m3fs.h"
+#include "sim/lane.h"
 #include "services/pager.h"
 #include "workloads/vfs_linux.h"
 #include "workloads/vfs_m3v.h"
@@ -165,9 +166,22 @@ main(int argc, char **argv)
            "File read/write throughput (2 MiB files, 4 KiB buffers, "
            "64-block extents)");
 
-    Result lin = linuxFs();
-    Result shared = m3vFs(true, &dump, "");
-    Result isolated = m3vFs(false, &dump, obs.traceOut);
+    // The three measurements are independent cells run on --jobs
+    // threads; output order is fixed after the join.
+    Result lin, shared, isolated;
+    m3v::bench::MetricsDump dshared, disolated;
+    std::string trace = obs.traceOut;
+    std::vector<sim::UniqueFunction<void()>> cells;
+    cells.push_back([&lin]() { lin = linuxFs(); });
+    cells.push_back([&shared, &dshared]() {
+        shared = m3vFs(true, &dshared, "");
+    });
+    cells.push_back([&isolated, &disolated, trace]() {
+        isolated = m3vFs(false, &disolated, trace);
+    });
+    sim::runCells(obs.jobs, std::move(cells));
+    dump.absorb(dshared);
+    dump.absorb(disolated);
 
     std::vector<Bar> bars = {
         {"Linux write", lin.writeMibs, 0},

@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "linuxref/kernel.h"
 #include "services/net.h"
+#include "sim/lane.h"
 #include "services/pager.h"
 
 namespace {
@@ -137,9 +138,22 @@ main(int argc, char **argv)
            "UDP round-trip latency to a directly connected host "
            "(1-byte packets)");
 
-    Result lin = linuxUdp();
-    Result shared = m3vUdp(true, &dump, "");
-    Result isolated = m3vUdp(false, &dump, obs.traceOut);
+    // The three measurements are independent cells run on --jobs
+    // threads; output order is fixed after the join.
+    Result lin, shared, isolated;
+    m3v::bench::MetricsDump dshared, disolated;
+    std::string trace = obs.traceOut;
+    std::vector<sim::UniqueFunction<void()>> cells;
+    cells.push_back([&lin]() { lin = linuxUdp(); });
+    cells.push_back([&shared, &dshared]() {
+        shared = m3vUdp(true, &dshared, "");
+    });
+    cells.push_back([&isolated, &disolated, trace]() {
+        isolated = m3vUdp(false, &disolated, trace);
+    });
+    sim::runCells(obs.jobs, std::move(cells));
+    dump.absorb(dshared);
+    dump.absorb(disolated);
 
     std::vector<Bar> bars = {
         {"Linux", lin.meanUs, lin.stddevUs},

@@ -21,6 +21,7 @@
 
 #include "bench_util.h"
 #include "m3x/system.h"
+#include "sim/lane.h"
 #include "services/fs_proto.h"
 #include "services/m3fs.h"
 #include "sim/stats.h"
@@ -57,7 +58,8 @@ benchTrace(bool find)
 double
 m3vRunsPerSec(unsigned tiles, bool find,
               bench::MetricsDump *dump = nullptr,
-              const std::string &trace_out = {})
+              const std::string &trace_out = {},
+              std::uint64_t *events_out = nullptr)
 {
     sim::EventQueue eq;
     if (!trace_out.empty())
@@ -98,6 +100,8 @@ m3vRunsPerSec(unsigned tiles, bool find,
         });
     }
     eq.run();
+    if (events_out)
+        *events_out = eq.executed();
     if (dump)
         dump->addSection((find ? "m3v_find_" : "m3v_sqlite_") +
                              std::to_string(tiles),
@@ -462,7 +466,8 @@ m3xFsServer(m3x::M3xSystem &sys, m3x::M3xAct &self,
 
 double
 m3xRunsPerSec(unsigned tiles, bool find,
-              bench::MetricsDump *dump = nullptr)
+              bench::MetricsDump *dump = nullptr,
+              std::uint64_t *events_out = nullptr)
 {
     sim::EventQueue eq;
     m3x::M3xParams params;
@@ -502,6 +507,8 @@ m3xRunsPerSec(unsigned tiles, bool find,
         }));
     }
     eq.run();
+    if (events_out)
+        *events_out = eq.executed();
     if (dump)
         dump->addSection((find ? "m3x_find_" : "m3x_sqlite_") +
                              std::to_string(tiles),
@@ -541,24 +548,65 @@ main(int argc, char **argv)
     if (const char *cap = std::getenv("M3V_FIG09_TILES"))
         max_tiles = static_cast<unsigned>(std::atoi(cap));
 
-    std::string trace_once = obs.traceOut;
+    // Every (tiles, system, workload) run is an independent cell:
+    // its own EventQueue, its own metrics shard, its own result
+    // slot. Cells run on --jobs threads; everything is printed and
+    // merged in registration order after the join, so the output is
+    // byte-identical for any --jobs value.
+    std::vector<unsigned> ns;
     const unsigned counts[] = {1, 2, 4, 8, 12};
-    sim::TablePrinter table({"# tiles", "M3x find", "M3v find",
-                             "M3x SQLite", "M3v SQLite"});
-    for (unsigned n : counts) {
-        if (n > max_tiles)
-            continue;
-        double m3x_find = m3xRunsPerSec(n, true, &dump);
+    for (unsigned n : counts)
+        if (n <= max_tiles)
+            ns.push_back(n);
+
+    struct CellOut
+    {
+        double v = 0;
+        m3v::bench::MetricsDump dump;
+        std::uint64_t events = 0;
+    };
+    std::vector<CellOut> outs(ns.size() * 4);
+    std::vector<m3v::sim::UniqueFunction<void()>> cells;
+    for (std::size_t i = 0; i < ns.size(); i++) {
+        unsigned n = ns[i];
         // Trace only the first m3v configuration (the file would be
         // huge otherwise).
-        double m3v_find = m3vRunsPerSec(n, true, &dump, trace_once);
-        trace_once.clear();
-        double m3x_sql = m3xRunsPerSec(n, false, &dump);
-        double m3v_sql = m3vRunsPerSec(n, false, &dump);
-        table.addRow({std::to_string(n), sim::fmtDouble(m3x_find, 0),
-                      sim::fmtDouble(m3v_find, 0),
-                      sim::fmtDouble(m3x_sql, 0),
-                      sim::fmtDouble(m3v_sql, 0)});
+        std::string trace = i == 0 ? obs.traceOut : std::string();
+        CellOut *o = &outs[i * 4];
+        cells.push_back([o, n]() {
+            o[0].v = m3xRunsPerSec(n, true, &o[0].dump, &o[0].events);
+        });
+        cells.push_back([o, n, trace]() {
+            o[1].v = m3vRunsPerSec(n, true, &o[1].dump, trace,
+                                   &o[1].events);
+        });
+        cells.push_back([o, n]() {
+            o[2].v = m3xRunsPerSec(n, false, &o[2].dump, &o[2].events);
+        });
+        cells.push_back([o, n]() {
+            o[3].v = m3vRunsPerSec(n, false, &o[3].dump, {},
+                                   &o[3].events);
+        });
+    }
+
+    double t0 = m3v::bench::wallMs();
+    m3v::sim::runCells(obs.jobs, std::move(cells));
+    double wall = m3v::bench::wallMs() - t0;
+
+    sim::TablePrinter table({"# tiles", "M3x find", "M3v find",
+                             "M3x SQLite", "M3v SQLite"});
+    std::uint64_t events = 0;
+    for (std::size_t i = 0; i < ns.size(); i++) {
+        const CellOut *o = &outs[i * 4];
+        table.addRow({std::to_string(ns[i]),
+                      sim::fmtDouble(o[0].v, 0),
+                      sim::fmtDouble(o[1].v, 0),
+                      sim::fmtDouble(o[2].v, 0),
+                      sim::fmtDouble(o[3].v, 0)});
+        for (int k = 0; k < 4; k++) {
+            dump.absorb(o[k].dump);
+            events += o[k].events;
+        }
     }
     table.print();
     std::printf("\nPaper reference: M3x find 45/49/94 runs/s at "
@@ -566,5 +614,6 @@ main(int argc, char **argv)
                 "M3v 84 (find) and 111 (SQLite) at 1 tile, scaling "
                 "almost linearly to 12 tiles.\n");
     dump.write(obs.metricsOut);
+    m3v::bench::writePerfJson(obs.perfOut, obs.jobs, wall, events);
     return 0;
 }

@@ -16,9 +16,11 @@
  */
 
 #include <cstdio>
+#include <iterator>
 #include <string>
 
 #include "bench_util.h"
+#include "sim/lane.h"
 #include "linuxref/kernel.h"
 #include "services/m3fs.h"
 #include "services/net.h"
@@ -356,18 +358,41 @@ main(int argc, char **argv)
         {"Scan", YcsbMix::scanHeavy()},
     };
 
-    for (const Mix &m : mixes) {
-        std::printf("\n%s workload:\n", m.name);
-        Split iso =
-            m3vCloud(false, m.mix, &dump, trace_once,
-                     std::string("m3v_isolated_") + m.name);
-        trace_once.clear();
-        Split sh = m3vCloud(true, m.mix, &dump, "",
-                            std::string("m3v_shared_") + m.name);
-        Split lin = linuxCloud(m.mix);
-        printRow("M3v (isolated)", iso);
-        printRow("M3v (shared)", sh);
-        printRow("Linux", lin);
+    // Every (mix, system) run is an independent cell; cells run on
+    // --jobs threads and all output is printed in registration order
+    // after the join, so the figure is byte-identical for any --jobs.
+    constexpr std::size_t kMixes = std::size(mixes);
+    struct CellOut
+    {
+        Split iso, sh, lin;
+        m3v::bench::MetricsDump diso, dsh;
+    };
+    std::vector<CellOut> outs(kMixes);
+    std::vector<sim::UniqueFunction<void()>> cells;
+    for (std::size_t i = 0; i < kMixes; i++) {
+        const Mix &m = mixes[i];
+        CellOut *o = &outs[i];
+        // Trace only the first isolated run (the file would be huge
+        // otherwise).
+        std::string trace = i == 0 ? trace_once : std::string();
+        cells.push_back([o, &m, trace]() {
+            o->iso = m3vCloud(false, m.mix, &o->diso, trace,
+                              std::string("m3v_isolated_") + m.name);
+        });
+        cells.push_back([o, &m]() {
+            o->sh = m3vCloud(true, m.mix, &o->dsh, "",
+                             std::string("m3v_shared_") + m.name);
+        });
+        cells.push_back([o, &m]() { o->lin = linuxCloud(m.mix); });
+    }
+    sim::runCells(obs.jobs, std::move(cells));
+    for (std::size_t i = 0; i < kMixes; i++) {
+        std::printf("\n%s workload:\n", mixes[i].name);
+        printRow("M3v (isolated)", outs[i].iso);
+        printRow("M3v (shared)", outs[i].sh);
+        printRow("Linux", outs[i].lin);
+        dump.absorb(outs[i].diso);
+        dump.absorb(outs[i].dsh);
     }
     std::printf("\nNote: isolated M3v uses multiple tiles and is "
                 "shown for completeness only\n(as in the paper); "

@@ -137,7 +137,7 @@ BENCHMARK(BM_TaskChain)->Arg(16)->Arg(128);
 struct NullSink : noc::HopTarget
 {
     bool
-    acceptPacket(noc::Packet &pkt, std::function<void()>) override
+    acceptPacket(noc::Packet &pkt, sim::UniqueFunction<void()>) override
     {
         noc::Packet consumed = std::move(pkt);
         return true;

@@ -29,6 +29,34 @@ jq -r '.benchmarks[] | "\(.name): \(.real_time | floor) ns"' \
 echo "== fig09_scale (reduced: 4 tiles max) =="
 M3V_FIG09_TILES=4 "$BUILD_DIR/bench/fig09_scale"
 
+echo "== fig09_scale scaling: --jobs=1 vs --jobs=4 =="
+# Host-side parallel speedup of the cellized sweep. The two runs must
+# print byte-identical figures (determinism contract); wall-clock and
+# throughput go into BENCH_scale.json. Speedup needs free cores: on a
+# single-core runner the jobs=4 numbers simply match jobs=1.
+SCALE_OUT="${SCALE_OUT:-BENCH_scale.json}"
+PERF1=$(mktemp) PERF4=$(mktemp) OUT1=$(mktemp) OUT4=$(mktemp)
+M3V_FIG09_TILES=4 "$BUILD_DIR/bench/fig09_scale" --jobs=1 \
+    --perf-out="$PERF1" >"$OUT1"
+M3V_FIG09_TILES=4 "$BUILD_DIR/bench/fig09_scale" --jobs=4 \
+    --perf-out="$PERF4" >"$OUT4"
+cmp "$OUT1" "$OUT4" || {
+    echo "FAIL: fig09 output differs between --jobs=1 and --jobs=4" >&2
+    exit 1
+}
+jq -n --slurpfile j1 "$PERF1" --slurpfile j4 "$PERF4" \
+    --argjson cpus "$(nproc)" '{
+  bench: "fig09_scale (M3V_FIG09_TILES=4)",
+  host_cpus: $cpus,
+  jobs1: $j1[0],
+  jobs4: $j4[0],
+  speedup: (if $j4[0].wall_ms > 0
+            then ($j1[0].wall_ms / $j4[0].wall_ms) else null end)
+}' >"$SCALE_OUT"
+rm -f "$PERF1" "$PERF4" "$OUT1" "$OUT4"
+echo "== wrote $SCALE_OUT =="
+jq '{host_cpus, speedup, jobs1: .jobs1.wall_ms, jobs4: .jobs4.wall_ms}' "$SCALE_OUT"
+
 echo "== fig06_micro observability smoke =="
 cmake --build "$BUILD_DIR" -j --target fig06_micro
 METRICS_JSON=$(mktemp)

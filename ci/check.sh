@@ -1,7 +1,9 @@
 #!/bin/sh
 # Tier-1 verification: build and run the full test suite twice —
 # once plain (the configuration the benchmarks use) and once under
-# ASan + UBSan (M3VSIM_SANITIZE=ON), chaos/robustness tests included.
+# ASan + UBSan (M3VSIM_SANITIZE=ON), chaos/robustness tests included —
+# then run the parallel-execution tests under TSan
+# (M3VSIM_SANITIZE=thread).
 # Run from the repository root: ./ci/check.sh
 set -eu
 
@@ -21,5 +23,15 @@ echo "== sanitized re-run: observability + lifecycle regressions =="
 # again explicitly so a filter typo above cannot silently skip them.
 (cd build-asan && ctest --output-on-failure -R \
     'MetricsRegistry|Tracer\.|JsonEscape|Histogram\.|Sampler\.|ResetAct|Restart')
+
+echo "== TSan build: parallel event execution =="
+# Everything that runs worker threads: the SPSC mailboxes, the lane
+# scheduler's barrier rounds, the sharded NoC, and the --jobs cell
+# runner. Death tests are excluded (fork under TSan is unreliable);
+# the plain and ASan passes above cover them.
+cmake -B build-tsan -S . -DM3VSIM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target sim_lane_test noc_lane_test
+build-tsan/tests/sim/sim_lane_test --gtest_filter='-*Panic*'
+build-tsan/tests/noc/noc_lane_test
 
 echo "== all checks passed =="

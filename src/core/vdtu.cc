@@ -143,7 +143,7 @@ VDtu::unreadOf(ActId act) const
 }
 
 bool
-VDtu::acceptPacket(noc::Packet &pkt, std::function<void()> on_space)
+VDtu::acceptPacket(noc::Packet &pkt, sim::UniqueFunction<void()> on_space)
 {
     // Corrupted packets are discarded by the base DTU; never exert
     // backpressure for something that will not be stored.

@@ -152,7 +152,7 @@ class VDtu : public dtu::Dtu
     // noc::HopTarget override: backpressure when the core-request
     // queue is full and the incoming message would need a new one.
     bool acceptPacket(noc::Packet &pkt,
-                      std::function<void()> on_space) override;
+                      sim::UniqueFunction<void()> on_space) override;
 
   protected:
     dtu::Error checkEpAccess(dtu::ActId act,
@@ -174,7 +174,7 @@ class VDtu : public dtu::Dtu
     std::deque<CoreReq> coreReqs_;
     std::function<void()> coreReqIrq_;
     std::unordered_map<dtu::ActId, std::size_t> unread_;
-    std::vector<std::function<void()>> spaceWaiters_;
+    std::vector<sim::UniqueFunction<void()>> spaceWaiters_;
 
     sim::Counter *tlbMisses_;
     sim::Counter *tlbHits_;

@@ -207,7 +207,7 @@ Dtu::doSend(ActId act, EpId ep_id, VirtAddr buf,
 
             noc::TileId dst = sep2.send.destTile;
             Inflight inf;
-            inf.cmdCb = [this, ep_id, cb = std::move(cb)](Error e) {
+            inf.cmdCb = [this, ep_id, cb = std::move(cb)](Error e) mutable {
                 if (e != Error::None) {
                     // Restore the credit on failed delivery.
                     Endpoint &s = eps_[ep_id];
@@ -311,7 +311,7 @@ Dtu::doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
             sendCreditReturn(dst, credit_ep);
 
             Inflight inf;
-            inf.cmdCb = [this, cb = std::move(cb)](Error e) {
+            inf.cmdCb = [this, cb = std::move(cb)](Error e) mutable {
                 if (e == Error::None)
                     msgsSent_->inc();
                 else
@@ -378,7 +378,8 @@ Dtu::doRead(ActId act, EpId mep_id, std::uint64_t offset,
 
         Inflight inf;
         inf.readCb = [this, cb = std::move(cb)](
-                         Error e, std::vector<std::uint8_t> data) {
+                         Error e,
+                         std::vector<std::uint8_t> data) mutable {
             // DMA the data into the core's cache, then complete.
             sim::Cycles dma =
                 timing_.localMemFixed +
@@ -461,7 +462,7 @@ Dtu::doWrite(ActId act, EpId mep_id, std::uint64_t offset,
             wd->data = std::move(data);
 
             Inflight inf;
-            inf.cmdCb = [this, cb = std::move(cb)](Error e) {
+            inf.cmdCb = [this, cb = std::move(cb)](Error e) mutable {
                 cb(e);
                 cmdFinished();
             };
@@ -611,7 +612,7 @@ Dtu::deviceMessage(EpId rep, std::vector<std::uint8_t> payload,
 //
 
 bool
-Dtu::acceptPacket(noc::Packet &pkt, std::function<void()> on_space)
+Dtu::acceptPacket(noc::Packet &pkt, sim::UniqueFunction<void()> on_space)
 {
     (void)on_space;
     if (pkt.corrupted) {

@@ -28,7 +28,6 @@
 #define M3VSIM_DTU_DTU_H_
 
 #include <deque>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -83,11 +82,11 @@ struct DtuTiming
 class Dtu : public sim::SimObject, public noc::HopTarget
 {
   public:
-    using CmdCallback = std::function<void(Error)>;
+    using CmdCallback = sim::UniqueFunction<void(Error)>;
     using ReadCallback =
-        std::function<void(Error, std::vector<std::uint8_t>)>;
+        sim::UniqueFunction<void(Error, std::vector<std::uint8_t>)>;
     using ExtCallback =
-        std::function<void(Error, std::vector<Endpoint>)>;
+        sim::UniqueFunction<void(Error, std::vector<Endpoint>)>;
 
     Dtu(sim::EventQueue &eq, std::string name, noc::Noc &noc,
         noc::TileId tile, std::uint64_t freq_hz,
@@ -193,14 +192,14 @@ class Dtu : public sim::SimObject, public noc::HopTarget
      * wake threads that poll the DTU for new messages.
      */
     void
-    setMsgNotify(std::function<void(EpId, ActId)> cb)
+    setMsgNotify(sim::UniqueFunction<void(EpId, ActId)> cb)
     {
         msgNotify_ = std::move(cb);
     }
 
     // noc::HopTarget
     bool acceptPacket(noc::Packet &pkt,
-                      std::function<void()> on_space) override;
+                      sim::UniqueFunction<void()> on_space) override;
 
     /**
      * True when the attached NoC carries a fault plan: the wire
@@ -370,7 +369,7 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     sim::Counter *corruptDropped_;
     sim::Counter *straysDropped_;
     sim::Counter *creditsReclaimed_;
-    std::function<void(EpId, ActId)> msgNotify_;
+    sim::UniqueFunction<void(EpId, ActId)> msgNotify_;
 
   protected:
     /** Timeline tracer (category-gated; off by default). */

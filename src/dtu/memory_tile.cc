@@ -33,7 +33,7 @@ MemoryTile::available() const
 }
 
 bool
-MemoryTile::acceptPacket(noc::Packet &pkt, std::function<void()>)
+MemoryTile::acceptPacket(noc::Packet &pkt, sim::UniqueFunction<void()>)
 {
     if (pkt.corrupted) {
         // Link CRC failure: drop; the requester retransmits.

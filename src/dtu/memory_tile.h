@@ -45,7 +45,7 @@ class MemoryTile : public sim::SimObject, public noc::HopTarget
 
     // noc::HopTarget
     bool acceptPacket(noc::Packet &pkt,
-                      std::function<void()> on_space) override;
+                      sim::UniqueFunction<void()> on_space) override;
 
   private:
     void sendResp(noc::TileId dst, std::unique_ptr<WireData> wd);

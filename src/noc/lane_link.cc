@@ -1,0 +1,79 @@
+#include "noc/lane_link.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace m3v::noc {
+
+LaneLink::LaneLink(sim::LaneScheduler &sched, unsigned src_lane,
+                   unsigned dst_lane, sim::Tick latency,
+                   HopTarget *target, std::size_t credits)
+    : sched_(sched), srcLane_(src_lane), dstLane_(dst_lane),
+      latency_(latency), target_(target), credits_(credits)
+{
+    if (latency_ < sched_.lookahead())
+        sim::panic("LaneLink: latency %llu below lookahead %llu",
+                   static_cast<unsigned long long>(latency_),
+                   static_cast<unsigned long long>(
+                       sched_.lookahead()));
+    if (credits_ == 0)
+        sim::panic("LaneLink: zero credits");
+}
+
+bool
+LaneLink::acceptPacket(Packet &pkt, sim::UniqueFunction<void()> on_space)
+{
+    if (credits_ == 0) {
+        waiters_.push_back(std::move(on_space));
+        return false;
+    }
+    credits_--;
+    sim::Tick due = sched_.lane(srcLane_).now() + latency_;
+    sched_.post(srcLane_, dstLane_, due,
+                [this, p = std::move(pkt)]() mutable {
+                    rxArrive(std::move(p));
+                });
+    return true;
+}
+
+void
+LaneLink::rxArrive(Packet pkt)
+{
+    rxQueue_.push_back(std::move(pkt));
+    if (!rxStalled_)
+        pumpRx();
+}
+
+void
+LaneLink::pumpRx()
+{
+    rxStalled_ = false;
+    while (!rxQueue_.empty()) {
+        Packet &head = rxQueue_.front();
+        if (!target_->acceptPacket(head, [this]() { pumpRx(); })) {
+            // Target full: its on_space fires pumpRx again; arrivals
+            // in the meantime only queue.
+            rxStalled_ = true;
+            return;
+        }
+        rxQueue_.pop_front();
+        sim::Tick due = sched_.lane(dstLane_).now() + latency_;
+        sched_.post(dstLane_, srcLane_, due,
+                    [this]() { returnCredit(); });
+    }
+}
+
+void
+LaneLink::returnCredit()
+{
+    credits_++;
+    if (waiters_.empty())
+        return;
+    auto w = std::move(waiters_);
+    waiters_.clear();
+    for (auto &cb : w)
+        cb();
+}
+
+} // namespace m3v::noc

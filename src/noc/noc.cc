@@ -3,30 +3,35 @@
 #include <cstdlib>
 #include <utility>
 
+#include "noc/lane_link.h"
+#include "sim/lane.h"
 #include "sim/log.h"
 
 namespace m3v::noc {
 
 /**
  * Per-tile plumbing: an injection port (tile -> router) and an exit
- * adapter (router -> tile sink) that counts deliveries.
+ * adapter (router -> tile sink) that counts deliveries. In lane mode
+ * the adapter runs on the tile's lane and counts into that lane's
+ * registry, and both directions cross lanes through LaneLinks.
  */
 struct Noc::TileAttachment
 {
     struct ExitAdapter : HopTarget
     {
         HopTarget *sink = nullptr;
-        Noc *noc = nullptr;
+        sim::Counter *delivered = nullptr;
+        sim::Counter *deliveredBytes = nullptr;
 
         bool
-        acceptPacket(Packet &pkt, std::function<void()> on_space)
+        acceptPacket(Packet &pkt, sim::UniqueFunction<void()> on_space)
             override
         {
             std::size_t payload = pkt.bytes;
             if (!sink->acceptPacket(pkt, std::move(on_space)))
                 return false;
-            noc->delivered_->inc();
-            noc->deliveredBytes_->inc(payload);
+            delivered->inc();
+            deliveredBytes->inc(payload);
             return true;
         }
     };
@@ -38,6 +43,9 @@ struct Noc::TileAttachment
     /** Router-side port index toward the tile. */
     std::size_t exitPortIdx = 0;
     ExitAdapter exit;
+    /** Lane mode only: the two lane-crossing directions. */
+    std::unique_ptr<LaneLink> injectLink;
+    std::unique_ptr<LaneLink> exitLink;
 };
 
 Noc::Noc(sim::EventQueue &eq, NocParams params)
@@ -58,6 +66,42 @@ Noc::Noc(sim::EventQueue &eq, NocParams params)
 }
 
 Noc::~Noc() = default;
+
+sim::Tick
+Noc::minLinkLatency(const NocParams &params)
+{
+    sim::Clock clk(params.freqHz);
+    sim::Cycles header_ser =
+        (params.headerBytes + params.linkBytesPerCycle - 1) /
+        params.linkBytesPerCycle;
+    return clk.cyclesToTicks(params.pipelineCycles + header_ser);
+}
+
+sim::Tick
+Noc::minLinkLatency() const
+{
+    return minLinkLatency(params_);
+}
+
+void
+Noc::setLanePlan(sim::LaneScheduler &sched,
+                 std::vector<unsigned> lane_of_tile, unsigned noc_lane)
+{
+    if (!tiles_.empty() || finalized_)
+        sim::panic("Noc: setLanePlan after attach/finalize");
+    if (&sched.lane(noc_lane) != &eq_)
+        sim::panic("Noc: noc_lane %u is not this Noc's event queue",
+                   noc_lane);
+    laneLatency_ = minLinkLatency();
+    if (laneLatency_ < sched.lookahead())
+        sim::panic("Noc: min link latency %llu below scheduler "
+                   "lookahead %llu",
+                   static_cast<unsigned long long>(laneLatency_),
+                   static_cast<unsigned long long>(sched.lookahead()));
+    laneSched_ = &sched;
+    laneOfTile_ = std::move(lane_of_tile);
+    nocLane_ = noc_lane;
+}
 
 unsigned
 Noc::routerOf(TileId id) const
@@ -80,15 +124,51 @@ Noc::attachTile(TileId id, HopTarget *sink)
     att->router = static_cast<unsigned>(tiles_.size()) %
                   static_cast<unsigned>(routers_.size());
     att->exit.sink = sink;
-    att->exit.noc = this;
 
     Router &r = *routers_[att->router];
     att->exitPortIdx = r.addPort();
-    r.port(att->exitPortIdx).connect(&att->exit);
 
-    att->injectPort = std::make_unique<OutPort>(
-        eq_, clk_, params_, "noc.tile" + std::to_string(id) + ".inj");
-    att->injectPort->connect(&r);
+    std::string inj_name = "noc.tile" + std::to_string(id) + ".inj";
+    if (!laneSched_) {
+        att->exit.delivered = delivered_;
+        att->exit.deliveredBytes = deliveredBytes_;
+        r.port(att->exitPortIdx).connect(&att->exit);
+        att->injectPort = std::make_unique<OutPort>(eq_, clk_,
+                                                    params_, inj_name);
+        att->injectPort->connect(&r);
+        tiles_.push_back(std::move(att));
+        return;
+    }
+
+    // Lane mode: the injection port and the exit adapter live on the
+    // tile's lane; both handover directions cross through LaneLinks
+    // launched minLinkLatency() early, so arrival ticks match the
+    // single-queue fabric.
+    if (id >= laneOfTile_.size())
+        sim::panic("Noc: no lane for tile %u", id);
+    unsigned lt = laneOfTile_[id];
+    sim::EventQueue &teq = laneSched_->lane(lt);
+    std::string base = "noc.tile" + std::to_string(id);
+    att->exit.delivered = teq.metrics().counter(base + ".delivered");
+    att->exit.deliveredBytes =
+        teq.metrics().counter(base + ".delivered_bytes");
+
+    // Enough credits that the uncongested steady state (at most two
+    // packets between launch and credit return) never stalls, plus
+    // headroom for the congested case.
+    std::size_t credits = params_.portQueuePackets + 2;
+
+    att->exitLink = std::make_unique<LaneLink>(
+        *laneSched_, nocLane_, lt, laneLatency_, &att->exit, credits);
+    r.port(att->exitPortIdx).connect(att->exitLink.get());
+    r.port(att->exitPortIdx).setLaunchEarly(laneLatency_);
+
+    att->injectPort =
+        std::make_unique<OutPort>(teq, clk_, params_, inj_name);
+    att->injectLink = std::make_unique<LaneLink>(
+        *laneSched_, lt, nocLane_, laneLatency_, &r, credits);
+    att->injectPort->connect(att->injectLink.get());
+    att->injectPort->setLaunchEarly(laneLatency_);
 
     tiles_.push_back(std::move(att));
 }
@@ -146,7 +226,7 @@ Noc::finalize()
 }
 
 bool
-Noc::inject(Packet &pkt, std::function<void()> on_space)
+Noc::inject(Packet &pkt, sim::UniqueFunction<void()> on_space)
 {
     if (!finalized_)
         sim::panic("Noc: inject before finalize");
@@ -161,6 +241,28 @@ Noc::inject(Packet &pkt, std::function<void()> on_space)
         }
     }
     sim::panic("Noc: inject from unknown tile %u", pkt.src);
+}
+
+std::uint64_t
+Noc::delivered() const
+{
+    if (!laneSched_)
+        return delivered_->value();
+    std::uint64_t sum = 0;
+    for (const auto &t : tiles_)
+        sum += t->exit.delivered->value();
+    return sum;
+}
+
+std::uint64_t
+Noc::deliveredBytes() const
+{
+    if (!laneSched_)
+        return deliveredBytes_->value();
+    std::uint64_t sum = 0;
+    for (const auto &t : tiles_)
+        sum += t->exit.deliveredBytes->value();
+    return sum;
 }
 
 unsigned

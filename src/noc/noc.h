@@ -21,6 +21,10 @@
 #include "sim/clock.h"
 #include "sim/sim_object.h"
 
+namespace m3v::sim {
+class LaneScheduler;
+}
+
 namespace m3v::noc {
 
 /** The network-on-chip fabric. */
@@ -32,6 +36,31 @@ class Noc : public sim::SimObject
 
     const NocParams &params() const { return params_; }
     const sim::Clock &clock() const { return clk_; }
+
+    /**
+     * Switch the fabric into sharded (parallel) mode. Must be called
+     * before any attachTile(). Tile @p id's sink and injection port
+     * then live on lane @p lane_of_tile[id]; routers and mesh links
+     * live on @p noc_lane, which must be the lane this Noc was
+     * constructed against. Tile<->router handovers cross lanes
+     * through LaneLinks with latency minLinkLatency() — exactly the
+     * minimum time any packet occupies a link, so uncongested
+     * handover timing is identical to the single-queue build, and
+     * minLinkLatency() is a valid lookahead for @p sched.
+     */
+    void setLanePlan(sim::LaneScheduler &sched,
+                     std::vector<unsigned> lane_of_tile,
+                     unsigned noc_lane);
+
+    /**
+     * Minimum time any packet occupies a link: router pipeline plus
+     * the serialization of an empty (header-only) packet. The
+     * conservative lookahead of lane mode. The static overload lets
+     * callers size a LaneScheduler before constructing the Noc
+     * against one of its lanes.
+     */
+    sim::Tick minLinkLatency() const;
+    static sim::Tick minLinkLatency(const NocParams &params);
 
     /**
      * Attach a component to the fabric. Tiles are assigned to routers
@@ -47,19 +76,17 @@ class Noc : public sim::SimObject
      * semantics as HopTarget::acceptPacket: false means the injection
      * queue is full and @p on_space fires when it drains.
      */
-    bool inject(Packet &pkt, std::function<void()> on_space);
+    bool inject(Packet &pkt, sim::UniqueFunction<void()> on_space);
 
     /** Number of router-to-router hops between two tiles. */
     unsigned hopCount(TileId src, TileId dst) const;
 
-    /** Total packets delivered to tile sinks. */
-    std::uint64_t delivered() const { return delivered_->value(); }
+    /** Total packets delivered to tile sinks (in lane mode, summed
+     *  over the per-tile counters; read after the lanes quiesce). */
+    std::uint64_t delivered() const;
 
     /** Total payload bytes delivered. */
-    std::uint64_t deliveredBytes() const
-    {
-        return deliveredBytes_->value();
-    }
+    std::uint64_t deliveredBytes() const;
 
   private:
     struct TileAttachment;
@@ -77,6 +104,12 @@ class Noc : public sim::SimObject
     std::vector<std::unique_ptr<TileAttachment>> tiles_;
     sim::Counter *delivered_;
     sim::Counter *deliveredBytes_;
+
+    /** Lane mode (null = classic single-queue fabric). */
+    sim::LaneScheduler *laneSched_ = nullptr;
+    std::vector<unsigned> laneOfTile_;
+    unsigned nocLane_ = 0;
+    sim::Tick laneLatency_ = 0;
 };
 
 } // namespace m3v::noc

@@ -12,8 +12,9 @@
 #define M3VSIM_NOC_PACKET_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+
+#include "sim/unique_function.h"
 
 namespace m3v::noc {
 
@@ -67,7 +68,7 @@ class HopTarget
      * exactly once when space frees, and false is returned.
      */
     virtual bool acceptPacket(Packet &pkt,
-                              std::function<void()> on_space) = 0;
+                              sim::UniqueFunction<void()> on_space) = 0;
 };
 
 } // namespace m3v::noc

@@ -64,7 +64,12 @@ OutPort::startDrain()
     }
     sim::Tick delay =
         clk_.cyclesToTicks(params_.pipelineCycles + ser);
-    eq_.schedule(delay, [this]() { tryHandOver(); });
+    if (delay < launchEarly_)
+        sim::panic("%s: drain %llu shorter than lane latency %llu",
+                   name_.c_str(),
+                   static_cast<unsigned long long>(delay),
+                   static_cast<unsigned long long>(launchEarly_));
+    eq_.schedule(delay - launchEarly_, [this]() { tryHandOver(); });
 }
 
 void
@@ -74,16 +79,10 @@ OutPort::tryHandOver()
         sim::panic("%s: drain with empty queue", name_.c_str());
     if (dropHead_) {
         dropHead_ = false;
-        queue_.pop_front();
-        dropped_->inc();
-        trc_->instant(sim::TraceCat::Fault, sim::kTracePidNoc, 0,
-                      "pkt_drop");
-        notifySpaceWaiters();
-        if (!queue_.empty()) {
-            startDrain();
-        } else {
-            draining_ = false;
-        }
+        if (launchEarly_ == 0)
+            completeDrop();
+        else
+            eq_.schedule(launchEarly_, [this]() { completeDrop(); });
         return;
     }
     Packet &head = queue_.front();
@@ -92,8 +91,33 @@ OutPort::tryHandOver()
         // Downstream is full: stay stalled; retry fires via callback.
         return;
     }
+    if (launchEarly_ == 0)
+        completeForward();
+    else
+        eq_.schedule(launchEarly_, [this]() { completeForward(); });
+}
+
+void
+OutPort::completeDrop()
+{
+    queue_.pop_front();
+    dropped_->inc();
+    trc_->instant(sim::TraceCat::Fault, sim::kTracePidNoc, 0,
+                  "pkt_drop");
+    finishHead();
+}
+
+void
+OutPort::completeForward()
+{
     queue_.pop_front();
     forwarded_->inc();
+    finishHead();
+}
+
+void
+OutPort::finishHead()
+{
     notifySpaceWaiters();
     if (!queue_.empty()) {
         startDrain();
@@ -142,7 +166,7 @@ Router::setRoute(TileId dst, std::size_t port_idx)
 }
 
 bool
-Router::acceptPacket(Packet &pkt, std::function<void()> on_space)
+Router::acceptPacket(Packet &pkt, sim::UniqueFunction<void()> on_space)
 {
     if (pkt.dst >= routeTable_.size() ||
         routeTable_[pkt.dst] == SIZE_MAX) {

@@ -14,7 +14,6 @@
 #define M3VSIM_NOC_ROUTER_H_
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,6 +83,19 @@ class OutPort
     /** Register a one-shot waiter for queue space. */
     void waitForSpace(sim::UniqueFunction<void()> cb);
 
+    /**
+     * Lane-boundary mode: hand the head packet over @p t ticks before
+     * its drain completes. The downstream element is then a LaneLink
+     * that delivers cross-lane with exactly @p t latency, so the
+     * packet still arrives at the original drain-end tick; the port
+     * itself frees its queue slot (and starts the next drain) at the
+     * unchanged drain-end tick as well. Every drain lasts at least
+     * minLinkLatency() >= @p t, so the early handover never reaches
+     * into the past. 0 (the default) restores the direct in-lane
+     * handover at drain end.
+     */
+    void setLaunchEarly(sim::Tick t) { launchEarly_ = t; }
+
     std::uint64_t forwarded() const { return forwarded_->value(); }
 
     /** Packets this port dropped under a fault plan. */
@@ -92,6 +104,9 @@ class OutPort
   private:
     void startDrain();
     void tryHandOver();
+    void completeDrop();
+    void completeForward();
+    void finishHead();
     void notifySpaceWaiters();
 
     sim::EventQueue &eq_;
@@ -101,6 +116,7 @@ class OutPort
     HopTarget *target_ = nullptr;
     std::deque<Packet> queue_;
     bool draining_ = false;
+    sim::Tick launchEarly_ = 0;
     /** Fault decision for the head packet, taken at drain start. */
     bool dropHead_ = false;
     std::vector<sim::UniqueFunction<void()>> spaceWaiters_;
@@ -136,7 +152,7 @@ class Router : public sim::SimObject, public HopTarget
 
     // HopTarget: upstream elements push packets into the router, which
     // immediately places them on the routed output port's queue.
-    bool acceptPacket(Packet &pkt, std::function<void()> on_space)
+    bool acceptPacket(Packet &pkt, sim::UniqueFunction<void()> on_space)
         override;
 
     std::uint64_t routed() const { return routed_->value(); }

@@ -391,6 +391,29 @@ EventQueue::runUntil(Tick when)
         now_ = when;
 }
 
+void
+EventQueue::runBefore(Tick limit)
+{
+    while (livePending_ > 0) {
+        Entry e;
+        if (!nextLive(e, false))
+            break;
+        if (e.when >= limit)
+            break;
+        popAndRun();
+    }
+}
+
+bool
+EventQueue::peekNextTick(Tick *out)
+{
+    Entry e;
+    if (!nextLive(e, false))
+        return false;
+    *out = e.when;
+    return true;
+}
+
 bool
 EventQueue::runCapped(std::uint64_t max_events)
 {

@@ -148,6 +148,21 @@ class EventQueue
     bool runCapped(std::uint64_t max_events);
 
     /**
+     * Run events with tick strictly below @p limit, leaving now() at
+     * the last executed event. The conservative-window primitive of
+     * the parallel scheduler (sim::LaneScheduler): a lane executes
+     * one window [W, W + lookahead) per round.
+     */
+    void runBefore(Tick limit);
+
+    /**
+     * Tick of the next live event without consuming it (tombstones
+     * of cancelled events are discarded on the way). Returns false
+     * if the queue is empty.
+     */
+    bool peekNextTick(Tick *out);
+
+    /**
      * This simulation's metrics registry (lazily created). Components
      * register instruments here at construction and keep the handles;
      * the scheduling hot path never touches the registry.

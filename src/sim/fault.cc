@@ -19,8 +19,10 @@ matches(const FaultWindow &w, FaultKind kind, const std::string &site,
 
 } // namespace
 
-FaultSite::FaultSite(FaultPlan *plan, std::string name, Rng rng)
-    : plan_(plan), name_(std::move(name)), rng_(rng)
+FaultSite::FaultSite(FaultPlan *plan, std::string name, Rng rng,
+                     Counters *counters)
+    : plan_(plan), name_(std::move(name)), rng_(rng),
+      counters_(counters)
 {
 }
 
@@ -33,7 +35,7 @@ FaultSite::shouldDrop(Tick now)
         if (!matches(w, FaultKind::DropPacket, name_, now))
             continue;
         if (rng_.nextBool(w.probability)) {
-            plan_->drops_.inc();
+            counters_->drops.inc();
             return true;
         }
     }
@@ -49,7 +51,7 @@ FaultSite::shouldCorrupt(Tick now)
         if (!matches(w, FaultKind::CorruptPacket, name_, now))
             continue;
         if (rng_.nextBool(w.probability)) {
-            plan_->corrupts_.inc();
+            counters_->corrupts.inc();
             return true;
         }
     }
@@ -66,7 +68,7 @@ FaultSite::delayCycles(Tick now)
         if (!matches(w, FaultKind::DelayPacket, name_, now))
             continue;
         if (rng_.nextBool(w.probability)) {
-            plan_->delays_.inc();
+            counters_->delays.inc();
             total += w.delayCycles;
         }
     }
@@ -126,7 +128,36 @@ FaultPlan::addDelay(std::string site_prefix, double probability,
 FaultSite
 FaultPlan::makeSite(std::string name)
 {
-    return FaultSite(this, std::move(name), root_.split());
+    siteCounters_.push_back(std::make_unique<FaultSite::Counters>());
+    return FaultSite(this, std::move(name), root_.split(),
+                     siteCounters_.back().get());
+}
+
+Counter
+FaultPlan::drops() const
+{
+    Counter sum;
+    for (const auto &c : siteCounters_)
+        sum.absorb(c->drops);
+    return sum;
+}
+
+Counter
+FaultPlan::corrupts() const
+{
+    Counter sum;
+    for (const auto &c : siteCounters_)
+        sum.absorb(c->corrupts);
+    return sum;
+}
+
+Counter
+FaultPlan::delays() const
+{
+    Counter sum;
+    for (const auto &c : siteCounters_)
+        sum.absorb(c->delays);
+    return sum;
 }
 
 } // namespace m3v::sim

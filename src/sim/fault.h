@@ -13,7 +13,10 @@
  *
  * The plan also owns the counters for everything it injected, so a
  * benchmark or test can report drop/corrupt/delay rates alongside the
- * recovery counters kept by the affected components.
+ * recovery counters kept by the affected components. Counters are
+ * kept per site (the plan hands every site its own block and sums on
+ * read), so sites living on different event lanes of a parallel run
+ * never write shared state.
  *
  * Components keep a null FaultPlan pointer by default; all fault
  * hooks are single null/active checks on that path, so a build with
@@ -25,6 +28,7 @@
 #define M3VSIM_SIM_FAULT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,11 +89,21 @@ class FaultSite
   private:
     friend class FaultPlan;
 
-    FaultSite(FaultPlan *plan, std::string name, Rng rng);
+    /** Injection counters of one site, owned by the plan. */
+    struct Counters
+    {
+        Counter drops;
+        Counter corrupts;
+        Counter delays;
+    };
+
+    FaultSite(FaultPlan *plan, std::string name, Rng rng,
+              Counters *counters);
 
     FaultPlan *plan_ = nullptr;
     std::string name_;
     Rng rng_{0};
+    Counters *counters_ = nullptr;
 };
 
 /**
@@ -129,12 +143,16 @@ class FaultPlan
 
     std::uint64_t seed() const { return seed_; }
 
-    /** Packets dropped by the plan. */
-    const Counter &drops() const { return drops_; }
+    /**
+     * Packets dropped by the plan (summed over all sites at call
+     * time; returned by value so a parallel run reads it only after
+     * the lanes have quiesced).
+     */
+    Counter drops() const;
     /** Packets marked corrupt by the plan. */
-    const Counter &corrupts() const { return corrupts_; }
+    Counter corrupts() const;
     /** Packets delayed by the plan. */
-    const Counter &delays() const { return delays_; }
+    Counter delays() const;
 
   private:
     friend class FaultSite;
@@ -142,9 +160,8 @@ class FaultPlan
     std::uint64_t seed_;
     Rng root_;
     std::vector<FaultWindow> windows_;
-    Counter drops_;
-    Counter corrupts_;
-    Counter delays_;
+    /** One counter block per makeSite() call (pointer-stable). */
+    std::vector<std::unique_ptr<FaultSite::Counters>> siteCounters_;
 };
 
 } // namespace m3v::sim

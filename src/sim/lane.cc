@@ -1,0 +1,269 @@
+#include "sim/lane.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "sim/log.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+
+namespace m3v::sim {
+
+LaneScheduler::LaneScheduler(unsigned lanes, unsigned jobs,
+                             Tick lookahead,
+                             std::size_t mailbox_capacity)
+    : n_(lanes), jobs_(jobs ? jobs : 1), lookahead_(lookahead)
+{
+    if (lanes == 0)
+        panic("LaneScheduler: zero lanes");
+    if (lookahead == 0)
+        panic("LaneScheduler: zero lookahead");
+    lanes_.reserve(n_);
+    for (std::size_t i = 0; i < n_; i++)
+        lanes_.push_back(std::make_unique<EventQueue>());
+    boxes_.reserve(n_ * n_);
+    for (std::size_t i = 0; i < n_ * n_; i++)
+        boxes_.push_back(std::make_unique<Mailbox>(mailbox_capacity));
+    if (jobs_ > 1) {
+        workers_.reserve(jobs_);
+        for (unsigned w = 0; w < jobs_; w++)
+            workers_.emplace_back(
+                [this, w]() { workerLoop(w); });
+    }
+}
+
+LaneScheduler::~LaneScheduler()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_ = true;
+        }
+        cvWork_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+}
+
+bool
+LaneScheduler::tryPost(unsigned src, unsigned dst, Tick due,
+                       UniqueFunction<void()> fn)
+{
+    if (src >= n_ || dst >= n_)
+        panic("LaneScheduler: post %u->%u outside %zu lanes", src,
+              dst, n_);
+    if (running_ && due < lanes_[src]->now() + lookahead_)
+        panic("LaneScheduler: post due %llu violates lookahead "
+              "(now %llu + %llu)",
+              static_cast<unsigned long long>(due),
+              static_cast<unsigned long long>(lanes_[src]->now()),
+              static_cast<unsigned long long>(lookahead_));
+    Mailbox &b = box(src, dst);
+    Msg m;
+    m.due = due;
+    m.seq = b.nextSeq;
+    m.srcLane = src;
+    m.dstLane = dst;
+    m.fn = std::move(fn);
+    if (!b.ring.tryPush(std::move(m)))
+        return false;
+    b.nextSeq++;
+    return true;
+}
+
+void
+LaneScheduler::post(unsigned src, unsigned dst, Tick due,
+                    UniqueFunction<void()> fn)
+{
+    if (!tryPost(src, dst, due, std::move(fn)))
+        panic("LaneScheduler: mailbox %u->%u overflow", src, dst);
+}
+
+void
+LaneScheduler::mergeMailboxes()
+{
+    scratch_.clear();
+    for (auto &b : boxes_) {
+        Msg m;
+        while (b->ring.tryPop(m))
+            scratch_.push_back(std::move(m));
+    }
+    if (scratch_.empty())
+        return;
+    // Canonical cross-lane order: messages are applied to their
+    // destination lanes sorted by (due, srcLane, dstLane, seq), so
+    // the lane-local sequence numbers they receive — and therefore
+    // all same-tick FIFO ordering downstream — are independent of
+    // which worker thread produced them first.
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const Msg &a, const Msg &b) {
+                  if (a.due != b.due)
+                      return a.due < b.due;
+                  if (a.srcLane != b.srcLane)
+                      return a.srcLane < b.srcLane;
+                  if (a.dstLane != b.dstLane)
+                      return a.dstLane < b.dstLane;
+                  return a.seq < b.seq;
+              });
+    for (Msg &m : scratch_) {
+        lanes_[m.dstLane]->scheduleAt(m.due, std::move(m.fn));
+        merged_++;
+    }
+    scratch_.clear();
+}
+
+bool
+LaneScheduler::nextTick(Tick *out)
+{
+    bool have = false;
+    Tick best = 0;
+    for (auto &l : lanes_) {
+        Tick t;
+        if (!l->peekNextTick(&t))
+            continue;
+        if (!have || t < best) {
+            best = t;
+            have = true;
+        }
+    }
+    if (have)
+        *out = best;
+    return have;
+}
+
+void
+LaneScheduler::workerLoop(unsigned)
+{
+    std::uint64_t seen_round = 0;
+    for (;;) {
+        unsigned lane_idx;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cvWork_.wait(lock, [&]() {
+                return shutdown_ ||
+                       (roundId_ != seen_round && next_ < active_.size());
+            });
+            if (shutdown_)
+                return;
+            lane_idx = active_[next_++];
+            if (next_ == active_.size())
+                seen_round = roundId_;
+        }
+        lanes_[lane_idx]->runBefore(roundLimit_);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--pendingLanes_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+void
+LaneScheduler::runRoundOnWorkers(Tick limit)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        roundLimit_ = limit;
+        next_ = 0;
+        pendingLanes_ = active_.size();
+        roundId_++;
+    }
+    cvWork_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cvDone_.wait(lock, [&]() { return pendingLanes_ == 0; });
+}
+
+void
+LaneScheduler::run()
+{
+    running_ = true;
+    for (;;) {
+        // Barrier phase: single-threaded merge of everything the
+        // previous window produced (and, on the first round, of the
+        // posts made during model construction).
+        mergeMailboxes();
+        Tick w;
+        if (!nextTick(&w))
+            break;
+        Tick limit = w + lookahead_;
+        {
+            // Parked workers read active_ inside their wait
+            // predicate (under mu_), so refilling it between rounds
+            // must hold the lock too.
+            std::lock_guard<std::mutex> lock(mu_);
+            active_.clear();
+            for (unsigned i = 0; i < n_; i++) {
+                Tick t;
+                if (lanes_[i]->peekNextTick(&t) && t < limit)
+                    active_.push_back(i);
+            }
+        }
+        rounds_++;
+        if (workers_.empty() || active_.size() == 1) {
+            for (unsigned i : active_)
+                lanes_[i]->runBefore(limit);
+        } else {
+            runRoundOnWorkers(limit);
+        }
+    }
+    running_ = false;
+}
+
+std::uint64_t
+LaneScheduler::executed() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &l : lanes_)
+        sum += l->executed();
+    return sum;
+}
+
+void
+LaneScheduler::mergeMetrics(MetricsRegistry &out)
+{
+    for (auto &l : lanes_)
+        out.absorb(l->metrics());
+}
+
+void
+LaneScheduler::enableAllTracing()
+{
+    for (auto &l : lanes_)
+        l->tracer().enableAll();
+}
+
+void
+LaneScheduler::mergeTrace(Tracer &out)
+{
+    for (auto &l : lanes_)
+        out.absorb(l->tracer());
+}
+
+void
+runCells(unsigned jobs, std::vector<UniqueFunction<void()>> cells)
+{
+    if (jobs <= 1 || cells.size() <= 1) {
+        for (auto &c : cells)
+            c();
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= cells.size())
+                return;
+            cells[i]();
+        }
+    };
+    std::size_t nthreads =
+        std::min<std::size_t>(jobs, cells.size());
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (std::size_t i = 0; i < nthreads; i++)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+}
+
+} // namespace m3v::sim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Sharded parallel event execution: per-lane event queues under
+ * conservative window synchronization.
+ *
+ * A LaneScheduler owns N event lanes (each a full EventQueue with its
+ * own calendar machinery, metrics registry, and tracer) and executes
+ * them round by round on a pool of worker threads:
+ *
+ *   1. Barrier (single-threaded): drain every cross-lane mailbox,
+ *      merge the messages in canonical (due, srcLane, seq) order, and
+ *      schedule each into its destination lane at its due tick.
+ *   2. Window: W = min over lanes of the next pending tick. Every
+ *      lane with work below W + lookahead executes all its events
+ *      with tick < W + lookahead, each lane on one worker.
+ *   3. Repeat until all lanes are empty and no messages are in
+ *      flight.
+ *
+ * Safety: a cross-lane message posted at sender time t is due no
+ * earlier than t + lookahead, so everything due inside the window
+ * currently executing was already merged at the barrier before it —
+ * lanes never observe a message "from the past". Lanes share no other
+ * state, so any interleaving of same-window events in different lanes
+ * yields the same result, and the canonical merge order makes the
+ * destination lane's (tick, seq) order independent of thread count
+ * and scheduling. Results are bit-identical for any jobs >= 1.
+ *
+ * The lookahead comes from the model: it is the minimum latency of
+ * any lane-crossing interaction (for the NoC boundary, the minimum
+ * link traversal time derived from NocParams — see
+ * noc::Noc::minLinkLatency()).
+ *
+ * jobs = 1 runs every window on the calling thread; a model built on
+ * a single lane degenerates to exactly the sequential event loop.
+ */
+
+#ifndef M3VSIM_SIM_LANE_H_
+#define M3VSIM_SIM_LANE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/spsc.h"
+#include "sim/types.h"
+#include "sim/unique_function.h"
+
+namespace m3v::sim {
+
+/** Conservative-window scheduler over N event lanes. */
+class LaneScheduler
+{
+  public:
+    /**
+     * @param lanes     Number of event lanes (model shards).
+     * @param jobs      Worker threads executing lane windows. 1 means
+     *                  everything runs on the calling thread.
+     * @param lookahead Conservative window width in ticks; every
+     *                  cross-lane post must be due at least this far
+     *                  after the sender's current time. Must be > 0.
+     * @param mailbox_capacity  Per-(src,dst) mailbox slots.
+     */
+    LaneScheduler(unsigned lanes, unsigned jobs, Tick lookahead,
+                  std::size_t mailbox_capacity = 4096);
+    ~LaneScheduler();
+
+    LaneScheduler(const LaneScheduler &) = delete;
+    LaneScheduler &operator=(const LaneScheduler &) = delete;
+
+    unsigned lanes() const { return static_cast<unsigned>(n_); }
+    unsigned jobs() const { return jobs_; }
+    Tick lookahead() const { return lookahead_; }
+
+    /** Lane @p i's event queue. Components of shard i are
+     *  constructed against this queue and schedule only here. */
+    EventQueue &lane(unsigned i) { return *lanes_[i]; }
+    const EventQueue &lane(unsigned i) const { return *lanes_[i]; }
+
+    /**
+     * Post a closure from lane @p src into lane @p dst, to run at
+     * absolute tick @p due. Must be called from src's window (or
+     * before run(), during model construction). While running, due
+     * must be >= lane(src).now() + lookahead(); posting closer than
+     * the lookahead is a model bug and panics. Returns false when the
+     * (src, dst) mailbox is full — the caller owns backpressure
+     * (e.g. retry from a later local event). @p fn runs on dst's
+     * thread at tick due; it must touch only dst-lane state.
+     */
+    bool tryPost(unsigned src, unsigned dst, Tick due,
+                 UniqueFunction<void()> fn);
+
+    /** tryPost that panics on mailbox overflow. For protocols whose
+     *  in-flight count is bounded (credits) below the capacity. */
+    void post(unsigned src, unsigned dst, Tick due,
+              UniqueFunction<void()> fn);
+
+    /** Run until every lane drains and no message is in flight. */
+    void run();
+
+    /** Synchronization rounds executed by run() so far. */
+    std::uint64_t rounds() const { return rounds_; }
+
+    /** Cross-lane messages merged so far. */
+    std::uint64_t messagesMerged() const { return merged_; }
+
+    /** Total events executed across all lanes. */
+    std::uint64_t executed() const;
+
+    /**
+     * Merge every lane's metrics registry into @p out (counters add,
+     * histograms add bucket-wise, samplers combine) in lane order, so
+     * the merged dump of a sharded model carries the same keys and
+     * values as the same model built on one lane.
+     */
+    void mergeMetrics(MetricsRegistry &out);
+
+    /** Enable all trace categories on every lane's tracer. */
+    void enableAllTracing();
+
+    /** Merge every lane's trace into @p out, in lane order. */
+    void mergeTrace(Tracer &out);
+
+  private:
+    struct Msg
+    {
+        Tick due = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t srcLane = 0;
+        std::uint32_t dstLane = 0;
+        UniqueFunction<void()> fn;
+    };
+
+    struct Mailbox
+    {
+        explicit Mailbox(std::size_t cap) : ring(cap) {}
+        SpscRing<Msg> ring;
+        /** Sender-side sequence, in sender program order. */
+        std::uint64_t nextSeq = 0;
+    };
+
+    Mailbox &box(unsigned src, unsigned dst)
+    {
+        return *boxes_[src * n_ + dst];
+    }
+
+    /** Drain all mailboxes and schedule the messages canonically. */
+    void mergeMailboxes();
+
+    /** Next pending tick over all lanes; false if all empty. */
+    bool nextTick(Tick *out);
+
+    void workerLoop(unsigned worker);
+    void runRoundOnWorkers(Tick limit);
+
+    std::size_t n_;
+    unsigned jobs_;
+    Tick lookahead_;
+    bool running_ = false;
+    std::uint64_t rounds_ = 0;
+    std::uint64_t merged_ = 0;
+
+    std::vector<std::unique_ptr<EventQueue>> lanes_;
+    std::vector<std::unique_ptr<Mailbox>> boxes_;
+    std::vector<Msg> scratch_;
+
+    //
+    // Worker pool (created once; parked between rounds).
+    //
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cvWork_;
+    std::condition_variable cvDone_;
+    /** Lanes active this round; workers claim indices from next_. */
+    std::vector<unsigned> active_;
+    std::size_t next_ = 0;
+    std::size_t pendingLanes_ = 0;
+    Tick roundLimit_ = 0;
+    std::uint64_t roundId_ = 0;
+    bool shutdown_ = false;
+};
+
+/**
+ * Run independent work items on @p jobs threads. Each cell is a
+ * self-contained closure (its own EventQueue, its own result slot);
+ * cells are claimed in index order and joined before returning, so
+ * with deterministic cells the overall result is independent of jobs.
+ * jobs <= 1 runs the cells inline, in order. Used by the benchmark
+ * harness (--jobs) to run sweep cells concurrently.
+ */
+void runCells(unsigned jobs,
+              std::vector<UniqueFunction<void()>> cells);
+
+} // namespace m3v::sim
+
+#endif // M3VSIM_SIM_LANE_H_

@@ -110,6 +110,29 @@ MetricsRegistry::findCounter(const std::string &path) const
     return it->second.c.get();
 }
 
+void
+MetricsRegistry::absorb(const MetricsRegistry &other)
+{
+    for (const auto &[path, oe] : other.entries_) {
+        switch (oe.kind) {
+          case Kind::Counter:
+            if (oe.c)
+                counter(path)->absorb(*oe.c);
+            break;
+          case Kind::Sampler:
+            if (oe.s)
+                sampler(path)->absorb(*oe.s);
+            break;
+          case Kind::Histogram:
+            if (oe.h)
+                histogram(path, oe.h->lo(), oe.h->hi(),
+                          oe.h->buckets())
+                    ->absorb(*oe.h);
+            break;
+        }
+    }
+}
+
 std::string
 MetricsRegistry::toJson() const
 {

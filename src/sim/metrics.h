@@ -72,6 +72,16 @@ class MetricsRegistry
     /** Write toJson() to @p file (panics on I/O failure). */
     void writeJsonFile(const std::string &file) const;
 
+    /**
+     * Fold @p other into this registry: instruments at the same path
+     * are combined (counters add, samplers merge their running
+     * statistics, histograms add bucket-wise), unknown paths are
+     * created. Kind or histogram-config mismatches panic. Used to
+     * merge per-lane metric shards into one dump — absorbing N shards
+     * of a sharded model yields the same JSON as the unsharded model.
+     */
+    void absorb(const MetricsRegistry &other);
+
   private:
     enum class Kind
     {

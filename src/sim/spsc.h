@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A fixed-capacity single-producer single-consumer ring.
+ *
+ * Used as the cross-lane mailbox of the parallel event core: the
+ * producer is the worker thread executing the source lane's window,
+ * the consumer is the thread draining mailboxes at the window
+ * barrier. Producer and consumer run concurrently in the general
+ * case, so head/tail are atomics with acquire/release ordering; the
+ * payload slots themselves are only touched by the side that owns
+ * them at that moment (classic Lamport queue).
+ *
+ * Capacity is rounded up to a power of two; one slot is never used so
+ * full/empty are distinguishable without a counter.
+ */
+
+#ifndef M3VSIM_SIM_SPSC_H_
+#define M3VSIM_SIM_SPSC_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace m3v::sim {
+
+/** Bounded SPSC ring. tryPush/tryPop never block or allocate. */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : mask_(std::bit_ceil(capacity + 1) - 1),
+          slots_(std::make_unique<T[]>(mask_ + 1))
+    {
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Usable capacity (requested, rounded up to 2^k - 1). */
+    std::size_t capacity() const { return mask_; }
+
+    /** Producer side: enqueue, or return false when full. */
+    bool
+    tryPush(T &&v)
+    {
+        std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t next = (tail + 1) & mask_;
+        if (next == head_.load(std::memory_order_acquire))
+            return false;
+        slots_[tail] = std::move(v);
+        tail_.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: dequeue, or return false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire))
+            return false;
+        out = std::move(slots_[head]);
+        head_.store((head + 1) & mask_, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side emptiness check (exact for the consumer). */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_relaxed) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::size_t mask_;
+    std::unique_ptr<T[]> slots_;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace m3v::sim
+
+#endif // M3VSIM_SIM_SPSC_H_

@@ -47,6 +47,27 @@ Sampler::stddev() const
     return std::sqrt(variance());
 }
 
+void
+Sampler::absorb(const Sampler &o)
+{
+    if (o.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = o;
+        return;
+    }
+    double na = static_cast<double>(n_);
+    double nb = static_cast<double>(o.n_);
+    double delta = o.mean_ - mean_;
+    double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += o.m2_ + delta * delta * na * nb / nt;
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), width_(0)
 {
@@ -81,6 +102,22 @@ Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     underflow_ = overflow_ = total_ = 0;
+}
+
+void
+Histogram::absorb(const Histogram &o)
+{
+    if (o.lo_ != lo_ || o.hi_ != hi_ ||
+        o.counts_.size() != counts_.size())
+        panic("Histogram: absorbing mismatched config "
+              "[%f, %f) x %zu into [%f, %f) x %zu",
+              o.lo_, o.hi_, o.counts_.size(), lo_, hi_,
+              counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); i++)
+        counts_[i] += o.counts_[i];
+    underflow_ += o.underflow_;
+    overflow_ += o.overflow_;
+    total_ += o.total_;
 }
 
 double

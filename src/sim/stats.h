@@ -22,6 +22,9 @@ class Counter
     void reset() { value_ = 0; }
     std::uint64_t value() const { return value_; }
 
+    /** Fold another counter in (shard merging at dump time). */
+    void absorb(const Counter &o) { value_ += o.value_; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -51,6 +54,13 @@ class Sampler
     /** Population standard deviation. */
     double stddev() const;
 
+    /**
+     * Fold another sampler in (Chan et al. parallel combination of
+     * Welford states). Exact for count/sum/min/max; mean/variance
+     * combine within floating-point error.
+     */
+    void absorb(const Sampler &o);
+
   private:
     std::uint64_t n_ = 0;
     double mean_ = 0.0;
@@ -74,12 +84,18 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
     std::size_t buckets() const { return counts_.size(); }
     std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
 
     /** Lower edge of bucket i. */
     double bucketLo(std::size_t i) const;
 
     /** Value below which the given fraction (0..1) of samples fall. */
     double percentile(double frac) const;
+
+    /** Fold another histogram in; the bucket configuration must be
+     *  identical (it is for shards of the same instrument). */
+    void absorb(const Histogram &o);
 
   private:
     double lo_;

@@ -14,12 +14,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "os/system.h"
 #include "services/file_client.h"
 #include "services/m3fs.h"
 #include "services/net.h"
 #include "sim/fault.h"
+#include "sim/lane.h"
 
 namespace m3v {
 namespace {
@@ -205,6 +207,42 @@ TEST(ChaosTest, FaultyRunMatchesFaultFreeResults)
         EXPECT_EQ(r->watchdogKills, 1u);
         EXPECT_EQ(r->crashes, 1u);
         EXPECT_EQ(r->reaped, 2u);
+    }
+}
+
+TEST(ChaosTest, ParallelCellsReproduceInlineRuns)
+{
+    // The --jobs cell runner executes whole chaos workloads on worker
+    // threads. Each cell is self-contained (own EventQueue, own
+    // FaultPlan), so four concurrent runs must fingerprint exactly
+    // like the same four run inline.
+    const std::uint64_t seeds[] = {7, 1234, 4242, 9001};
+    std::vector<ChaosResult> inline_runs;
+    for (std::uint64_t s : seeds)
+        inline_runs.push_back(runWorkload(s, true));
+
+    std::vector<ChaosResult> parallel_runs(4);
+    std::vector<sim::UniqueFunction<void()>> cells;
+    for (std::size_t i = 0; i < 4; i++) {
+        std::uint64_t s = seeds[i];
+        cells.push_back([&parallel_runs, i, s]() {
+            parallel_runs[i] = runWorkload(s, true);
+        });
+    }
+    sim::runCells(4, std::move(cells));
+
+    for (std::size_t i = 0; i < 4; i++) {
+        const ChaosResult &a = inline_runs[i];
+        const ChaosResult &b = parallel_runs[i];
+        EXPECT_EQ(a.endTime, b.endTime) << "seed " << seeds[i];
+        EXPECT_EQ(a.drops, b.drops);
+        EXPECT_EQ(a.corrupts, b.corrupts);
+        EXPECT_EQ(a.retransmits, b.retransmits);
+        EXPECT_EQ(a.fsData, b.fsData);
+        EXPECT_EQ(a.echoes, b.echoes);
+        EXPECT_EQ(a.watchdogKills, b.watchdogKills);
+        EXPECT_EQ(a.crashes, b.crashes);
+        EXPECT_EQ(a.reaped, b.reaped);
     }
 }
 

@@ -29,10 +29,10 @@ struct RecordingSink : HopTarget
     std::vector<bool> corruptFlags;
     sim::EventQueue *eq = nullptr;
     bool full = false;
-    std::vector<std::function<void()>> waiters;
+    std::vector<sim::UniqueFunction<void()>> waiters;
 
     bool
-    acceptPacket(Packet &pkt, std::function<void()> on_space) override
+    acceptPacket(Packet &pkt, sim::UniqueFunction<void()> on_space) override
     {
         if (full) {
             waiters.push_back(std::move(on_space));

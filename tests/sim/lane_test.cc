@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the parallel event core: the SPSC mailbox ring, the
+ * LaneScheduler's conservative windows and canonical merge, shard
+ * merging of metrics/traces, and the runCells sweep helper.
+ *
+ * The determinism tests run the same model at several worker counts
+ * and require bit-identical results — the core guarantee of the
+ * sharded execution mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/lane.h"
+#include "sim/metrics.h"
+#include "sim/rng.h"
+#include "sim/spsc.h"
+#include "sim/trace.h"
+
+namespace m3v::sim {
+namespace {
+
+TEST(SpscRingTest, PushPopOrder)
+{
+    SpscRing<int> ring(4);
+    EXPECT_TRUE(ring.empty());
+    for (int i = 0; i < 4; i++)
+        EXPECT_TRUE(ring.tryPush(std::move(i)));
+    int v;
+    for (int i = 0; i < 4; i++) {
+        ASSERT_TRUE(ring.tryPop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(ring.tryPop(v));
+}
+
+TEST(SpscRingTest, FullRejectsPush)
+{
+    SpscRing<int> ring(2);
+    std::size_t pushed = 0;
+    for (int i = 0; i < 100; i++) {
+        int v = i;
+        if (!ring.tryPush(std::move(v)))
+            break;
+        pushed++;
+    }
+    EXPECT_EQ(pushed, ring.capacity());
+    int v;
+    ASSERT_TRUE(ring.tryPop(v));
+    EXPECT_EQ(v, 0);
+    int w = 777;
+    EXPECT_TRUE(ring.tryPush(std::move(w)));
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumer)
+{
+    SpscRing<std::uint64_t> ring(64);
+    constexpr std::uint64_t kN = 100000;
+    std::thread producer([&]() {
+        for (std::uint64_t i = 0; i < kN;) {
+            std::uint64_t v = i;
+            if (ring.tryPush(std::move(v)))
+                i++;
+        }
+    });
+    std::uint64_t expect = 0;
+    while (expect < kN) {
+        std::uint64_t v;
+        if (ring.tryPop(v)) {
+            ASSERT_EQ(v, expect);
+            expect++;
+        }
+    }
+    producer.join();
+}
+
+/**
+ * A deterministic multi-lane ping-pong model: each lane runs a local
+ * event chain and fires messages at other lanes; every lane records a
+ * signature of (tick, value) pairs. The signature must not depend on
+ * the worker count.
+ */
+struct PingPong
+{
+    static constexpr Tick kLookahead = 100;
+
+    explicit PingPong(unsigned lanes, unsigned jobs)
+        : sched(lanes, jobs, kLookahead), log(lanes)
+    {
+    }
+
+    void
+    bounce(unsigned lane, unsigned hops, std::uint64_t value)
+    {
+        log[lane].push_back({sched.lane(lane).now(), value});
+        if (hops == 0)
+            return;
+        unsigned next =
+            (lane + 1 + static_cast<unsigned>(value % 3)) %
+            sched.lanes();
+        if (next == lane)
+            next = (lane + 1) % sched.lanes();
+        Tick due = sched.lane(lane).now() + kLookahead +
+                   (value % 7) * 13;
+        sched.post(lane, next, due, [this, next, hops, value]() {
+            bounce(next, hops - 1, value * 6364136223846793005ull + 1);
+        });
+        // Also some lane-local churn between the cross-lane hops.
+        sched.lane(lane).schedule(value % 50, [this, lane]() {
+            log[lane].push_back({sched.lane(lane).now(), 0});
+        });
+    }
+
+    LaneScheduler sched;
+    std::vector<std::vector<std::pair<Tick, std::uint64_t>>> log;
+};
+
+std::vector<std::vector<std::pair<Tick, std::uint64_t>>>
+runPingPong(unsigned lanes, unsigned jobs)
+{
+    PingPong pp(lanes, jobs);
+    for (unsigned l = 0; l < lanes; l++) {
+        pp.sched.lane(l).schedule(l * 17, [&pp, l]() {
+            pp.bounce(l, 40, l + 1);
+        });
+    }
+    pp.sched.run();
+    return pp.log;
+}
+
+TEST(LaneSchedulerTest, DeterministicAcrossJobCounts)
+{
+    auto ref = runPingPong(4, 1);
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        auto got = runPingPong(4, jobs);
+        EXPECT_EQ(got, ref) << "jobs=" << jobs;
+    }
+}
+
+TEST(LaneSchedulerTest, SingleLaneMatchesPlainQueue)
+{
+    // A single-lane model is the degenerate case: the scheduler must
+    // execute exactly the same event sequence as a bare EventQueue.
+    std::vector<std::pair<Tick, int>> plain;
+    {
+        EventQueue eq;
+        for (int i = 0; i < 20; i++) {
+            eq.schedule(static_cast<Tick>(i * 7 % 13), [&plain, &eq,
+                                                        i]() {
+                plain.push_back({eq.now(), i});
+            });
+        }
+        eq.run();
+    }
+    std::vector<std::pair<Tick, int>> laned;
+    {
+        LaneScheduler sched(1, 1, 100);
+        EventQueue &eq = sched.lane(0);
+        for (int i = 0; i < 20; i++) {
+            eq.schedule(static_cast<Tick>(i * 7 % 13), [&laned, &eq,
+                                                        i]() {
+                laned.push_back({eq.now(), i});
+            });
+        }
+        sched.run();
+    }
+    EXPECT_EQ(laned, plain);
+}
+
+TEST(LaneSchedulerTest, CrossLaneArrivalTickIsExact)
+{
+    LaneScheduler sched(2, 2, 50);
+    Tick arrived = 0;
+    sched.lane(0).schedule(123, [&]() {
+        sched.post(0, 1, 123 + 50, [&]() {
+            arrived = sched.lane(1).now();
+        });
+    });
+    sched.run();
+    EXPECT_EQ(arrived, 173u);
+}
+
+TEST(LaneSchedulerTest, LookaheadViolationPanics)
+{
+    LaneScheduler sched(2, 1, 100);
+    sched.lane(0).schedule(10, [&]() {
+        // Due 10 + 99 < now + lookahead: a model bug.
+        sched.post(0, 1, 109, []() {});
+    });
+    EXPECT_DEATH(sched.run(), "lookahead");
+}
+
+TEST(LaneSchedulerTest, MailboxOverflowBackpressure)
+{
+    // Tiny mailbox: tryPost must refuse once full, and succeed again
+    // after the barrier drains it.
+    LaneScheduler sched(2, 1, 10, /*mailbox_capacity=*/4);
+    std::size_t accepted = 0, refused = 0;
+    int delivered = 0;
+    sched.lane(0).schedule(0, [&]() {
+        for (int i = 0; i < 20; i++) {
+            if (sched.tryPost(0, 1, sched.lane(0).now() + 10,
+                              [&delivered]() { delivered++; }))
+                accepted++;
+            else
+                refused++;
+        }
+    });
+    sched.run();
+    EXPECT_GT(refused, 0u);
+    EXPECT_EQ(delivered, static_cast<int>(accepted));
+    EXPECT_GE(accepted, 4u);
+}
+
+TEST(LaneSchedulerTest, OverflowPanicsOnPost)
+{
+    LaneScheduler sched(2, 1, 10, /*mailbox_capacity=*/2);
+    sched.lane(0).schedule(0, [&]() {
+        for (int i = 0; i < 20; i++)
+            sched.post(0, 1, sched.lane(0).now() + 10, []() {});
+    });
+    EXPECT_DEATH(sched.run(), "overflow");
+}
+
+TEST(LaneSchedulerTest, WheelHorizonRollover)
+{
+    // Cross-lane messages far beyond the calendar wheel horizon
+    // (~1 us = 2^11 * 512 ticks) must still merge and execute at the
+    // exact due tick, across many barrier rounds.
+    constexpr Tick kFar = Tick{1} << 24; // 16 M ticks >> horizon
+    for (unsigned jobs : {1u, 4u}) {
+        LaneScheduler sched(3, jobs, 1000);
+        std::vector<Tick> hits;
+        sched.lane(0).schedule(0, [&]() {
+            sched.post(0, 1, kFar, [&]() {
+                hits.push_back(sched.lane(1).now());
+                sched.post(1, 2, kFar + 2 * kFar, [&]() {
+                    hits.push_back(sched.lane(2).now());
+                });
+            });
+        });
+        sched.run();
+        ASSERT_EQ(hits.size(), 2u) << "jobs=" << jobs;
+        EXPECT_EQ(hits[0], kFar);
+        EXPECT_EQ(hits[1], 3 * kFar);
+    }
+}
+
+TEST(LaneSchedulerTest, PerLaneRngStreamsAreStable)
+{
+    // Fault-injection style use: each lane draws from its own Rng
+    // stream; the sequence seen on each lane must not depend on the
+    // worker count or on what other lanes do.
+    auto run = [](unsigned jobs) {
+        LaneScheduler sched(4, jobs, 100);
+        std::vector<Rng> rng;
+        Rng root(42);
+        for (unsigned l = 0; l < 4; l++)
+            rng.push_back(root.split());
+        std::vector<std::vector<std::uint64_t>> draws(4);
+        for (unsigned l = 0; l < 4; l++) {
+            for (int i = 0; i < 50; i++) {
+                sched.lane(l).schedule(
+                    static_cast<Tick>(i * 31 + l),
+                    [&draws, &rng, l]() {
+                        draws[l].push_back(rng[l].next());
+                    });
+            }
+        }
+        sched.run();
+        return draws;
+    };
+    auto ref = run(1);
+    EXPECT_EQ(run(4), ref);
+}
+
+TEST(LaneSchedulerTest, MergeMetricsMatchesUnsharded)
+{
+    // Shard a counting workload over 4 lanes, merge the shards, and
+    // compare against the same instruments bumped on one lane.
+    auto populate = [](MetricsRegistry &m, int base) {
+        m.counter("a.count")->inc(static_cast<std::uint64_t>(base));
+        for (int i = 0; i < 10; i++) {
+            m.sampler("a.lat")->add(base * 100.0 + i);
+            m.histogram("a.h", 0.0, 1000.0, 10)
+                ->add(base * 100.0 + i);
+        }
+    };
+    LaneScheduler sched(4, 2, 10);
+    for (unsigned l = 0; l < 4; l++) {
+        sched.lane(l).schedule(0, [&sched, populate, l]() {
+            populate(sched.lane(l).metrics(),
+                     static_cast<int>(l) + 1);
+        });
+    }
+    sched.run();
+    MetricsRegistry merged;
+    sched.mergeMetrics(merged);
+
+    MetricsRegistry flat;
+    for (int base = 1; base <= 4; base++)
+        populate(flat, base);
+    EXPECT_EQ(merged.toJson(), flat.toJson());
+}
+
+TEST(LaneSchedulerTest, MergeTraceConcatenatesLaneTracks)
+{
+    LaneScheduler sched(2, 1, 10);
+    sched.enableAllTracing();
+    sched.lane(0).schedule(5, [&]() {
+        sched.lane(0).tracer().begin(TraceCat::Sched, 0, 0, "w0");
+        sched.lane(0).tracer().end(TraceCat::Sched, 0, 0);
+    });
+    sched.lane(1).schedule(7, [&]() {
+        sched.lane(1).tracer().instant(TraceCat::Noc, 1, 0, "hop");
+    });
+    sched.run();
+    EventQueue host;
+    Tracer merged(host);
+    sched.mergeTrace(merged);
+    EXPECT_EQ(merged.events(), 3u);
+    std::string json = merged.toJson();
+    EXPECT_NE(json.find("\"w0\""), std::string::npos);
+    EXPECT_NE(json.find("\"hop\""), std::string::npos);
+}
+
+TEST(RunCellsTest, AllCellsRunOnceAnyJobs)
+{
+    for (unsigned jobs : {1u, 3u, 8u}) {
+        std::vector<int> results(20, 0);
+        std::vector<UniqueFunction<void()>> cells;
+        for (int i = 0; i < 20; i++) {
+            cells.push_back([&results, i]() {
+                // Each cell runs its own tiny simulation.
+                EventQueue eq;
+                int acc = 0;
+                for (int k = 0; k <= i; k++)
+                    eq.schedule(static_cast<Tick>(k),
+                                [&acc]() { acc++; });
+                eq.run();
+                results[static_cast<std::size_t>(i)] = acc;
+            });
+        }
+        runCells(jobs, std::move(cells));
+        for (int i = 0; i < 20; i++)
+            EXPECT_EQ(results[static_cast<std::size_t>(i)], i + 1)
+                << "jobs=" << jobs;
+    }
+}
+
+} // namespace
+} // namespace m3v::sim
