@@ -76,13 +76,15 @@ struct ObsOptions
     std::string metricsOut; ///< --metrics-out=<file> (empty: off)
     std::string traceOut;   ///< --trace-out=<file> (empty: off)
     std::string perfOut;    ///< --perf-out=<file> (empty: off)
+    std::string summaryOut; ///< --summary-out=<file> (empty: off)
     unsigned jobs = 1;      ///< --jobs=<n> worker threads for cells
 };
 
 /**
- * Parse `--metrics-out=` / `--trace-out=` / `--perf-out=` / `--jobs=`
- * from argv. Unknown arguments are ignored so figure binaries stay
- * forgiving about harness-added flags.
+ * Parse `--metrics-out=` / `--trace-out=` / `--perf-out=` /
+ * `--summary-out=` / `--jobs=` from argv. Unknown arguments are
+ * ignored so figure binaries stay forgiving about harness-added
+ * flags.
  */
 inline ObsOptions
 parseObsArgs(int argc, char **argv)
@@ -93,6 +95,7 @@ parseObsArgs(int argc, char **argv)
         const std::string kMetrics = "--metrics-out=";
         const std::string kTrace = "--trace-out=";
         const std::string kPerf = "--perf-out=";
+        const std::string kSummary = "--summary-out=";
         const std::string kJobs = "--jobs=";
         if (arg.rfind(kMetrics, 0) == 0)
             opts.metricsOut = arg.substr(kMetrics.size());
@@ -100,6 +103,8 @@ parseObsArgs(int argc, char **argv)
             opts.traceOut = arg.substr(kTrace.size());
         else if (arg.rfind(kPerf, 0) == 0)
             opts.perfOut = arg.substr(kPerf.size());
+        else if (arg.rfind(kSummary, 0) == 0)
+            opts.summaryOut = arg.substr(kSummary.size());
         else if (arg.rfind(kJobs, 0) == 0) {
             int n = std::atoi(arg.c_str() + kJobs.size());
             opts.jobs = n > 0 ? static_cast<unsigned>(n) : 1;
@@ -107,6 +112,63 @@ parseObsArgs(int argc, char **argv)
     }
     return opts;
 }
+
+/**
+ * Deterministic figure summary (--summary-out): an ordered list of
+ * key/value pairs holding the headline numbers of a figure, derived
+ * purely from simulated time — byte-identical across runs, hosts and
+ * --jobs values. The golden-trace regression tests (tests/golden/)
+ * compare these files against committed references.
+ */
+class Summary
+{
+  public:
+    void
+    add(const std::string &key, double value, int decimals = 3)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+        entries_.emplace_back(key, buf);
+    }
+
+    void
+    addU64(const std::string &key, std::uint64_t value)
+    {
+        entries_.emplace_back(key, std::to_string(value));
+    }
+
+    std::string
+    toJson() const
+    {
+        std::string out = "{";
+        bool first = true;
+        for (const auto &[key, val] : entries_) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\n  \"" + sim::jsonEscape(key) + "\": " + val;
+        }
+        out += "\n}\n";
+        return out;
+    }
+
+    /** Write the summary; no-op when @p path is empty. */
+    void
+    write(const std::string &path) const
+    {
+        if (path.empty())
+            return;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            sim::fatal("Summary: cannot open %s", path.c_str());
+        std::string json = toJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /**
  * Collects metrics snapshots from several runs (each with its own

@@ -255,5 +255,15 @@ main(int argc, char **argv)
                 "(paper: ~5 Kcycles)\n",
                 us_to_kcyc(local.meanUs));
     dump.write(obs.metricsOut);
+
+    m3v::bench::Summary summary;
+    summary.add("linux_yield2x_us", sim::ticksToUs(yield2));
+    summary.add("linux_syscall_us", sim::ticksToUs(sysc));
+    summary.add("m3v_local_us", local.meanUs);
+    summary.add("m3v_local_stddev_us", local.stddevUs);
+    summary.add("m3v_remote_us", remote.meanUs);
+    summary.add("m3v_remote_stddev_us", remote.stddevUs);
+    summary.add("m3x_local_us", sim::ticksToUs(m3x));
+    summary.write(obs.summaryOut);
     return 0;
 }

@@ -615,5 +615,17 @@ main(int argc, char **argv)
                 "almost linearly to 12 tiles.\n");
     dump.write(obs.metricsOut);
     m3v::bench::writePerfJson(obs.perfOut, obs.jobs, wall, events);
+
+    m3v::bench::Summary summary;
+    for (std::size_t i = 0; i < ns.size(); i++) {
+        const CellOut *o = &outs[i * 4];
+        std::string n = std::to_string(ns[i]);
+        summary.add("m3x_find_" + n + "_runs_per_s", o[0].v, 1);
+        summary.add("m3v_find_" + n + "_runs_per_s", o[1].v, 1);
+        summary.add("m3x_sqlite_" + n + "_runs_per_s", o[2].v, 1);
+        summary.add("m3v_sqlite_" + n + "_runs_per_s", o[3].v, 1);
+    }
+    summary.addU64("events", events);
+    summary.write(obs.summaryOut);
     return 0;
 }

@@ -12,10 +12,24 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "== fuzz smoke: protocol fuzzer, fixed seeds =="
+# >=10k generated scenarios (5 seed streams) through the single-queue
+# rig with every invariant attached at stride 1, plus differential
+# runs (laned jobs=1 vs jobs=4 must produce identical digests). Any
+# invariant trip, reference-model mismatch, or divergence fails.
+build/tests/fuzz/fuzz_driver --seeds=5 --seqs=2100 --diff=25 \
+    --faults=both
+
 echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DM3VSIM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j "$(nproc)")
+
+echo "== fuzz smoke under ASan (bounded) =="
+# Smaller corpus (sanitizer overhead), same fixed seeds: memory bugs
+# in the protocol engines surface here before they corrupt state.
+build-asan/tests/fuzz/fuzz_driver --seeds=5 --seqs=300 --diff=10 \
+    --faults=both
 
 echo "== sanitized re-run: observability + lifecycle regressions =="
 # The metrics/trace layer and the activity-teardown paths are the
@@ -30,8 +44,16 @@ echo "== TSan build: parallel event execution =="
 # runner. Death tests are excluded (fork under TSan is unreliable);
 # the plain and ASan passes above cover them.
 cmake -B build-tsan -S . -DM3VSIM_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target sim_lane_test noc_lane_test
+cmake --build build-tsan -j --target sim_lane_test noc_lane_test \
+    fuzz_driver
 build-tsan/tests/sim/sim_lane_test --gtest_filter='-*Panic*'
 build-tsan/tests/noc/noc_lane_test
+
+echo "== fuzz smoke under TSan (differential only, bounded) =="
+# Laned differential runs are the threaded path: per-lane invariant
+# registries must stay lane-local, and jobs=1 vs jobs=4 digests must
+# match with the race detector watching.
+build-tsan/tests/fuzz/fuzz_driver --seeds=2 --seqs=0 --diff=15 \
+    --faults=both
 
 echo "== all checks passed =="

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/invariants.h"
 #include "sim/log.h"
 
 namespace m3v::core {
@@ -92,7 +93,7 @@ TileMux::startActivity(Activity *act, sim::Task body)
     // If another activity is on the core without a slice timer (it
     // was running alone), arm one now so the newcomer gets its turn.
     if (core_.current() && !core_.timerArmed())
-        core_.setTimer(params_.timeSlice);
+        armSlice(params_.timeSlice);
     kickScheduler();
 }
 
@@ -205,6 +206,7 @@ sim::Task
 TileMux::waitForMsg(Activity &act, dtu::EpId ep)
 {
     act.hogSlices_ = 0;
+    act.waitEp_ = ep; // consulted only while BlockedMsg
     // Check the shared-memory "others ready" flag (a couple of loads).
     co_await act.thread().compute(4);
 
@@ -367,6 +369,13 @@ TileMux::onIrq(tile::IrqKind kind)
                     ready_.push_back(current_); // slice over: go last
                 }
             } else {
+                // A core-request/device interrupt is not a slice
+                // expiry: bank the unconsumed remnant so the next
+                // dispatch resumes it. Re-arming a fresh slice here
+                // would let a compute-bound activity under steady
+                // message traffic keep the core forever.
+                if (core_.timerArmed() && sliceEnd_ > eq_.now())
+                    current_->sliceLeft_ = sliceEnd_ - eq_.now();
                 ready_.push_front(current_); // keep its turn
             }
         }
@@ -558,11 +567,79 @@ TileMux::switchTo(Activity *next)
         // activity — a hog on an otherwise-blocked tile would never
         // be preempted, and the watchdog would never see it.
         if (!ready_.empty() || params_.watchdogSlices > 0)
-            core_.setTimer(params_.timeSlice);
+            armSlice(next->sliceLeft_ > 0 ? next->sliceLeft_
+                                          : params_.timeSlice);
         else
             core_.cancelTimer();
+        next->sliceLeft_ = 0;
         core_.kernelExitTo(&next->thread_);
     });
+}
+
+void
+TileMux::armSlice(sim::Tick slice)
+{
+    sliceEnd_ = eq_.now() + slice;
+    core_.setTimer(slice);
+}
+
+void
+TileMux::registerInvariants(sim::Invariants &inv)
+{
+    inv.addCheck(name() + ".sched_state", [this](sim::Invariants &v) {
+        for (std::size_t i = 0; i < ready_.size(); i++) {
+            Activity *a = ready_[i];
+            if (a == current_)
+                v.fail("%s: current activity %s also queued ready",
+                       name().c_str(), a->name().c_str());
+            if (a->state_ == Activity::State::Running)
+                v.fail("%s: Running activity %s in ready queue",
+                       name().c_str(), a->name().c_str());
+            for (std::size_t j = i + 1; j < ready_.size(); j++)
+                if (ready_[j] == a)
+                    v.fail("%s: activity %s queued ready twice",
+                           name().c_str(), a->name().c_str());
+        }
+        // Outside the kernel the dispatched activity must be Running
+        // and CUR_ACT must name it (kernelExitTo restores both
+        // atomically; deliverIrq re-enters the kernel synchronously).
+        if (current_ && !core_.inKernel()) {
+            if (current_->state_ != Activity::State::Running)
+                v.fail("%s: dispatched activity %s not Running",
+                       name().c_str(), current_->name().c_str());
+            if (vdtu_.curAct().act != current_->id())
+                v.fail("%s: CUR_ACT %u != dispatched activity %u",
+                       name().c_str(), vdtu_.curAct().act,
+                       current_->id());
+        }
+        for (const auto &[id, a] : pollers_)
+            if (a->state_ == Activity::State::Dead)
+                v.fail("%s: dead activity %s registered as poller",
+                       name().c_str(), a->name().c_str());
+    });
+
+    inv.addCheck(
+        name() + ".progress",
+        [this](sim::Invariants &v) {
+            for (const auto &[id, up] : acts_) {
+                Activity *a = up.get();
+                if (a->state_ == Activity::State::Ready)
+                    v.fail("%s: activity %s still Ready at quiescence "
+                           "(scheduler stall)",
+                           name().c_str(), a->name().c_str());
+                if (a->state_ != Activity::State::BlockedMsg)
+                    continue;
+                bool unread =
+                    a->waitEp_ != dtu::kInvalidEp
+                        ? vdtu_.unread(a->id(), a->waitEp_) > 0
+                        : vdtu_.unreadOf(a->id()) > 0;
+                if (unread)
+                    v.fail("%s: activity %s blocked with an unread "
+                           "message on its waited EP (lost wakeup)",
+                           name().c_str(), a->name().c_str());
+            }
+        },
+        sim::Invariants::When::QuiescentOnly);
 }
 
 } // namespace m3v::core

@@ -134,6 +134,16 @@ class Activity
     State state_ = State::Init;
     /** Consecutive full slices burned without a TMCall (watchdog). */
     unsigned hogSlices_ = 0;
+    /**
+     * Unconsumed part of the time slice, banked when a core-request
+     * (or device) interrupt preempts the activity mid-slice. The next
+     * dispatch arms this remnant instead of a fresh slice; voluntary
+     * preemption (yield/wait/exit) and slice expiry clear it.
+     */
+    sim::Tick sliceLeft_ = 0;
+    /** EP filter of the wait TMCall; meaningful while BlockedMsg
+     *  (kInvalidEp: any endpoint). */
+    dtu::EpId waitEp_ = dtu::kInvalidEp;
     tile::Thread thread_;
     AddrSpace as_;
 };
@@ -239,6 +249,18 @@ class TileMux : public sim::SimObject
     /** Shared-memory flag: are other activities ready? (section 3.7) */
     bool othersReady(const Activity &act) const;
 
+    /**
+     * Register this multiplexer's scheduler laws with @p inv (tests
+     * only): the ready queue holds no duplicates, no Running activity
+     * and never the current one; outside the kernel the current
+     * activity is Running and matches CUR_ACT; pollers are never
+     * dead (every boundary). At quiescence: no activity is still
+     * Ready (scheduler stall), and no activity is blocked in a wait
+     * TMCall with an unread message on its waited endpoint (lost
+     * wakeup, paper section 3.7).
+     */
+    void registerInvariants(sim::Invariants &inv);
+
     // Statistics for the evaluation (registry-backed).
     std::uint64_t ctxSwitches() const { return switches_->value(); }
     std::uint64_t coreReqIrqs() const
@@ -269,6 +291,8 @@ class TileMux : public sim::SimObject
     void kickScheduler();
     void registerPoller(Activity &act);
     sim::Cycles touchMux();
+    /** Arm the slice timer and record its absolute deadline. */
+    void armSlice(sim::Tick slice);
 
     tile::Core &core_;
     VDtu &vdtu_;
@@ -279,6 +303,9 @@ class TileMux : public sim::SimObject
     std::deque<Activity *> ready_;
     Activity *current_ = nullptr;
     Activity *hint_ = nullptr;
+    /** Absolute deadline of the armed slice timer (valid while the
+     *  core's timer is armed; see armSlice()). */
+    sim::Tick sliceEnd_ = 0;
     std::unordered_map<dtu::ActId, Activity *> pollers_;
 
     PageFaultHandler pageFault_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/invariants.h"
 #include "sim/log.h"
 
 namespace m3v::core {
@@ -250,6 +251,64 @@ VDtu::onMessageStored(EpId, ActId owner)
     coreReqCount_->inc();
     if (was_empty && coreReqIrq_)
         coreReqIrq_();
+}
+
+void
+VDtu::registerInvariants(sim::Invariants &inv)
+{
+    inv.addCheck(name() + ".cur_act", [this](sim::Invariants &v) {
+        if (cur_.msgCount != unreadOf(cur_.act))
+            v.fail("%s: CUR_ACT msgCount %u != unread %zu of act %u",
+                   name().c_str(), cur_.msgCount, unreadOf(cur_.act),
+                   cur_.act);
+    });
+
+    inv.addCheck(name() + ".unread_bookkeeping",
+                 [this](sim::Invariants &v) {
+        // The unread_ map must agree with the slot-level truth: per
+        // activity, the sum of unread slots over its receive EPs.
+        std::unordered_map<ActId, std::size_t> per_act;
+        for (EpId i = 0; i < dtu::kNumEps; i++) {
+            const dtu::Endpoint &e = ep(i);
+            if (e.kind == dtu::EpKind::Receive)
+                per_act[e.act] += e.recv.unreadCount();
+        }
+        for (const auto &[act, n] : per_act)
+            if (n != unreadOf(act))
+                v.fail("%s: act %u has %zu unread slots but "
+                       "unread_ says %zu",
+                       name().c_str(), act, n, unreadOf(act));
+        for (const auto &[act, n] : unread_) {
+            auto it = per_act.find(act);
+            std::size_t slots = it == per_act.end() ? 0 : it->second;
+            if (n != slots)
+                v.fail("%s: unread_ says %zu for act %u but slots "
+                       "hold %zu",
+                       name().c_str(), n, act, slots);
+        }
+    });
+
+    inv.addCheck(name() + ".backpressure",
+                 [this](sim::Invariants &v) {
+        if (!spaceWaiters_.empty() &&
+            coreReqs_.size() < params_.coreReqQueue)
+            v.fail("%s: %zu NoC waiters parked but core-req queue "
+                   "has space (%zu/%zu)",
+                   name().c_str(), spaceWaiters_.size(),
+                   coreReqs_.size(), params_.coreReqQueue);
+    });
+
+    inv.addCheck(
+        name() + ".core_reqs_drained",
+        [this](sim::Invariants &v) {
+            if (!coreReqs_.empty())
+                v.fail("%s: %zu core requests never drained",
+                       name().c_str(), coreReqs_.size());
+            if (!spaceWaiters_.empty())
+                v.fail("%s: %zu NoC space waiters never released",
+                       name().c_str(), spaceWaiters_.size());
+        },
+        sim::Invariants::When::QuiescentOnly);
 }
 
 void

@@ -154,6 +154,16 @@ class VDtu : public dtu::Dtu
     bool acceptPacket(noc::Packet &pkt,
                       sim::UniqueFunction<void()> on_space) override;
 
+    /**
+     * Register this vDTU's state-machine laws with @p inv (tests
+     * only): CUR_ACT's message count equals the current activity's
+     * queued unread messages, the unread_ bookkeeping matches the
+     * receive-endpoint slots, backpressure waiters exist only while
+     * the core-request queue is full (every boundary); and at
+     * quiescence the core-request queue has drained.
+     */
+    void registerInvariants(sim::Invariants &inv);
+
   protected:
     dtu::Error checkEpAccess(dtu::ActId act,
                              const dtu::Endpoint &ep) const override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/invariants.h"
 #include "sim/log.h"
 
 namespace m3v::dtu {
@@ -212,8 +213,16 @@ Dtu::doSend(ActId act, EpId ep_id, VirtAddr buf,
                     // Restore the credit on failed delivery.
                     Endpoint &s = eps_[ep_id];
                     if (s.kind == EpKind::Send &&
-                        s.send.credits < s.send.maxCredits)
+                        s.send.credits < s.send.maxCredits) {
                         s.send.credits++;
+                        if (e == Error::Timeout) {
+                            // A timed-out message may still have been
+                            // delivered (only the ack was lost) —
+                            // record the restore as conservation
+                            // slack.
+                            timeoutRestores_[ep_id]++;
+                        }
+                    }
                     nacks_->inc();
                 } else {
                     msgsSent_->inc();
@@ -708,6 +717,11 @@ Dtu::retxTimeout(std::uint64_t seq)
         // the controller reclaims it).
         std::uint64_t req_id = r.wd.reqId;
         WireKind kind = r.wd.kind;
+        if (kind == WireKind::CreditReturn) {
+            lostCreditReturns_[(static_cast<std::uint64_t>(r.dst)
+                                << 32) |
+                               r.wd.creditEp]++;
+        }
         retx_.erase(it);
         timeouts_->inc();
         trc_->instant(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu,
@@ -1056,6 +1070,98 @@ Error
 Dtu::checkIncoming(EpId, const Endpoint &, const WireData &) const
 {
     return Error::None;
+}
+
+//
+// Invariant registration (tests only).
+//
+
+void
+registerDtuInvariants(sim::Invariants &inv,
+                      std::vector<const Dtu *> dtus)
+{
+    inv.addCheck("dtu.local_laws", [dtus](sim::Invariants &v) {
+        for (const Dtu *d : dtus) {
+            for (EpId i = 0; i < kNumEps; i++) {
+                const Endpoint &e = d->ep(i);
+                if (e.kind == EpKind::Send) {
+                    if (e.send.credits > e.send.maxCredits)
+                        v.fail("%s: send ep %u holds %u credits, max "
+                               "%u",
+                               d->name().c_str(), i, e.send.credits,
+                               e.send.maxCredits);
+                } else if (e.kind == EpKind::Receive) {
+                    for (std::size_t s = 0; s < e.recv.slots.size();
+                         s++) {
+                        const RecvSlot &rs = e.recv.slots[s];
+                        if (rs.unread && !rs.occupied)
+                            v.fail("%s: recv ep %u slot %zu unread "
+                                   "but not occupied",
+                                   d->name().c_str(), i, s);
+                    }
+                }
+            }
+        }
+    });
+
+    inv.addCheck(
+        "dtu.engines_drained",
+        [dtus](sim::Invariants &v) {
+            for (const Dtu *d : dtus)
+                if (!d->engineQuiescent())
+                    v.fail("%s: tx/inflight/retx/cmd engine busy at "
+                           "quiescence",
+                           d->name().c_str());
+        },
+        sim::Invariants::When::QuiescentOnly);
+
+    inv.addCheck(
+        "dtu.credit_conservation",
+        [dtus](sim::Invariants &v) {
+            for (const Dtu *d : dtus) {
+                for (EpId i = 0; i < kNumEps; i++) {
+                    const Endpoint &e = d->ep(i);
+                    if (e.kind != EpKind::Send || e.send.isReply ||
+                        e.send.maxCredits == 0)
+                        continue;
+                    // Credits held by this channel's undelivered
+                    // (unacknowledged) messages: occupied remote
+                    // slots attributed by (srcTile, creditEp).
+                    std::uint64_t held = 0;
+                    std::uint64_t lost = 0;
+                    for (const Dtu *r : dtus) {
+                        for (EpId j = 0; j < kNumEps; j++) {
+                            const Endpoint &re = r->ep(j);
+                            if (re.kind != EpKind::Receive)
+                                continue;
+                            for (const RecvSlot &rs : re.recv.slots)
+                                if (rs.occupied &&
+                                    rs.msg.srcTile == d->tileId() &&
+                                    rs.msg.creditEp == i)
+                                    held++;
+                        }
+                        lost += r->lostCreditReturns(d->tileId(), i);
+                    }
+                    std::uint64_t avail = e.send.credits;
+                    std::uint64_t slack =
+                        d->timeoutCreditRestores(i);
+                    std::uint64_t max = e.send.maxCredits;
+                    if (avail + held > max + slack ||
+                        avail + held + lost < max)
+                        v.fail("%s: send ep %u credit imbalance: "
+                               "avail %llu + held %llu vs max %llu "
+                               "(lost %llu, timeout restores %llu)",
+                               d->name().c_str(), i,
+                               static_cast<unsigned long long>(avail),
+                               static_cast<unsigned long long>(held),
+                               static_cast<unsigned long long>(max),
+                               static_cast<unsigned long long>(lost),
+                               static_cast<unsigned long long>(
+                                   slack));
+                }
+            }
+        },
+        sim::Invariants::When::QuiescentOnly);
 }
 
 } // namespace m3v::dtu

@@ -187,6 +187,46 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     bool cmdBusy() const { return cmdBusy_ || !cmdQueue_.empty(); }
 
     /**
+     * True when nothing is in motion: no queued commands, no packets
+     * waiting for the NoC, no requests awaiting a response, and no
+     * reliable packet in retransmission. Holds for every DTU once the
+     * simulation drains (a quiescence invariant, see
+     * registerDtuInvariants()).
+     */
+    bool engineQuiescent() const
+    {
+        return txQueue_.empty() && inflight_.empty() &&
+               retx_.empty() && !cmdBusy();
+    }
+
+    /**
+     * Reliable mode: times a send through @p ep hit Error::Timeout
+     * with the credit restored locally even though the message may
+     * have been delivered (the ack was lost). Each such restore can
+     * leave the channel holding one credit above its cap until the
+     * receiver's slot is acknowledged — the upward slack in the
+     * conservation law.
+     */
+    std::uint64_t timeoutCreditRestores(EpId ep) const
+    {
+        auto it = timeoutRestores_.find(ep);
+        return it == timeoutRestores_.end() ? 0 : it->second;
+    }
+
+    /**
+     * Reliable mode: CreditReturns from this DTU to send endpoint
+     * @p ep on tile @p dst that exhausted retransmission — the credit
+     * is permanently lost until the controller reclaims it (the
+     * downward slack in the conservation law).
+     */
+    std::uint64_t lostCreditReturns(noc::TileId dst, EpId ep) const
+    {
+        auto it = lostCreditReturns_.find(
+            (static_cast<std::uint64_t>(dst) << 32) | ep);
+        return it == lostCreditReturns_.end() ? 0 : it->second;
+    }
+
+    /**
      * Install a notification hook invoked after every stored message
      * with (endpoint, owning activity). Software layers use it to
      * wake threads that poll the DTU for new messages.
@@ -351,6 +391,12 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     /** Outstanding reliable packets keyed by wire seq. */
     std::unordered_map<std::uint64_t, Retx> retx_;
 
+    /** Credit-conservation slack bookkeeping (reliable mode only;
+     *  see timeoutCreditRestores() / lostCreditReturns()). */
+    std::unordered_map<EpId, std::uint64_t> timeoutRestores_;
+    std::unordered_map<std::uint64_t, std::uint64_t>
+        lostCreditReturns_;
+
     /** Receiver-side duplicate-suppression window, per source tile. */
     struct SeenEntry
     {
@@ -375,6 +421,24 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     /** Timeline tracer (category-gated; off by default). */
     sim::Tracer *trc_;
 };
+
+/**
+ * Register the DTU-layer conservation laws over @p dtus with @p inv
+ * (tests only):
+ *  - per send endpoint, credits never exceed the configured maximum,
+ *    and per receive slot, unread implies occupied (every boundary);
+ *  - at quiescence every engine has drained (no queued command, tx
+ *    packet, in-flight request, or retransmission);
+ *  - at quiescence every non-reply send endpoint's credits are
+ *    conserved across the system: available + held-in-remote-slots
+ *    equals the maximum, with explicit slack for credits lost to
+ *    retransmission exhaustion and restored on a timed-out-but-
+ *    delivered send (both zero in fault-free runs).
+ * All DTUs that exchange traffic must be in @p dtus or the
+ * attribution scan under-counts held credits.
+ */
+void registerDtuInvariants(sim::Invariants &inv,
+                           std::vector<const Dtu *> dtus);
 
 } // namespace m3v::dtu
 

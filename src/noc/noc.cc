@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "noc/lane_link.h"
+#include "sim/invariants.h"
 #include "sim/lane.h"
 #include "sim/log.h"
 
@@ -263,6 +264,30 @@ Noc::deliveredBytes() const
     for (const auto &t : tiles_)
         sum += t->exit.deliveredBytes->value();
     return sum;
+}
+
+void
+Noc::registerInvariants(sim::Invariants &inv)
+{
+    inv.addCheck(
+        name() + ".drained",
+        [this](sim::Invariants &i) {
+            for (const auto &r : routers_) {
+                for (std::size_t p = 0; p < r->numPorts(); p++) {
+                    if (!r->port(p).idle())
+                        i.fail("%s port %zu not drained at "
+                               "quiescence",
+                               r->name().c_str(), p);
+                }
+            }
+            for (const auto &t : tiles_) {
+                if (t->injectPort && !t->injectPort->idle())
+                    i.fail("tile %u inject port not drained at "
+                           "quiescence",
+                           t->id);
+            }
+        },
+        sim::Invariants::When::QuiescentOnly);
 }
 
 unsigned

@@ -22,6 +22,7 @@
 #include "sim/sim_object.h"
 
 namespace m3v::sim {
+class Invariants;
 class LaneScheduler;
 }
 
@@ -87,6 +88,18 @@ class Noc : public sim::SimObject
 
     /** Total payload bytes delivered. */
     std::uint64_t deliveredBytes() const;
+
+    /**
+     * Register the fabric's drain law with @p inv (tests only,
+     * quiescent-only): once the simulation drains, every router
+     * output port and every tile injection port must be idle — no
+     * queued packet, no drain in progress, no backpressure waiter
+     * still parked. A violation means a packet or a flow-control
+     * wake-up was lost in the fabric. In lane mode the ports live on
+     * several lanes, so evaluate the registry only after
+     * LaneScheduler::run() returns (see sim/invariants.h).
+     */
+    void registerInvariants(sim::Invariants &inv);
 
   private:
     struct TileAttachment;

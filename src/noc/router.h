@@ -101,6 +101,14 @@ class OutPort
     /** Packets this port dropped under a fault plan. */
     std::uint64_t dropped() const { return dropped_->value(); }
 
+    /** Fully drained: nothing queued, in drain, or waiting for
+     *  space (the quiescent state; see Noc::registerInvariants). */
+    bool
+    idle() const
+    {
+        return queue_.empty() && !draining_ && spaceWaiters_.empty();
+    }
+
   private:
     void startDrain();
     void tryHandOver();

@@ -4,6 +4,7 @@
 #include <bit>
 #include <utility>
 
+#include "sim/invariants.h"
 #include "sim/log.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
@@ -102,6 +103,7 @@ EventQueue::allocRecord(UniqueFunction<void()> fn)
     Record &r = recordAt(slot);
     freeHead_ = r.nextFree;
     r.nextFree = kNoSlot;
+    r.pooled = false;
     r.fn = std::move(fn);
     return slot;
 }
@@ -110,12 +112,31 @@ void
 EventQueue::freeRecord(std::uint32_t slot)
 {
     Record &r = recordAt(slot);
+    if (r.pooled) {
+        // Already on the freelist: relinking it would cycle the list
+        // and hand the same slot out twice.
+        reportDoubleFree(slot);
+        return;
+    }
+    r.pooled = true;
     r.fn = {};
     // The generation bump makes every outstanding handle and every
     // queue entry referencing this slot inert.
     r.gen++;
     r.nextFree = freeHead_;
     freeHead_ = slot;
+}
+
+void
+EventQueue::reportDoubleFree(std::uint32_t slot)
+{
+    if (inv_) {
+        inv_->fail("event_queue: double free of pooled record %u",
+                   static_cast<unsigned>(slot));
+        return;
+    }
+    panic("EventQueue: double free of pooled record %u",
+          static_cast<unsigned>(slot));
 }
 
 bool
@@ -360,7 +381,19 @@ EventQueue::popAndRun()
     gRunning = this;
     fn();
     gRunning = prev;
+    if (inv_ && --invCountdown_ == 0) {
+        invCountdown_ = invStride_;
+        inv_->runBoundary();
+    }
     return true;
+}
+
+void
+EventQueue::setInvariants(Invariants *inv, std::uint64_t stride)
+{
+    inv_ = inv;
+    invStride_ = stride > 0 ? stride : 1;
+    invCountdown_ = invStride_;
 }
 
 bool

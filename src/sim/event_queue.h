@@ -48,6 +48,7 @@
 namespace m3v::sim {
 
 class EventQueue;
+class Invariants;
 class MetricsRegistry;
 class Tracer;
 
@@ -175,6 +176,15 @@ class EventQueue
      */
     Tracer &tracer();
 
+    /**
+     * Attach a runtime invariant checker (tests only; see
+     * sim/invariants.h): after every @p stride executed events its
+     * EveryBoundary checks run, and the event-record pool reports
+     * double frees to it instead of aborting. nullptr detaches. An
+     * unattached queue pays one null test per event.
+     */
+    void setInvariants(Invariants *inv, std::uint64_t stride = 1);
+
   private:
     friend class EventHandle;
 
@@ -217,6 +227,9 @@ class EventQueue
         UniqueFunction<void()> fn;
         std::uint32_t gen = 0;
         std::uint32_t nextFree = kNoSlot;
+        /** On the freelist (fresh records start pooled). Guards the
+         *  pool against double frees — see freeRecord(). */
+        bool pooled = true;
     };
 
     /** Where the current pop candidate lives. */
@@ -231,6 +244,7 @@ class EventQueue
     const Record &recordAt(std::uint32_t slot) const;
     std::uint32_t allocRecord(UniqueFunction<void()> fn);
     void freeRecord(std::uint32_t slot);
+    void reportDoubleFree(std::uint32_t slot);
     void addSlab();
 
     bool cancelSlot(std::uint32_t slot, std::uint32_t gen);
@@ -285,6 +299,11 @@ class EventQueue
     /** Observability (lazy: never allocated by pure event-core use). */
     std::unique_ptr<MetricsRegistry> metrics_;
     std::unique_ptr<Tracer> tracer_;
+
+    /** Invariant checker (tests only; nullptr in production). */
+    Invariants *inv_ = nullptr;
+    std::uint64_t invStride_ = 1;
+    std::uint64_t invCountdown_ = 1;
 };
 
 } // namespace m3v::sim

@@ -302,6 +302,69 @@ TEST_F(TileMuxTest, TimeSliceRoundRobinInterleaves)
     EXPECT_GE(mux0.timerIrqs(), 5u);
 }
 
+/** Forever: wait for a message on rep, fetch it, ack it. */
+sim::Task
+sinkBody(Activity &act, VDtu &vdtu, EpId rep, int *received)
+{
+    for (;;) {
+        int slot = -1;
+        co_await recvMsg(act, vdtu, rep, &slot);
+        co_await act.thread().compute(14); // MMIO ack
+        vdtu.ack(act.id(), rep, slot);
+        (*received)++;
+    }
+}
+
+/** Send @p count one-way messages, one every @p gap cycles. */
+sim::Task
+tickerBody(Activity &act, VDtu &vdtu, EpId sep, int count)
+{
+    for (int i = 0; i < count; i++) {
+        co_await act.thread().compute(8'000); // 0.1 ms at 80 MHz
+        Error err = Error::Aborted;
+        co_await sendMsg(act, vdtu, sep, 0x10000, bytes("tick"),
+                         kInvalidEp, &err);
+        EXPECT_EQ(err, Error::None);
+    }
+    co_await act.mux().exitCall(act);
+}
+
+TEST_F(TileMuxTest, CoreRequestIrqDoesNotResetTimeSlice)
+{
+    // Regression: a core-request interrupt used to re-dispatch the
+    // preempted activity with a *fresh* time slice. Under steady
+    // message traffic with a period shorter than the slice (here
+    // 0.1 ms vs 1 ms), the slice timer was re-armed on every message
+    // and never fired, so a compute-bound activity starved every
+    // other runnable activity on its tile. The remnant of the slice
+    // must be banked across the interrupt instead.
+    Activity *hog = makeAct(mux0, 1, "hog");
+    Activity *peer = makeAct(mux0, 2, "peer");
+    Activity *sink = makeAct(mux0, 3, "sink");
+    Activity *ticker = makeAct(mux1, 4, "ticker");
+
+    vdtu0.configEp(8, Endpoint::makeRecv(3, 256, 8)); // sink's ring
+    vdtu1.configEp(9, Endpoint::makeSend(4, kTile0, 8, 0x42, 8));
+
+    int hog_progress = 0, peer_progress = 0, received = 0;
+    mux0.startActivity(hog, spinBody(*hog, 20'000, 400,
+                                     &hog_progress));
+    mux0.startActivity(peer, spinBody(*peer, 20'000, 40,
+                                      &peer_progress));
+    mux0.startActivity(sink, sinkBody(*sink, vdtu0, 8, &received));
+    mux1.startActivity(ticker, tickerBody(*ticker, vdtu1, 9, 60));
+
+    eq.runUntil(8 * sim::kTicksPerMs);
+
+    // The traffic must actually have exercised the interrupt path.
+    EXPECT_GT(received, 20);
+    EXPECT_GE(mux0.coreReqIrqs(), 20u);
+    // The law under test: slices still expire under traffic, and the
+    // peer gets its share of the core.
+    EXPECT_GE(mux0.timerIrqs(), 2u);
+    EXPECT_GT(peer_progress, 0);
+}
+
 sim::Task
 yieldingBody(Activity &act, std::vector<int> *order, int tag)
 {

@@ -11,6 +11,8 @@
 
 #include "core/vdtu.h"
 #include "dtu/memory_tile.h"
+#include "sim/fault.h"
+#include "sim/invariants.h"
 
 namespace m3v::core {
 namespace {
@@ -401,6 +403,130 @@ TEST_F(VDtuTest, ResetActLeavesOtherActivitiesAlone)
     // Activity 6's core request survives.
     ASSERT_TRUE(vdtuB.coreReqPending());
     EXPECT_EQ(vdtuB.coreReqGet().act, 6);
+}
+
+//
+// resetAct edge cases: reset racing the wire protocol, reset with a
+// full receive ring, and double reset.
+//
+
+TEST(VDtuReset, SurvivesResetDuringRetransmission)
+{
+    sim::EventQueue eq;
+    sim::FaultPlan plan(1234);
+    // Drop every packet for the first 0.1 ms: the initial transfer is
+    // lost and the sender's retransmission is still pending when the
+    // receiving activity is reset. The retry after the window lands
+    // on the already-reset activity.
+    plan.addDrop("noc.", 1.0, 0, sim::kTicksPerMs / 10);
+    noc::NocParams np;
+    np.faults = &plan;
+    noc::Noc noc(eq, np);
+    VDtu vdtuA(eq, "vdtuA", noc, 0, 80'000'000);
+    VDtu vdtuB(eq, "vdtuB", noc, 1, 80'000'000);
+    dtu::MemoryTile mem(eq, "mem", noc, 2);
+    noc.finalize();
+    vdtuA.configEp(0, Endpoint::makeMem(dtu::kTileMuxAct, 2, 0,
+                                        1 << 20, kPermRW));
+    vdtuB.configEp(8, Endpoint::makeRecv(5, 256, 4));
+    vdtuA.configEp(9, Endpoint::makeSend(1, 1, 8, 0x5, 4));
+    vdtuA.xchgAct(1);
+    vdtuB.xchgAct(1);
+    vdtuA.tlbInsert(1, 0x10000, 0x10000, kPermRW);
+
+    sim::Invariants inv;
+    vdtuA.registerInvariants(inv);
+    vdtuB.registerInvariants(inv);
+    inv.attach(eq);
+
+    Error err = Error::Aborted;
+    vdtuA.cmdSend(1, 9, 0x10000, bytes("late"), kInvalidEp,
+                  [&](Error e) { err = e; });
+    eq.schedule(sim::kTicksPerMs / 20, [&]() { vdtuB.resetAct(5); });
+    eq.run();
+
+    EXPECT_TRUE(inv.ok()) << inv.report();
+    // The retry after the fault window delivers the message to the
+    // (reset) activity id; the bookkeeping must be consistent either
+    // way: sender credits mirror the remote ring occupancy exactly.
+    EXPECT_EQ(err, Error::None);
+    const Endpoint &sep = vdtuA.ep(9);
+    EXPECT_EQ(sep.send.credits + vdtuB.unread(5, 8),
+              sep.send.maxCredits);
+}
+
+TEST_F(VDtuTest, ResetWithFullRecvRingReturnsAllCredits)
+{
+    vdtuB.configEp(8, Endpoint::makeRecv(5, 256, 4));
+    vdtuA.configEp(9, Endpoint::makeSend(1, kTileB, 8, 0, 4));
+    vdtuA.xchgAct(1);
+    vdtuB.xchgAct(1);
+    dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
+
+    // Fill the ring completely without fetching: all credits are held
+    // by occupied slots on the receiver.
+    int ok = 0;
+    for (int i = 0; i < 4; i++)
+        vdtuA.cmdSend(1, 9, buf, bytes("m"), kInvalidEp, [&](Error e) {
+            ok += e == Error::None ? 1 : 0;
+        });
+    eq.run();
+    ASSERT_EQ(ok, 4);
+    EXPECT_EQ(vdtuB.unread(5, 8), 4u);
+    EXPECT_EQ(vdtuA.ep(9).send.credits, 0u);
+
+    // The reset must free every slot and return every credit.
+    vdtuB.resetAct(5);
+    eq.run();
+    EXPECT_EQ(vdtuB.unread(5, 8), 0u);
+    EXPECT_EQ(vdtuA.ep(9).send.credits, 4u);
+
+    // The ring is usable again at full depth.
+    ok = 0;
+    for (int i = 0; i < 4; i++)
+        vdtuA.cmdSend(1, 9, buf, bytes("m"), kInvalidEp, [&](Error e) {
+            ok += e == Error::None ? 1 : 0;
+        });
+    eq.run();
+    EXPECT_EQ(ok, 4);
+    EXPECT_EQ(vdtuB.unread(5, 8), 4u);
+}
+
+TEST_F(VDtuTest, DoubleResetDoesNotManufactureCredits)
+{
+    vdtuB.configEp(8, Endpoint::makeRecv(5, 256, 4));
+    vdtuA.configEp(9, Endpoint::makeSend(1, kTileB, 8, 0, 4));
+    vdtuA.xchgAct(1);
+    vdtuB.xchgAct(1);
+    dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
+
+    for (int i = 0; i < 2; i++)
+        vdtuA.cmdSend(1, 9, buf, bytes("m"), kInvalidEp, [](Error) {});
+    eq.run();
+    EXPECT_EQ(vdtuA.ep(9).send.credits, 2u);
+
+    vdtuB.resetAct(5);
+    eq.run();
+    EXPECT_EQ(vdtuA.ep(9).send.credits, 4u);
+
+    // A second reset of the same (already clean) activity must be a
+    // no-op: no second round of credit returns, no phantom state.
+    vdtuB.resetAct(5);
+    eq.run();
+    EXPECT_EQ(vdtuA.ep(9).send.credits, 4u);
+    EXPECT_EQ(vdtuB.unread(5, 8), 0u);
+    EXPECT_FALSE(vdtuB.coreReqPending());
+
+    // Exactly four sends fit before flow control pushes back.
+    int errs_none = 0, errs_nocredits = 0;
+    for (int i = 0; i < 5; i++)
+        vdtuA.cmdSend(1, 9, buf, bytes("m"), kInvalidEp, [&](Error e) {
+            errs_none += e == Error::None ? 1 : 0;
+            errs_nocredits += e == Error::NoCredits ? 1 : 0;
+        });
+    eq.run();
+    EXPECT_EQ(errs_none, 4);
+    EXPECT_EQ(errs_nocredits, 1);
 }
 
 } // namespace

@@ -1,0 +1,35 @@
+# Golden-trace regression runner (ctest -P script).
+#
+# Runs a figure binary with --summary-out and compares the produced
+# summary JSON byte-for-byte against the committed golden. Inputs:
+#   BIN     - figure binary to run
+#   OUT     - where to write the fresh summary
+#   GOLDEN  - committed reference file
+#   EXTRA   - extra arguments for the binary (optional, ;-list)
+#   TILES   - value for M3V_FIG09_TILES (optional; CI smoke cap)
+
+if(DEFINED TILES)
+    set(ENV{M3V_FIG09_TILES} "${TILES}")
+endif()
+
+execute_process(
+    COMMAND ${BIN} --summary-out=${OUT} ${EXTRA}
+    RESULT_VARIABLE run_rv
+    OUTPUT_QUIET)
+if(NOT run_rv EQUAL 0)
+    message(FATAL_ERROR "golden: ${BIN} exited with ${run_rv}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE cmp_rv)
+if(NOT cmp_rv EQUAL 0)
+    file(READ ${GOLDEN} golden_text)
+    file(READ ${OUT} fresh_text)
+    message(FATAL_ERROR
+        "golden: summary drifted from ${GOLDEN}\n"
+        "--- expected ---\n${golden_text}"
+        "--- got (${OUT}) ---\n${fresh_text}"
+        "If the change is intentional, refresh the golden:\n"
+        "  cp ${OUT} ${GOLDEN}")
+endif()

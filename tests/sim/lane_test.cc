@@ -253,6 +253,113 @@ TEST(LaneSchedulerTest, WheelHorizonRollover)
     }
 }
 
+TEST(LaneSchedulerTest, HorizonRolloverAcrossWindowBarriers)
+{
+    // Interaction of the two-level calendar queue with the lane
+    // scheduler: the wheel horizon (2^20 ticks) rolls over several
+    // times while conservative windows repeatedly drain and refill
+    // the wheel. Dense local chains straddle every horizon multiple
+    // mid-stride, and cross-lane messages land exactly on and next to
+    // the boundaries. The merged execution must be bit-identical for
+    // any worker count, with exact due ticks.
+    static constexpr Tick kHorizon = Tick{1} << 20;
+    static constexpr Tick kLookahead = 1000;
+    static constexpr unsigned kLanes = 3;
+    static constexpr int kChainSteps = 36;
+    static constexpr Tick kStride = 174763; // prime, ~kHorizon / 6
+
+    auto run = [&](unsigned jobs) {
+        LaneScheduler sched(kLanes, jobs, kLookahead);
+        std::vector<std::vector<std::pair<Tick, std::uint64_t>>> log(
+            kLanes);
+
+        // Self-rescheduling dense chains, one per lane.
+        auto step = std::make_shared<
+            std::function<void(unsigned, int, std::uint64_t)>>();
+        *step = [&sched, &log, step](unsigned l, int remaining,
+                                     std::uint64_t value) {
+            log[l].push_back({sched.lane(l).now(), value});
+            if (remaining == 0)
+                return;
+            sched.lane(l).schedule(
+                kStride + value % 97, [step, l, remaining, value]() {
+                    (*step)(l, remaining - 1,
+                            value * 6364136223846793005ull + 1);
+                });
+            // Cross-lane hop from some steps, due just past the
+            // window edge so it rides the next barrier merge.
+            if (remaining % 5 == 0) {
+                unsigned next = (l + 1) % kLanes;
+                sched.post(l, next,
+                           sched.lane(l).now() + kLookahead +
+                               value % 7,
+                           [&log, &sched, next, value]() {
+                               log[next].push_back(
+                                   {sched.lane(next).now(),
+                                    ~value});
+                           });
+            }
+        };
+        for (unsigned l = 0; l < kLanes; l++)
+            sched.lane(l).schedule(l * 13, [step, l]() {
+                (*step)(l, kChainSteps, l + 1);
+            });
+
+        // Events pinned to the horizon boundaries themselves, plus
+        // cross-lane posts due *exactly* on a boundary.
+        for (Tick k = 1; k <= 6; k++) {
+            Tick edge = k * kHorizon;
+            for (unsigned l = 0; l < kLanes; l++) {
+                for (Tick off : {edge - 1, edge, edge + 1})
+                    sched.lane(l).schedule(off, [&log, &sched, l]() {
+                        log[l].push_back(
+                            {sched.lane(l).now(), 0xb0b0});
+                    });
+                unsigned next = (l + 1) % kLanes;
+                sched.lane(l).schedule(
+                    edge - kLookahead,
+                    [&sched, &log, l, next, edge]() {
+                        sched.post(l, next, edge,
+                                   [&log, &sched, next]() {
+                                       log[next].push_back(
+                                           {sched.lane(next).now(),
+                                            0xc405});
+                                   });
+                    });
+            }
+        }
+        sched.run();
+        EXPECT_GT(sched.rounds(), 10u);
+        return log;
+    };
+
+    auto ref = run(1);
+    // Sanity on the reference: every boundary-pinned event ran at its
+    // exact tick, on every lane, for every horizon multiple.
+    for (unsigned l = 0; l < kLanes; l++) {
+        for (Tick k = 1; k <= 6; k++) {
+            Tick edge = k * kHorizon;
+            for (Tick off : {edge - 1, edge, edge + 1}) {
+                bool found = false;
+                for (const auto &[t, v] : ref[l])
+                    found |= t == off && v == 0xb0b0;
+                EXPECT_TRUE(found)
+                    << "lane " << l << " tick " << off;
+            }
+            bool cross = false;
+            for (const auto &[t, v] : ref[(l + 1) % kLanes])
+                cross |= t == edge && v == 0xc405;
+            EXPECT_TRUE(cross) << "cross-lane at " << edge;
+        }
+        // The dense chain really straddled the horizon multiples.
+        EXPECT_GE(ref[l].back().first, 6 * kHorizon);
+    }
+    for (unsigned jobs : {2u, 4u}) {
+        auto got = run(jobs);
+        EXPECT_EQ(got, ref) << "jobs=" << jobs;
+    }
+}
+
 TEST(LaneSchedulerTest, PerLaneRngStreamsAreStable)
 {
     // Fault-injection style use: each lane draws from its own Rng
