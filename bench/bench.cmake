@@ -27,6 +27,11 @@ target_link_libraries(fig10_cloud PRIVATE m3v_workloads)
 target_include_directories(fig10_cloud PRIVATE ${M3V_BENCH_DIR})
 set_target_properties(fig10_cloud PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+add_executable(fleet ${M3V_BENCH_DIR}/fleet.cc)
+target_link_libraries(fleet PRIVATE m3v_workloads)
+target_include_directories(fleet PRIVATE ${M3V_BENCH_DIR})
+set_target_properties(fleet PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 add_executable(bench_voice_assistant ${M3V_BENCH_DIR}/voice_assistant.cc)
 set_target_properties(bench_voice_assistant PROPERTIES OUTPUT_NAME voice_assistant)
 target_link_libraries(bench_voice_assistant PRIVATE m3v_workloads)

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -239,7 +240,9 @@ wallMs()
 /**
  * Write a host-performance record for scaling smoke runs
  * (--perf-out): wall-clock, simulated events, and throughput at the
- * given worker count. No-op when @p path is empty.
+ * given worker count, plus the host's hardware concurrency so scaling
+ * numbers can be judged against the machine that produced them.
+ * No-op when @p path is empty.
  */
 inline void
 writePerfJson(const std::string &path, unsigned jobs, double wall_ms,
@@ -254,9 +257,10 @@ writePerfJson(const std::string &path, unsigned jobs, double wall_ms,
                                    (wall_ms / 1000.0)
                              : 0.0;
     std::fprintf(f,
-                 "{\n  \"jobs\": %u,\n  \"wall_ms\": %.1f,\n"
+                 "{\n  \"jobs\": %u,\n  \"hw_concurrency\": %u,\n"
+                 "  \"wall_ms\": %.1f,\n"
                  "  \"events\": %llu,\n  \"events_per_sec\": %.0f\n}\n",
-                 jobs, wall_ms,
+                 jobs, std::thread::hardware_concurrency(), wall_ms,
                  static_cast<unsigned long long>(events), eps);
     std::fclose(f);
 }

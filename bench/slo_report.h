@@ -1,0 +1,246 @@
+/**
+ * @file
+ * SLO accounting for the open-loop fleet benchmark: latencies are
+ * bucketed into fixed wall-of-simulated-time windows keyed by the
+ * request's *scheduled* arrival (coordinated-omission-free: a request
+ * the client could not even issue on time still counts against the
+ * window it belonged to). From the windows the report derives the
+ * pre-fault p99 baseline, the goodput floor while a chaos drill is in
+ * flight, and the time-to-SLO-recovery after the drill ends.
+ *
+ * Everything is integer tick math over simulated time, so the report
+ * is byte-identical across hosts and --jobs values.
+ */
+
+#ifndef M3VSIM_BENCH_SLO_REPORT_H_
+#define M3VSIM_BENCH_SLO_REPORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/types.h"
+
+namespace m3v::bench {
+
+/** Windowed SLO statistics for one fleet cell. */
+class SloReport
+{
+  public:
+    /**
+     * @param start   first tick of window 0
+     * @param horizon end of the measured interval
+     * @param window  window width in ticks
+     * @param slo     latency SLO in ticks (goodput = within SLO)
+     */
+    SloReport(sim::Tick start, sim::Tick horizon, sim::Tick window,
+              sim::Tick slo)
+        : start_(start), window_(window), slo_(slo),
+          wins_((horizon > start ? horizon - start : 0) / window + 1)
+    {
+    }
+
+    /** A request completed: scheduled at @p sched, took @p latency. */
+    void
+    feed(sim::Tick sched, sim::Tick latency, bool ok)
+    {
+        Win &w = winFor(sched);
+        w.issued++;
+        w.completed++;
+        if (ok) {
+            w.lat.push_back(latency);
+            if (latency <= slo_)
+                w.goodput++;
+        }
+    }
+
+    /** A request shed before completion (client- or server-side). */
+    void
+    shed(sim::Tick sched)
+    {
+        Win &w = winFor(sched);
+        w.issued++;
+        w.shedCount++;
+    }
+
+    /** Declare the chaos-drill interval [start, end). */
+    void
+    setFaultWindow(sim::Tick start, sim::Tick end)
+    {
+        faultStart_ = start;
+        faultEnd_ = end;
+    }
+
+    /**
+     * Cap the baseline interval (e.g. at the start of a planned
+     * overload burst) so the recovery target reflects the healthy
+     * system, not the saturated ramp right before the fault.
+     */
+    void
+    setBaselineEnd(sim::Tick end)
+    {
+        baselineEnd_ = end;
+    }
+
+    std::uint64_t
+    issued() const
+    {
+        std::uint64_t n = 0;
+        for (const Win &w : wins_)
+            n += w.issued;
+        return n;
+    }
+
+    std::uint64_t
+    goodput() const
+    {
+        std::uint64_t n = 0;
+        for (const Win &w : wins_)
+            n += w.goodput;
+        return n;
+    }
+
+    std::uint64_t
+    shedTotal() const
+    {
+        std::uint64_t n = 0;
+        for (const Win &w : wins_)
+            n += w.shedCount;
+        return n;
+    }
+
+    /**
+     * p99 pooled over the windows that end before the fault starts
+     * (the whole run when no fault window is set). 0 with no samples.
+     */
+    sim::Tick
+    baselineP99() const
+    {
+        sim::Tick end = faultEnd_ > 0 ? faultStart_
+                                      : ~static_cast<sim::Tick>(0);
+        if (baselineEnd_ > 0)
+            end = std::min(end, baselineEnd_);
+        std::vector<sim::Tick> lat;
+        for (std::size_t i = 0; i < wins_.size(); i++) {
+            if (start_ + (i + 1) * window_ > end)
+                break;
+            lat.insert(lat.end(), wins_[i].lat.begin(),
+                       wins_[i].lat.end());
+        }
+        return percentile(lat, 99, 100);
+    }
+
+    /** Minimum per-window goodput among windows the fault overlaps. */
+    std::uint64_t
+    goodputFloor() const
+    {
+        std::uint64_t floor = ~static_cast<std::uint64_t>(0);
+        for (std::size_t i = 0; i < wins_.size(); i++) {
+            sim::Tick lo = start_ + i * window_;
+            sim::Tick hi = lo + window_;
+            if (hi <= faultStart_ || lo >= faultEnd_)
+                continue;
+            floor = std::min(floor, wins_[i].goodput);
+        }
+        return floor == ~static_cast<std::uint64_t>(0) ? 0 : floor;
+    }
+
+    /**
+     * Ticks from the fault end to the start of the first of two
+     * consecutive windows whose p99 is back within @p slackPct
+     * percent of the pre-fault baseline (and that completed work at
+     * all). Negative when the run never recovers.
+     */
+    long long
+    recoveryTicks(unsigned slack_pct = 10) const
+    {
+        sim::Tick base = baselineP99();
+        sim::Tick limit = base + base * slack_pct / 100;
+        for (std::size_t i = 0; i + 1 < wins_.size(); i++) {
+            sim::Tick lo = start_ + i * window_;
+            if (lo < faultEnd_)
+                continue;
+            if (recovered(wins_[i], limit) &&
+                recovered(wins_[i + 1], limit))
+                return static_cast<long long>(lo - faultEnd_);
+        }
+        return -1;
+    }
+
+    /** Append the report's headline numbers under @p prefix. */
+    void
+    addTo(Summary &s, const std::string &prefix) const
+    {
+        s.addU64(prefix + "issued", issued());
+        s.addU64(prefix + "goodput", goodput());
+        s.addU64(prefix + "shed", shedTotal());
+        s.add(prefix + "baseline_p99_us",
+              static_cast<double>(baselineP99()) / sim::kTicksPerUs,
+              2);
+        if (faultEnd_ > 0) {
+            s.addU64(prefix + "goodput_floor", goodputFloor());
+            long long rec = recoveryTicks();
+            s.addU64(prefix + "recovered", rec >= 0 ? 1 : 0);
+            s.add(prefix + "recovery_ms",
+                  rec >= 0 ? static_cast<double>(rec) /
+                                 sim::kTicksPerMs
+                           : -1.0,
+                  3);
+        }
+    }
+
+  private:
+    struct Win
+    {
+        std::uint64_t issued = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t goodput = 0;
+        std::uint64_t shedCount = 0;
+        std::vector<sim::Tick> lat;
+    };
+
+    Win &
+    winFor(sim::Tick sched)
+    {
+        std::size_t i =
+            sched >= start_
+                ? static_cast<std::size_t>((sched - start_) / window_)
+                : 0;
+        return wins_[std::min(i, wins_.size() - 1)];
+    }
+
+    static sim::Tick
+    percentile(std::vector<sim::Tick> lat, std::uint64_t num,
+               std::uint64_t den)
+    {
+        if (lat.empty())
+            return 0;
+        std::sort(lat.begin(), lat.end());
+        std::size_t idx = static_cast<std::size_t>(
+            (lat.size() * num + den - 1) / den);
+        return lat[std::min(idx == 0 ? 0 : idx - 1,
+                            lat.size() - 1)];
+    }
+
+    bool
+    recovered(const Win &w, sim::Tick limit) const
+    {
+        if (w.completed == 0)
+            return false;
+        std::vector<sim::Tick> lat(w.lat);
+        return percentile(std::move(lat), 99, 100) <= limit;
+    }
+
+    sim::Tick start_;
+    sim::Tick window_;
+    sim::Tick slo_;
+    sim::Tick faultStart_ = 0;
+    sim::Tick faultEnd_ = 0;
+    sim::Tick baselineEnd_ = 0;
+    std::vector<Win> wins_;
+};
+
+} // namespace m3v::bench
+
+#endif // M3VSIM_BENCH_SLO_REPORT_H_

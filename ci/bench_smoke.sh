@@ -48,6 +48,8 @@ jq -n --slurpfile j1 "$PERF1" --slurpfile j4 "$PERF4" \
     --argjson cpus "$(nproc)" '{
   bench: "fig09_scale (M3V_FIG09_TILES=4)",
   host_cpus: $cpus,
+  hw_concurrency: $j1[0].hw_concurrency,
+  jobs_config: [$j1[0].jobs, $j4[0].jobs],
   jobs1: $j1[0],
   jobs4: $j4[0],
   speedup: (if $j4[0].wall_ms > 0

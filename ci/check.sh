@@ -20,6 +20,22 @@ echo "== fuzz smoke: protocol fuzzer, fixed seeds =="
 build/tests/fuzz/fuzz_driver --seeds=5 --seqs=2100 --diff=25 \
     --faults=both
 
+echo "== fleet smoke: overload + chaos drill, jobs=1 vs jobs=4 =="
+# Small-config open-loop fleet with the chaos drill (two tile kills +
+# NoC degradation mid-burst): must shed load via typed errors, keep
+# every invariant clean, and print/summarize byte-identically for any
+# worker count.
+FLEET1=$(mktemp) FLEET4=$(mktemp)
+build/bench/fleet --tenants=100 --rate=6000 --chaos --jobs=1 \
+    --summary-out="$FLEET1" >/dev/null
+build/bench/fleet --tenants=100 --rate=6000 --chaos --jobs=4 \
+    --summary-out="$FLEET4" >/dev/null
+cmp "$FLEET1" "$FLEET4" || {
+    echo "FAIL: fleet summary differs between --jobs=1 and --jobs=4" >&2
+    exit 1
+}
+rm -f "$FLEET1" "$FLEET4"
+
 echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DM3VSIM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
@@ -30,6 +46,12 @@ echo "== fuzz smoke under ASan (bounded) =="
 # in the protocol engines surface here before they corrupt state.
 build-asan/tests/fuzz/fuzz_driver --seeds=5 --seqs=300 --diff=10 \
     --faults=both
+
+echo "== fleet smoke under ASan =="
+# The chaos drill tears down tiles with live retransmission state and
+# drains stale replies after deadline abandonment — the exact handle
+# lifetimes ASan is for.
+build-asan/bench/fleet --tenants=100 --rate=6000 --chaos >/dev/null
 
 echo "== sanitized re-run: observability + lifecycle regressions =="
 # The metrics/trace layer and the activity-teardown paths are the

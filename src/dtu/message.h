@@ -39,6 +39,14 @@ struct Message
     /** Arrival sequence number (FIFO fetch order). */
     std::uint64_t seq = 0;
 
+    /**
+     * Tick at which the message was stored into the receive ring.
+     * Hardware metadata like @ref seq (not wire payload): receivers
+     * use it for deadline-aware admission control — the age of a
+     * fetched request is the time it waited in the bounded ring.
+     */
+    std::uint64_t arrival = 0;
+
     /** Payload bytes. */
     std::vector<std::uint8_t> payload;
 };

@@ -13,7 +13,7 @@ using dtu::Error;
 Controller::Controller(BareEnv &env, CapMgr &caps, DtuLocator locate,
                        ControllerParams params)
     : env_(&env), caps_(&caps), locate_(std::move(locate)),
-      params_(params)
+      params_(params), admission_(params.admission)
 {
     sim::MetricsRegistry &m = env.dtu().eventQueue().metrics();
     syscalls_ = m.counter("ctrl.kernel.syscalls");
@@ -216,6 +216,26 @@ Controller::run()
         auto caller = static_cast<ActId>(m.label);
         SyscallReq req = podFrom<SyscallReq>(m.payload);
         syscalls_->inc();
+
+        // Admission control over the bounded syscall ring: reject
+        // aged or over-occupancy syscalls early with a typed error
+        // instead of executing them. The rejection travels the normal
+        // vDTU reply path, so service RPCs that embed syscalls (e.g.
+        // m3fs extent grants) surface it typed to their clients.
+        if (admission_.enabled()) {
+            std::size_t occ =
+                env_->dtu().unread(env_->actId(), rep) + 1;
+            if (!admission_.admit(env_->dtu().now(), m.arrival, occ)) {
+                co_await thread.compute(
+                    admission_.params().shedCost);
+                SyscallResp shed;
+                shed.err = Error::Overloaded;
+                Error serr = Error::None;
+                co_await env_->reply(rep, slot, podBytes(shed),
+                                     &serr);
+                continue;
+            }
+        }
 
         co_await thread.compute(params_.dispatchCost);
         SyscallResp resp;

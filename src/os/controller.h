@@ -26,6 +26,7 @@
 #include "os/caps.h"
 #include "os/env.h"
 #include "os/proto.h"
+#include "sim/overload.h"
 #include "sim/stats.h"
 
 namespace m3v::os {
@@ -44,6 +45,9 @@ struct ControllerParams
 
     /** The controller's syscall receive endpoint. */
     dtu::EpId syscallRep = 4;
+
+    /** Admission control over the syscall ring (default off). */
+    sim::AdmissionParams admission;
 };
 
 /** The communication controller. */
@@ -105,6 +109,9 @@ class Controller
         return reclaimed_->value();
     }
 
+    /** Admission decision state (shed/admit counters). */
+    const sim::Admission &admission() const { return admission_; }
+
   private:
     sim::Task handle(dtu::ActId caller, const SyscallReq &req,
                      SyscallResp *resp);
@@ -127,6 +134,7 @@ class Controller
     sim::Counter *syscalls_;
     sim::Counter *reaps_;
     sim::Counter *reclaimed_;
+    sim::Admission admission_;
 };
 
 } // namespace m3v::os

@@ -162,6 +162,60 @@ Env::call(dtu::EpId sep, dtu::EpId rep, Bytes req, Bytes *resp,
 }
 
 sim::Task
+Env::callTimed(dtu::EpId sep, dtu::EpId rep, Bytes req, Bytes *resp,
+               Error *err, sim::Tick reply_deadline)
+{
+    if (reply_deadline == 0) {
+        co_await call(sep, rep, std::move(req), resp, err);
+        co_return;
+    }
+    // Drain late replies of earlier timed-out calls on this EP so
+    // the ring cannot fill up with them (and the next fetch is ours).
+    for (;;) {
+        co_await thread_->compute(mmioW(1) + mmioR(1));
+        int stale = dtu_->fetch(act_, rep);
+        if (stale < 0)
+            break;
+        staleDrops_++;
+        co_await ackMsg(rep, stale);
+    }
+
+    Error e = Error::Aborted;
+    co_await send(sep, std::move(req), rep, &e);
+    if (e != Error::None) {
+        if (err)
+            *err = e;
+        co_return;
+    }
+
+    // Poll for the reply (section 3.7 style), yielding the core
+    // between probes, until the deadline passes.
+    sim::EventQueue &eq = dtu_->eventQueue();
+    sim::Tick deadline = eq.now() + reply_deadline;
+    for (;;) {
+        co_await thread_->compute(mmioW(1) + mmioR(1));
+        int slot = dtu_->fetch(act_, rep);
+        if (slot >= 0) {
+            const dtu::Message &m = dtu_->slotMsg(rep, slot);
+            co_await thread_->compute(
+                static_cast<sim::Cycles>(m.payload.size() / 8 + 2));
+            if (resp)
+                *resp = m.payload;
+            co_await ackMsg(rep, slot);
+            if (err)
+                *err = Error::None;
+            co_return;
+        }
+        if (eq.now() >= deadline) {
+            if (err)
+                *err = Error::Timeout;
+            co_return;
+        }
+        co_await yield();
+    }
+}
+
+sim::Task
 Env::readMem(dtu::EpId mep, std::uint64_t off, std::size_t size,
              Bytes *out, Error *err)
 {

@@ -96,6 +96,24 @@ class Env
     sim::Task call(dtu::EpId sep, dtu::EpId rep, Bytes req,
                    Bytes *resp, dtu::Error *err);
 
+    /**
+     * Like call(), but give up on the reply after @p reply_deadline
+     * ticks and surface a typed dtu::Error::Timeout — without this,
+     * a reply whose retransmissions the wire exhausted leaves the
+     * caller blocked in recvOn() forever. 0 falls back to call().
+     *
+     * The reply EP must be used by one caller at a time (as with
+     * call()). Before sending, any unread message on it is drained:
+     * it can only be the late reply of an earlier, timed-out call on
+     * this EP, and acknowledging it keeps the ring from wedging.
+     */
+    sim::Task callTimed(dtu::EpId sep, dtu::EpId rep, Bytes req,
+                        Bytes *resp, dtu::Error *err,
+                        sim::Tick reply_deadline);
+
+    /** Late replies of timed-out calls dropped by callTimed(). */
+    std::uint64_t staleRepliesDropped() const { return staleDrops_; }
+
     //
     // Memory gates.
     //
@@ -143,6 +161,7 @@ class Env
     dtu::VirtAddr msgBuf_ = 0;
     dtu::EpId syscSep_ = dtu::kInvalidEp;
     dtu::EpId syscRep_ = dtu::kInvalidEp;
+    std::uint64_t staleDrops_ = 0;
 };
 
 /** Environment of an activity on a multiplexed tile. */

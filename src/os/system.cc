@@ -45,7 +45,7 @@ System::System(sim::EventQueue &eq, SystemParams params)
             eq, tname + ".core", model, userTile(i)));
         vdtus_.push_back(std::make_unique<core::VDtu>(
             eq, tname + ".vdtu", *noc_, userTile(i),
-            model.freqHz, params_.vdtu));
+            model.freqHz, params_.vdtu, params_.dtuTiming));
         muxes_.push_back(std::make_unique<core::TileMux>(
             eq, tname + ".tilemux", *cores_[i], *vdtus_[i], params_.mux));
     }
@@ -55,7 +55,8 @@ System::System(sim::EventQueue &eq, SystemParams params)
         eq, "ctrl.core", params_.ctrlModel, ctrlTile());
     ctrlDtu_ = std::make_unique<dtu::Dtu>(eq, "ctrl.dtu", *noc_,
                                           ctrlTile(),
-                                          params_.ctrlModel.freqHz);
+                                          params_.ctrlModel.freqHz,
+                                          params_.dtuTiming);
 
     // Memory tiles.
     for (unsigned i = 0; i < params_.memTiles; i++) {

@@ -54,6 +54,8 @@ struct SystemParams
     tile::DramParams dram{};
     core::TileMuxParams mux{};
     core::VDtuParams vdtu{};
+    /** DTU cost/protocol knobs (applied to every tile's DTU). */
+    dtu::DtuTiming dtuTiming{};
     ControllerParams ctrl{};
 
     /** Per-user-tile PMP window (local memory) in bytes. */

@@ -41,9 +41,9 @@ isIdempotent(FsReq::Op op)
 } // namespace
 
 FileSession::FileSession(os::Env &env, const M3fs::Client &client,
-                         unsigned ep_idx)
+                         unsigned ep_idx, sim::OverloadGuard *guard)
     : env_(env), sgate_(client.sgateEp), reply_(client.replyEp),
-      fileEp_(client.fileEps.at(ep_idx))
+      fileEp_(client.fileEps.at(ep_idx)), guard_(guard)
 {
 }
 
@@ -52,22 +52,56 @@ FileSession::rpc(FsReq req, FsResp *resp)
 {
     sim::Cycles backoff = kRpcBackoff;
     for (unsigned attempt = 0;; attempt++) {
-        Bytes respb;
-        Error err = Error::Aborted;
-        co_await env_.call(sgate_, reply_, os::podBytes(req), &respb,
-                           &err);
-        if (err == Error::None) {
-            *resp = os::podFrom<FsResp>(respb);
-            co_return;
+        bool sent = false;
+        Error err = Error::Overloaded;
+        if (guard_ == nullptr ||
+            guard_->breaker().allow(env_.dtu().now())) {
+            sent = true;
+            Bytes respb;
+            err = Error::Aborted;
+            sim::Tick deadline =
+                guard_ ? guard_->replyDeadline() : 0;
+            if (deadline == 0)
+                co_await env_.call(sgate_, reply_,
+                                   os::podBytes(req), &respb, &err);
+            else
+                co_await env_.callTimed(sgate_, reply_,
+                                        os::podBytes(req), &respb,
+                                        &err, deadline);
+            if (err == Error::None) {
+                *resp = os::podFrom<FsResp>(respb);
+                if (resp->err != Error::Overloaded) {
+                    // A delivered outcome — success or a typed
+                    // server error — proves the channel healthy.
+                    if (guard_) {
+                        guard_->breaker().recordSuccess(
+                            env_.dtu().now());
+                        guard_->budget().recordSuccess();
+                        guard_->backoff().reset();
+                    }
+                    co_return;
+                }
+                // Server shed before executing: always retryable,
+                // but only within the budget.
+                rpcOverloaded_++;
+                err = Error::Overloaded;
+            }
         }
-        if (err != Error::Timeout || !isIdempotent(req.op) ||
-            attempt + 1 >= kRpcAttempts) {
+        // err: Timeout, Overloaded, or another transport failure.
+        if (sent && guard_)
+            guard_->breaker().recordFailure(env_.dtu().now());
+        bool retryable =
+            err == Error::Overloaded ||
+            (err == Error::Timeout && isIdempotent(req.op));
+        if (!retryable || attempt + 1 >= kRpcAttempts ||
+            (guard_ && !guard_->budget().tryAcquire())) {
             *resp = FsResp{};
             resp->err = err;
             co_return;
         }
         rpcRetries_++;
-        co_await env_.thread().compute(backoff);
+        co_await env_.thread().compute(
+            guard_ ? guard_->backoff().next() : backoff);
         backoff *= 2;
     }
 }

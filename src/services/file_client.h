@@ -16,6 +16,7 @@
 #include "os/env.h"
 #include "services/fs_proto.h"
 #include "services/m3fs.h"
+#include "sim/overload.h"
 
 namespace m3v::services {
 
@@ -27,9 +28,14 @@ class FileSession
      * @param env    the client's environment
      * @param client the boot wiring to the FS service
      * @param ep_idx which EP of the client's file-EP pool to bind
+     * @param guard  optional per-destination overload discipline
+     *               (retry budget, circuit breaker, jittered backoff,
+     *               reply deadline). Null keeps the legacy fixed
+     *               timeout-retry policy and its exact timing.
      */
     FileSession(os::Env &env, const M3fs::Client &client,
-                unsigned ep_idx = 0);
+                unsigned ep_idx = 0,
+                sim::OverloadGuard *guard = nullptr);
 
     bool isOpen() const { return fd_ != 0; }
     std::uint64_t size() const { return size_; }
@@ -72,8 +78,11 @@ class FileSession
     /** Number of NextIn/NextOut RPCs performed (extent switches). */
     std::uint64_t extentRpcs() const { return extentRpcs_; }
 
-    /** RPCs re-sent after a transport timeout. */
+    /** RPCs re-sent after a timeout or server shed. */
     std::uint64_t rpcRetries() const { return rpcRetries_; }
+
+    /** Server-side Error::Overloaded rejections observed. */
+    std::uint64_t rpcOverloaded() const { return rpcOverloaded_; }
 
   private:
     /**
@@ -89,6 +98,7 @@ class FileSession
     dtu::EpId sgate_;
     dtu::EpId reply_;
     dtu::EpId fileEp_;
+    sim::OverloadGuard *guard_;
 
     std::uint32_t fd_ = 0;
     bool write_ = false;
@@ -100,6 +110,7 @@ class FileSession
     bool winValid_ = false;
     std::uint64_t extentRpcs_ = 0;
     std::uint64_t rpcRetries_ = 0;
+    std::uint64_t rpcOverloaded_ = 0;
     /** Next NextOut allocation hint in blocks. */
     std::uint32_t nextHint_ = 4;
 };

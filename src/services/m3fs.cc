@@ -13,7 +13,7 @@ using os::SyscallReq;
 using os::SyscallResp;
 
 M3fs::M3fs(os::System &sys, unsigned tile_idx, M3fsParams params)
-    : sys_(sys), params_(params)
+    : sys_(sys), params_(params), admission_(params.admission)
 {
     app_ = sys.createApp(tile_idx, "m3fs", params.footprint);
     storage_ = sys.makeMgate(app_, params.storageBytes,
@@ -63,6 +63,25 @@ M3fs::body(os::MuxEnv &env)
         if (it == clients_.end())
             sim::panic("m3fs: request from unknown client %llu",
                        static_cast<unsigned long long>(msg.label));
+
+        // Admission control: the fixed-slot ring is the (bounded)
+        // request queue; shed aged or over-occupancy requests with a
+        // cheap typed rejection instead of executing them.
+        if (admission_.enabled()) {
+            std::size_t occ =
+                env.dtu().unread(env.actId(), rgate_.ep) + 1;
+            if (!admission_.admit(env.dtu().now(), msg.arrival,
+                                  occ)) {
+                co_await env.thread().compute(
+                    admission_.params().shedCost);
+                FsResp shed;
+                shed.err = Error::Overloaded;
+                Error serr = Error::None;
+                co_await env.reply(rgate_.ep, slot,
+                                   os::podBytes(shed), &serr);
+                continue;
+            }
+        }
 
         FsReq req = os::podFrom<FsReq>(msg.payload);
         FsResp resp;

@@ -19,6 +19,7 @@
 #include "os/system.h"
 #include "services/fs_image.h"
 #include "services/fs_proto.h"
+#include "sim/overload.h"
 
 namespace m3v::services {
 
@@ -39,6 +40,13 @@ struct M3fsParams
 
     std::size_t slotSize = 128;
     std::size_t slots = 16;
+
+    /**
+     * Admission control over the request ring (default off): shed
+     * aged or over-occupancy requests with Error::Overloaded instead
+     * of executing them.
+     */
+    sim::AdmissionParams admission;
 };
 
 /** The m3fs service instance. */
@@ -68,6 +76,9 @@ class M3fs
     void startService();
 
     std::uint64_t requests() const { return requests_; }
+
+    /** Admission decision state (shed/admit counters). */
+    const sim::Admission &admission() const { return admission_; }
 
   private:
     struct OpenFile
@@ -113,6 +124,7 @@ class M3fs
     std::map<std::uint64_t, ClientState> clients_;
     std::uint64_t nextClient_ = 1;
     std::uint64_t requests_ = 0;
+    sim::Admission admission_;
 };
 
 } // namespace m3v::services

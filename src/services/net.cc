@@ -40,10 +40,11 @@ splitPayload(const Bytes &msg, Bytes *payload)
 
 NetService::NetService(os::System &sys, unsigned tile_idx, Nic &nic,
                        NetParams params)
-    : sys_(sys), params_(params), nic_(nic)
+    : sys_(sys), params_(params), nic_(nic),
+      admission_(params.admission)
 {
     app_ = sys.createApp(tile_idx, "net", params.footprint);
-    rgate_ = sys.makeRgate(app_, 1600, 8);
+    rgate_ = sys.makeRgate(app_, 1600, params.reqSlots);
 
     // Driver mailbox: the NIC DMAs received frames here and signals
     // the driver (deviceMessage models the MSI path).
@@ -131,6 +132,25 @@ NetService::body(os::MuxEnv &env)
 
         // Client request.
         dtu::Message msg = env.msgAt(rgate_.ep, slot);
+
+        // Admission control over the bounded request ring: reject
+        // aged or over-occupancy requests early and typed.
+        if (admission_.enabled()) {
+            std::size_t occ =
+                env.dtu().unread(env.actId(), rgate_.ep) + 1;
+            if (!admission_.admit(env.dtu().now(), msg.arrival,
+                                  occ)) {
+                co_await env.thread().compute(
+                    admission_.params().shedCost);
+                NetRespHdr shed;
+                shed.err = Error::Overloaded;
+                Error serr = Error::None;
+                co_await env.reply(rgate_.ep, slot,
+                                   os::podBytes(shed), &serr);
+                continue;
+            }
+        }
+
         Bytes payload;
         NetReqHdr req = splitPayload<NetReqHdr>(msg.payload,
                                                 &payload);
@@ -181,27 +201,63 @@ NetService::body(os::MuxEnv &env)
     }
 }
 
-UdpSocket::UdpSocket(os::Env &env, const NetService::Client &client)
-    : env_(env), wiring_(client)
+UdpSocket::UdpSocket(os::Env &env, const NetService::Client &client,
+                     sim::OverloadGuard *guard)
+    : env_(env), wiring_(client), guard_(guard)
 {
 }
 
 sim::Task
 UdpSocket::rpc(NetReqHdr hdr, Bytes payload, NetRespHdr *resp)
 {
-    Bytes respb;
-    Error err = Error::Aborted;
-    co_await env_.call(wiring_.sgateEp, wiring_.replyEp,
-                       withPayload(hdr, payload), &respb, &err);
-    if (err != Error::None) {
-        // UDP semantics: a lost request is a lost datagram. Surface
-        // the transport error instead of panicking; callers see it
-        // through the op's err out-parameter.
-        *resp = NetRespHdr{};
-        resp->err = err;
-        co_return;
+    // UDP semantics: a timed-out request is a lost datagram and is
+    // never re-sent; only a server shed (Error::Overloaded — the
+    // request provably had no effect) is retried, within the budget.
+    for (;;) {
+        bool sent = false;
+        Error err = Error::Overloaded;
+        if (guard_ == nullptr ||
+            guard_->breaker().allow(env_.dtu().now())) {
+            sent = true;
+            Bytes respb;
+            err = Error::Aborted;
+            sim::Tick deadline =
+                guard_ ? guard_->replyDeadline() : 0;
+            if (deadline == 0)
+                co_await env_.call(wiring_.sgateEp, wiring_.replyEp,
+                                   withPayload(hdr, payload), &respb,
+                                   &err);
+            else
+                co_await env_.callTimed(
+                    wiring_.sgateEp, wiring_.replyEp,
+                    withPayload(hdr, payload), &respb, &err,
+                    deadline);
+            if (err == Error::None) {
+                *resp = os::podFrom<NetRespHdr>(respb);
+                if (resp->err != Error::Overloaded) {
+                    if (guard_) {
+                        guard_->breaker().recordSuccess(
+                            env_.dtu().now());
+                        guard_->budget().recordSuccess();
+                        guard_->backoff().reset();
+                    }
+                    co_return;
+                }
+                rpcOverloaded_++;
+                err = Error::Overloaded;
+            }
+        }
+        if (sent && guard_)
+            guard_->breaker().recordFailure(env_.dtu().now());
+        if (err != Error::Overloaded || guard_ == nullptr ||
+            !guard_->budget().tryAcquire()) {
+            *resp = NetRespHdr{};
+            resp->err = err;
+            co_return;
+        }
+        rpcRetries_++;
+        co_await env_.thread().compute(guard_->backoff().next());
     }
-    *resp = os::podFrom<NetRespHdr>(respb);
 }
 
 sim::Task
@@ -229,6 +285,19 @@ UdpSocket::sendTo(std::uint32_t dst_ip, std::uint16_t dst_port,
     req.len = static_cast<std::uint32_t>(payload.size());
     NetRespHdr resp;
     co_await rpc(req, std::move(payload), &resp);
+    *err = resp.err;
+}
+
+sim::Task
+UdpSocket::close(Error *err)
+{
+    NetReqHdr req;
+    req.op = NetReqHdr::Op::Close;
+    req.sock = sock_;
+    NetRespHdr resp;
+    co_await rpc(req, {}, &resp);
+    if (resp.err == Error::None)
+        sock_ = 0;
     *err = resp.err;
 }
 

@@ -13,6 +13,7 @@
 
 #include "os/system.h"
 #include "services/nic.h"
+#include "sim/overload.h"
 
 namespace m3v::services {
 
@@ -65,6 +66,12 @@ struct NetParams
 
     /** Our IP address (cosmetic). */
     std::uint32_t localIp = 0x0a000002;
+
+    /** Client-request ring slots (the bounded admission queue). */
+    std::size_t reqSlots = 8;
+
+    /** Admission control over the client-request ring (default off). */
+    sim::AdmissionParams admission;
 };
 
 /** The net service. */
@@ -93,6 +100,9 @@ class NetService
     std::uint64_t packetsRx() const { return pktRx_; }
     std::uint64_t rxDropped() const { return rxDropped_; }
 
+    /** Admission decision state (shed/admit counters). */
+    const sim::Admission &admission() const { return admission_; }
+
   private:
     struct Socket
     {
@@ -119,20 +129,35 @@ class NetService
     std::uint64_t pktTx_ = 0;
     std::uint64_t pktRx_ = 0;
     std::uint64_t rxDropped_ = 0;
+    sim::Admission admission_;
 };
 
 /** Client-side UDP socket over a net-service channel. */
 class UdpSocket
 {
   public:
-    UdpSocket(os::Env &env, const NetService::Client &client);
+    /**
+     * @param guard optional per-destination overload discipline; null
+     *              keeps the legacy single-shot RPC behaviour.
+     */
+    UdpSocket(os::Env &env, const NetService::Client &client,
+              sim::OverloadGuard *guard = nullptr);
 
     sim::Task create(std::uint16_t local_port, dtu::Error *err);
     sim::Task sendTo(std::uint32_t dst_ip, std::uint16_t dst_port,
                      os::Bytes payload, dtu::Error *err);
 
+    /** Close the socket (for connection-churn workloads). */
+    sim::Task close(dtu::Error *err);
+
     /** Receive the next datagram for this socket. */
     sim::Task recv(os::Bytes *payload, dtu::Error *err);
+
+    /** RPCs re-sent after a server shed. */
+    std::uint64_t rpcRetries() const { return rpcRetries_; }
+
+    /** Server-side Error::Overloaded rejections observed. */
+    std::uint64_t rpcOverloaded() const { return rpcOverloaded_; }
 
   private:
     sim::Task rpc(NetReqHdr hdr, os::Bytes payload,
@@ -140,7 +165,10 @@ class UdpSocket
 
     os::Env &env_;
     NetService::Client wiring_;
+    sim::OverloadGuard *guard_;
     std::uint32_t sock_ = 0;
+    std::uint64_t rpcRetries_ = 0;
+    std::uint64_t rpcOverloaded_ = 0;
 };
 
 } // namespace m3v::services

@@ -8,11 +8,13 @@ using dtu::Error;
 using os::Bytes;
 
 PagerService::PagerService(os::System &sys, unsigned tile_idx,
-                           std::size_t footprint)
-    : sys_(sys)
+                           std::size_t footprint,
+                           sim::AdmissionParams admission,
+                           std::size_t req_slots)
+    : sys_(sys), admission_(admission)
 {
     app_ = sys.createApp(tile_idx, "pager", footprint);
-    rgate_ = sys.makeRgate(app_, 64, 8);
+    rgate_ = sys.makeRgate(app_, 64, req_slots);
 }
 
 PagerService::Client
@@ -54,6 +56,23 @@ PagerService::body(os::MuxEnv &env)
             sim::panic("pager: unknown client %llu",
                        static_cast<unsigned long long>(msg.label));
         ClientState &cs = it->second;
+
+        // Admission control over the bounded request ring.
+        if (admission_.enabled()) {
+            std::size_t occ =
+                env.dtu().unread(env.actId(), rgate_.ep) + 1;
+            if (!admission_.admit(env.dtu().now(), msg.arrival,
+                                  occ)) {
+                co_await env.thread().compute(
+                    admission_.params().shedCost);
+                PagerResp shed;
+                shed.err = Error::Overloaded;
+                Error serr = Error::None;
+                co_await env.reply(rgate_.ep, slot,
+                                   os::podBytes(shed), &serr);
+                continue;
+            }
+        }
 
         PagerReq req = os::podFrom<PagerReq>(msg.payload);
         PagerResp resp;

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "os/system.h"
+#include "sim/overload.h"
 
 namespace m3v::services {
 
@@ -49,7 +50,9 @@ class PagerService
     };
 
     PagerService(os::System &sys, unsigned tile_idx,
-                 std::size_t footprint = 6 * 1024);
+                 std::size_t footprint = 6 * 1024,
+                 sim::AdmissionParams admission = {},
+                 std::size_t req_slots = 8);
 
     os::System::App *app() { return app_; }
 
@@ -58,6 +61,9 @@ class PagerService
 
     std::uint64_t requests() const { return requests_; }
     std::uint64_t pagesMapped() const { return pagesMapped_; }
+
+    /** Admission decision state (shed/admit counters). */
+    const sim::Admission &admission() const { return admission_; }
 
   private:
     struct ClientState
@@ -75,6 +81,7 @@ class PagerService
     std::uint64_t nextClient_ = 1;
     std::uint64_t requests_ = 0;
     std::uint64_t pagesMapped_ = 0;
+    sim::Admission admission_;
 };
 
 /**

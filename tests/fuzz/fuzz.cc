@@ -24,6 +24,7 @@
 #include "sim/fault.h"
 #include "sim/invariants.h"
 #include "sim/lane.h"
+#include "sim/overload.h"
 #include "sim/rng.h"
 
 namespace m3v::fuzz {
@@ -53,6 +54,18 @@ constexpr std::size_t kRecvSlots = 4;
 constexpr std::size_t kSlotSize = 64;
 constexpr std::uint32_t kCredits = 3;
 constexpr dtu::VirtAddr kBufVa = 0x10000;
+
+/** Payload-tag stride per op: a Burst op owns up to this many
+ *  consecutive tags (one per sub-send), so tags stay globally
+ *  unique and the at-most-once check keeps working. */
+constexpr std::uint64_t kTagStride = 4;
+
+/** Sub-sends of a Burst op (1..3), derived from its arg alone. */
+unsigned
+burstLen(const Op &op)
+{
+    return 1 + (op.arg >> 8) % 3;
+}
 
 ActId
 actId(unsigned idx)
@@ -87,8 +100,39 @@ partition(const Scenario &sc)
     Progs progs;
     for (std::size_t i = 0; i < sc.ops.size(); i++)
         progs[sc.ops[i].actIdx % kNumActs].push_back(
-            {sc.ops[i], i});
+            {sc.ops[i], i * kTagStride});
     return progs;
+}
+
+/** Small, twitchy overload knobs: short scenarios must still reach
+ *  the interesting edges (shed, trip, half-open probe, reset). */
+sim::AdmissionParams
+fuzzAdmission()
+{
+    sim::AdmissionParams p;
+    p.maxQueueDelay = 50 * sim::kTicksPerUs;
+    p.highWater = 3;
+    return p;
+}
+
+sim::CircuitBreakerParams
+fuzzBreaker()
+{
+    sim::CircuitBreakerParams p;
+    p.failureThreshold = 2;
+    p.openInterval = 50 * sim::kTicksPerUs;
+    p.halfOpenSuccesses = 1;
+    return p;
+}
+
+sim::RetryBudgetParams
+fuzzBudget()
+{
+    sim::RetryBudgetParams p;
+    p.initial = 2;
+    p.cap = 4;
+    p.successesPerToken = 2;
+    return p;
 }
 
 /** Per-run observations shared by all activity bodies. */
@@ -101,7 +145,16 @@ struct RunState
         /** Result of each *executed* send op, in program order. */
         std::vector<std::uint8_t> sendErrs;
     };
+    /** Per-activity overload state machines driven by the burst/
+     *  shed/trip ops; their end state folds into the digest. */
+    struct Overload
+    {
+        sim::Admission adm{fuzzAdmission()};
+        sim::CircuitBreaker breaker{fuzzBreaker()};
+        sim::RetryBudget budget{fuzzBudget()};
+    };
     std::array<ActRec, kNumActs> acts;
+    std::array<Overload, kNumActs> over;
     std::uint64_t tile0SendsOk = 0;
     bool leaked = false;
 };
@@ -204,6 +257,38 @@ leakCredit(VDtu &v, EpId sep)
     }
 }
 
+/** One wire send of @p tag on @p sep, with TlbMiss resolution. */
+sim::Task
+oneSend(Platform &plat, unsigned idx, EpId sep, std::uint64_t tag,
+        Error &err_out)
+{
+    unsigned t = tileOf(idx);
+    Activity &act = *plat.acts[idx];
+    VDtu &vdtu = plat.vdtu(t);
+    TileMux &mux = plat.mux(t);
+    tile::Thread &th = act.thread();
+    std::vector<std::uint8_t> payload(8);
+    for (unsigned b = 0; b < 8; b++)
+        payload[b] = (tag >> (8 * b)) & 0xff;
+    Error err = Error::Aborted;
+    for (int attempt = 0; attempt < 4; attempt++) {
+        co_await th.compute(40); // MMIO command setup
+        bool done = false;
+        vdtu.cmdSend(act.id(), sep, kBufVa, payload, dtu::kInvalidEp,
+                     [&](Error e) {
+                         err = e;
+                         done = true;
+                         th.wake();
+                     });
+        while (!done)
+            co_await th.externalWait();
+        if (err != Error::TlbMiss)
+            break;
+        co_await mux.translCall(act, kBufVa, false);
+    }
+    err_out = err;
+}
+
 /** The activity body: interpret @p prog, then exit. */
 sim::Task
 actBody(Platform &plat, RunState &rs, bool buggy, Prog prog,
@@ -217,6 +302,7 @@ actBody(Platform &plat, RunState &rs, bool buggy, Prog prog,
     tile::Thread &th = act.thread();
     EpId rep = kRecvEpBase + li;
     RunState::ActRec &rec = rs.acts[idx];
+    RunState::Overload &ov = rs.over[idx];
 
     for (const auto &[op, tag] : prog) {
         switch (op.kind) {
@@ -227,25 +313,8 @@ actBody(Platform &plat, RunState &rs, bool buggy, Prog prog,
             EpId sep = (op.arg & 1)
                            ? static_cast<EpId>(kRemoteSepBase + li)
                            : static_cast<EpId>(kLocalSepBase + li);
-            std::vector<std::uint8_t> payload(8);
-            for (unsigned b = 0; b < 8; b++)
-                payload[b] = (tag >> (8 * b)) & 0xff;
             Error err = Error::Aborted;
-            for (int attempt = 0; attempt < 4; attempt++) {
-                co_await th.compute(40); // MMIO command setup
-                bool done = false;
-                vdtu.cmdSend(act.id(), sep, kBufVa, payload,
-                             dtu::kInvalidEp, [&](Error e) {
-                                 err = e;
-                                 done = true;
-                                 th.wake();
-                             });
-                while (!done)
-                    co_await th.externalWait();
-                if (err != Error::TlbMiss)
-                    break;
-                co_await mux.translCall(act, kBufVa, false);
-            }
+            co_await oneSend(plat, idx, sep, tag, err);
             rec.sendErrs.push_back(static_cast<std::uint8_t>(err));
             if (err == Error::None && t == 0) {
                 rs.tile0SendsOk++;
@@ -254,6 +323,82 @@ actBody(Platform &plat, RunState &rs, bool buggy, Prog prog,
                     rs.leaked = true;
                 }
             }
+            break;
+        }
+        case OpKind::Burst: {
+            // Arrival burst: back-to-back sends gated per attempt by
+            // the breaker. A short-circuited attempt never reaches
+            // the wire but still records a result so the reference
+            // model's send-result stream stays aligned; a failed
+            // attempt spends a retry token (a real client would
+            // retry) without ever re-sending the tag.
+            EpId sep = (op.arg & 1)
+                           ? static_cast<EpId>(kRemoteSepBase + li)
+                           : static_cast<EpId>(kLocalSepBase + li);
+            unsigned k = burstLen(op);
+            for (unsigned s = 0; s < k; s++) {
+                if (!ov.breaker.allow(vdtu.eventQueue().now())) {
+                    rec.sendErrs.push_back(
+                        static_cast<std::uint8_t>(Error::Aborted));
+                    co_await th.compute(20);
+                    continue;
+                }
+                Error err = Error::Aborted;
+                co_await oneSend(plat, idx, sep, tag + s, err);
+                rec.sendErrs.push_back(
+                    static_cast<std::uint8_t>(err));
+                sim::Tick now = vdtu.eventQueue().now();
+                if (err == Error::None) {
+                    ov.breaker.recordSuccess(now);
+                    ov.budget.recordSuccess();
+                } else {
+                    ov.breaker.recordFailure(now);
+                    ov.budget.tryAcquire();
+                }
+            }
+            break;
+        }
+        case OpKind::Shed: {
+            // Non-blocking drain: run every pending request through
+            // the admission decision (ring-age + occupancy) exactly
+            // as the services do, acking either way — a shed is a
+            // decode + typed-reject, modelled by the larger cost.
+            for (;;) {
+                co_await th.compute(14); // MMIO fetch
+                int slot = vdtu.fetch(act.id(), rep);
+                if (slot < 0)
+                    break;
+                const auto &msg = vdtu.slotMsg(rep, slot);
+                std::size_t occ =
+                    vdtu.ep(rep).recv.unreadCount() + 1;
+                bool run = ov.adm.admit(vdtu.eventQueue().now(),
+                                        msg.arrival, occ);
+                rec.tags.push_back(parseTag(msg.payload));
+                co_await th.compute(run ? 14 : 80);
+                vdtu.ack(act.id(), rep, slot);
+            }
+            break;
+        }
+        case OpKind::Trip: {
+            // Drive the breaker edges (trip, short-circuit, half-
+            // open probe, reset) with an outcome pattern derived
+            // from the op's arg; computes in between advance time so
+            // the open interval can elapse across ops.
+            unsigned n = 2 + op.arg % 3;
+            for (unsigned s = 0; s < n; s++) {
+                co_await th.compute(60 + (op.arg >> 4) % 200);
+                sim::Tick now = vdtu.eventQueue().now();
+                if (!ov.breaker.allow(now))
+                    continue;
+                if ((op.arg >> s) & 1)
+                    ov.breaker.recordFailure(now);
+                else
+                    ov.breaker.recordSuccess(now);
+            }
+            if (op.arg & 8)
+                ov.budget.tryAcquire();
+            else
+                ov.budget.recordSuccess();
             break;
         }
         case OpKind::Wait: {
@@ -355,28 +500,40 @@ modelCheck(Platform &plat, const RunState &rs, const Scenario &sc,
                         rs.acts[idx].tags.end()};
     for (unsigned idx = 0; idx < kNumActs; idx++) {
         std::size_t si = 0;
+        bool cut = false;
         for (const auto &[op, tag] : progs[idx]) {
-            if (op.kind != OpKind::Send)
+            if (op.kind != OpKind::Send &&
+                op.kind != OpKind::Burst)
                 continue;
-            if (si >= rs.acts[idx].sendErrs.size())
-                break; // program cut short (blocked or exited)
-            Error err =
-                static_cast<Error>(rs.acts[idx].sendErrs[si++]);
-            if (err != Error::None)
-                continue;
-            out.sendsOk++;
-            if (!sc.kills.empty())
-                continue;
-            unsigned dst = sendDst(idx, op);
-            if (plat.acts[dst]->state() == Activity::State::Dead)
-                continue;
-            if (!fetched[dst].count(tag) &&
-                !unread[dst].count(tag))
-                appendf(out.errors,
+            unsigned subs =
+                op.kind == OpKind::Burst ? burstLen(op) : 1;
+            for (unsigned s = 0; s < subs; s++) {
+                if (si >= rs.acts[idx].sendErrs.size()) {
+                    cut = true; // blocked or exited mid-program
+                    break;
+                }
+                Error err = static_cast<Error>(
+                    rs.acts[idx].sendErrs[si++]);
+                if (err != Error::None)
+                    continue;
+                out.sendsOk++;
+                if (!sc.kills.empty())
+                    continue;
+                unsigned dst = sendDst(idx, op);
+                if (plat.acts[dst]->state() ==
+                    Activity::State::Dead)
+                    continue;
+                if (!fetched[dst].count(tag + s) &&
+                    !unread[dst].count(tag + s))
+                    appendf(
+                        out.errors,
                         "model: send tag %llu (act%u -> act%u) "
                         "acked but never delivered",
-                        static_cast<unsigned long long>(tag), idx,
-                        dst);
+                        static_cast<unsigned long long>(tag + s),
+                        idx, dst);
+            }
+            if (cut)
+                break;
         }
     }
 }
@@ -425,6 +582,13 @@ computeDigest(Platform &plat, const RunState &rs,
         f.add(m.timerIrqs());
         f.add(m.tmCalls());
         f.add(m.crashes());
+    }
+    for (unsigned idx = 0; idx < kNumActs; idx++) {
+        const RunState::Overload &ov = rs.over[idx];
+        f.add(0xE0 + idx);
+        f.h = ov.adm.digest(f.h);
+        f.h = ov.breaker.digest(f.h);
+        f.h = ov.budget.digest(f.h);
     }
     f.add(noc.delivered());
     f.add(noc.deliveredBytes());
@@ -482,6 +646,9 @@ opKindName(OpKind k)
     case OpKind::Wait: return "wait";
     case OpKind::Yield: return "yield";
     case OpKind::Exit: return "exit";
+    case OpKind::Burst: return "burst";
+    case OpKind::Shed: return "shed";
+    case OpKind::Trip: return "trip";
     }
     return "?";
 }
@@ -501,16 +668,22 @@ makeScenario(std::uint64_t seed, std::uint64_t index, bool faults,
         op.actIdx =
             static_cast<std::uint8_t>(rng.nextBounded(kNumActs));
         std::uint64_t roll = rng.nextBounded(100);
-        if (roll < 20)
+        if (roll < 15)
             op.kind = OpKind::Noop;
-        else if (roll < 55)
+        else if (roll < 44)
             op.kind = OpKind::Send;
-        else if (roll < 80)
+        else if (roll < 62)
             op.kind = OpKind::Wait;
-        else if (roll < 95)
+        else if (roll < 70)
             op.kind = OpKind::Yield;
-        else
+        else if (roll < 75)
             op.kind = OpKind::Exit;
+        else if (roll < 84)
+            op.kind = OpKind::Burst;
+        else if (roll < 92)
+            op.kind = OpKind::Shed;
+        else
+            op.kind = OpKind::Trip;
         op.arg = static_cast<std::uint32_t>(rng.next());
         sc.ops.push_back(op);
     }
@@ -734,6 +907,12 @@ readTrace(std::istream &is, Scenario &sc)
                 op.kind = OpKind::Yield;
             else if (kind == "exit")
                 op.kind = OpKind::Exit;
+            else if (kind == "burst")
+                op.kind = OpKind::Burst;
+            else if (kind == "shed")
+                op.kind = OpKind::Shed;
+            else if (kind == "trip")
+                op.kind = OpKind::Trip;
             else
                 return false;
             if (ls.fail())

@@ -3,9 +3,10 @@
  * Model-based protocol fuzzer for the vDTU/TileMux/NoC stack.
  *
  * A Scenario is a seeded, fully deterministic program: a flat list of
- * operations (noop/send/wait/yield/exit) distributed over six
- * activities on two multiplexed tiles, plus optional crash injections
- * at fixed ticks and optional NoC fault injection. runScenario()
+ * operations (noop/send/wait/yield/exit, plus the overload vocabulary
+ * burst/shed/trip) distributed over six activities on two multiplexed
+ * tiles, plus optional crash injections at fixed ticks and optional
+ * NoC fault injection. runScenario()
  * executes it on a freshly built platform — either on a single event
  * queue or on the sharded LaneScheduler — with the sim::Invariants
  * registries attached, and checks the outcome against a reference
@@ -44,6 +45,20 @@ enum class OpKind : std::uint8_t
     Wait,  ///< wait TMCall on own recv EP, then drain and ack
     Yield, ///< yield TMCall
     Exit,  ///< exit TMCall (drops the rest of the program)
+
+    //
+    // Overload vocabulary: deterministic drivers for the resilience
+    // state machines (sim/overload.h), whose end state folds into the
+    // differential digest.
+    //
+    Burst, ///< arrival burst: 1-3 back-to-back sends gated by the
+           ///< activity's circuit breaker; failures spend retry-
+           ///< budget tokens
+    Shed,  ///< non-blocking drain of own recv EP, each fetched
+           ///< request run through the admission shed decision
+           ///< (queue age + ring occupancy)
+    Trip,  ///< drive the breaker trip/reset edges and the retry
+           ///< budget directly with an arg-derived outcome pattern
 };
 
 const char *opKindName(OpKind k);
