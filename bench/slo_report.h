@@ -151,12 +151,19 @@ class SloReport
      * consecutive windows whose p99 is back within @p slackPct
      * percent of the pre-fault baseline (and that completed work at
      * all). Negative when the run never recovers.
+     *
+     * A degenerate baseline (no successful completions before the
+     * fault, baselineP99() == 0) falls back to the SLO itself as the
+     * recovery limit — "p99 back within SLO" — so such a run is not
+     * misreported as never recovering against an impossible limit
+     * of 0.
      */
     long long
     recoveryTicks(unsigned slack_pct = 10) const
     {
         sim::Tick base = baselineP99();
-        sim::Tick limit = base + base * slack_pct / 100;
+        sim::Tick limit =
+            base > 0 ? base + base * slack_pct / 100 : slo_;
         for (std::size_t i = 0; i + 1 < wins_.size(); i++) {
             sim::Tick lo = start_ + i * window_;
             if (lo < faultEnd_)

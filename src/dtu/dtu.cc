@@ -140,26 +140,26 @@ Dtu::cmdFinished()
 void
 Dtu::cmdSend(ActId act, EpId ep_id, VirtAddr buf,
              std::vector<std::uint8_t> payload, EpId reply_ep,
-             CmdCallback cb)
+             CmdCallback cb, std::uint64_t nonce)
 {
     enqueueCmd([this, act, ep_id, buf, payload = std::move(payload),
-                reply_ep, cb = std::move(cb)]() mutable {
+                reply_ep, cb = std::move(cb), nonce]() mutable {
         doSend(act, ep_id, buf, std::move(payload), reply_ep,
-               std::move(cb));
+               std::move(cb), nonce);
     });
 }
 
 void
 Dtu::doSend(ActId act, EpId ep_id, VirtAddr buf,
             std::vector<std::uint8_t> payload, EpId reply_ep,
-            CmdCallback cb)
+            CmdCallback cb, std::uint64_t nonce)
 {
     trc_->begin(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu, "SEND");
     sim::Tick t0 =
         clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
     eq_.schedule(t0, [this, act, ep_id, buf,
                       payload = std::move(payload), reply_ep,
-                      cb = std::move(cb)]() mutable {
+                      cb = std::move(cb), nonce]() mutable {
         auto fail = [&](Error e) {
             cb(e);
             cmdFinished();
@@ -188,8 +188,8 @@ Dtu::doSend(ActId act, EpId ep_id, VirtAddr buf,
                                                payload =
                                                    std::move(payload),
                                                reply_ep,
-                                               cb = std::move(cb)]()
-                                                  mutable {
+                                               cb = std::move(cb),
+                                               nonce]() mutable {
             Endpoint &sep2 = eps_[ep_id];
             sep2.send.credits--;
 
@@ -199,6 +199,7 @@ Dtu::doSend(ActId act, EpId ep_id, VirtAddr buf,
             wd->dstEp = sep2.send.destEp;
             wd->dstAct = sep2.send.destAct;
             wd->isReply = sep2.send.isReply;
+            wd->msg.nonce = nonce;
             wd->msg.label = sep2.send.label;
             wd->msg.srcTile = tile_;
             wd->msg.srcAct = act;
@@ -306,6 +307,7 @@ Dtu::doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
             wd->reqId = nextReqId_++;
             wd->dstEp = dst_ep;
             wd->isReply = true;
+            wd->msg.nonce = rs2.msg.nonce;
             wd->msg.label = rs2.msg.label;
             wd->msg.srcTile = tile_;
             wd->msg.srcAct = act;

@@ -125,10 +125,12 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     /**
      * SEND: transfer @p payload from buffer @p buf through send
      * endpoint @p ep_id; replies (if any) arrive at @p reply_ep.
+     * @p nonce is stamped into the message and echoed back by the
+     * receiver's REPLY (see Message::nonce); 0 means "unused".
      */
     void cmdSend(ActId act, EpId ep_id, VirtAddr buf,
                  std::vector<std::uint8_t> payload, EpId reply_ep,
-                 CmdCallback cb);
+                 CmdCallback cb, std::uint64_t nonce = 0);
 
     /**
      * REPLY: consume the one-shot reply permission of the message in
@@ -340,7 +342,7 @@ class Dtu : public sim::SimObject, public noc::HopTarget
 
     void doSend(ActId act, EpId ep_id, VirtAddr buf,
                 std::vector<std::uint8_t> payload, EpId reply_ep,
-                CmdCallback cb);
+                CmdCallback cb, std::uint64_t nonce);
     void doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
                  std::vector<std::uint8_t> payload, CmdCallback cb);
     void doRead(ActId act, EpId mep_id, std::uint64_t offset,

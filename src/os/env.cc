@@ -27,7 +27,8 @@ Env::mmioW(unsigned n) const
 }
 
 sim::Task
-Env::send(dtu::EpId sep, Bytes msg, dtu::EpId reply_ep, Error *err)
+Env::send(dtu::EpId sep, Bytes msg, dtu::EpId reply_ep, Error *err,
+          std::uint64_t nonce)
 {
     for (;;) {
         // Program EP id, buffer address, size, reply EP; start; poll.
@@ -40,7 +41,8 @@ Env::send(dtu::EpId sep, Bytes msg, dtu::EpId reply_ep, Error *err)
                           e = res;
                           done = true;
                           thread_->wake();
-                      });
+                      },
+                      nonce);
         while (!done)
             co_await thread_->externalWait();
         co_await thread_->compute(mmioR(1)); // final status read
@@ -180,8 +182,12 @@ Env::callTimed(dtu::EpId sep, dtu::EpId rep, Bytes req, Bytes *resp,
         co_await ackMsg(rep, stale);
     }
 
+    // A fresh correlation nonce for this call: the reply echoes it,
+    // so a late reply of an earlier, timed-out call that slips in
+    // after the drain above cannot be misattributed to this call.
+    const std::uint64_t nonce = ++callNonce_;
     Error e = Error::Aborted;
-    co_await send(sep, std::move(req), rep, &e);
+    co_await send(sep, std::move(req), rep, &e, nonce);
     if (e != Error::None) {
         if (err)
             *err = e;
@@ -197,6 +203,13 @@ Env::callTimed(dtu::EpId sep, dtu::EpId rep, Bytes req, Bytes *resp,
         int slot = dtu_->fetch(act_, rep);
         if (slot >= 0) {
             const dtu::Message &m = dtu_->slotMsg(rep, slot);
+            if (m.nonce != nonce) {
+                // Stale reply to a previous timed-out call on this
+                // EP: ack-and-discard it and keep polling for ours.
+                staleDrops_++;
+                co_await ackMsg(rep, slot);
+                continue;
+            }
             co_await thread_->compute(
                 static_cast<sim::Cycles>(m.payload.size() / 8 + 2));
             if (resp)

@@ -65,9 +65,11 @@ class Env
     //
 
     /** Send @p msg through send EP @p sep; replies arrive at
-     *  @p reply_ep (kInvalidEp for one-way messages). */
+     *  @p reply_ep (kInvalidEp for one-way messages). @p nonce is
+     *  echoed back in the reply (see dtu::Message::nonce); 0 means
+     *  "unused". */
     sim::Task send(dtu::EpId sep, Bytes msg, dtu::EpId reply_ep,
-                   dtu::Error *err);
+                   dtu::Error *err, std::uint64_t nonce = 0);
 
     /** Reply to the message in @p slot of @p rep. */
     sim::Task reply(dtu::EpId rep, int slot, Bytes msg,
@@ -103,9 +105,14 @@ class Env
      * caller blocked in recvOn() forever. 0 falls back to call().
      *
      * The reply EP must be used by one caller at a time (as with
-     * call()). Before sending, any unread message on it is drained:
-     * it can only be the late reply of an earlier, timed-out call on
-     * this EP, and acknowledging it keeps the ring from wedging.
+     * call()). Each timed call carries a fresh correlation nonce that
+     * the server's REPLY echoes back (dtu::Message::nonce): before
+     * sending, any unread message on the EP is drained, and while
+     * polling, a fetched reply whose nonce does not match the current
+     * call is acknowledged and discarded as a stale drop. Without the
+     * nonce check, the late reply of an earlier, timed-out call that
+     * arrives *after* the pre-send drain would be misattributed to
+     * the current call.
      */
     sim::Task callTimed(dtu::EpId sep, dtu::EpId rep, Bytes req,
                         Bytes *resp, dtu::Error *err,
@@ -162,6 +169,8 @@ class Env
     dtu::EpId syscSep_ = dtu::kInvalidEp;
     dtu::EpId syscRep_ = dtu::kInvalidEp;
     std::uint64_t staleDrops_ = 0;
+    /** Correlation nonce of the last timed call (0 = none yet). */
+    std::uint64_t callNonce_ = 0;
 };
 
 /** Environment of an activity on a multiplexed tile. */

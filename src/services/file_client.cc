@@ -93,8 +93,11 @@ FileSession::rpc(FsReq req, FsResp *resp)
         bool retryable =
             err == Error::Overloaded ||
             (err == Error::Timeout && isIdempotent(req.op));
+        // Breaker-denied attempts (sent == false) never reached the
+        // wire: they retry within the attempt cap without spending a
+        // retry token, which is reserved for actual retry traffic.
         if (!retryable || attempt + 1 >= kRpcAttempts ||
-            (guard_ && !guard_->budget().tryAcquire())) {
+            (sent && guard_ && !guard_->budget().tryAcquire())) {
             *resp = FsResp{};
             resp->err = err;
             co_return;

@@ -11,6 +11,13 @@ using os::Bytes;
 
 namespace {
 
+/**
+ * Cap on Overloaded-shed retries of a single UDP rpc (mirrors the
+ * file client's kRpcAttempts) so one rpc terminates after a bounded
+ * number of shed/backoff cycles even under sustained overload.
+ */
+constexpr unsigned kUdpRpcAttempts = 4;
+
 /** Concatenate a POD header and payload bytes. */
 template <typename T>
 Bytes
@@ -18,7 +25,9 @@ withPayload(const T &hdr, const Bytes &payload)
 {
     Bytes b(sizeof(T) + payload.size());
     std::memcpy(b.data(), &hdr, sizeof(T));
-    std::memcpy(b.data() + sizeof(T), payload.data(), payload.size());
+    if (!payload.empty())
+        std::memcpy(b.data() + sizeof(T), payload.data(),
+                    payload.size());
     return b;
 }
 
@@ -212,8 +221,11 @@ UdpSocket::rpc(NetReqHdr hdr, Bytes payload, NetRespHdr *resp)
 {
     // UDP semantics: a timed-out request is a lost datagram and is
     // never re-sent; only a server shed (Error::Overloaded — the
-    // request provably had no effect) is retried, within the budget.
-    for (;;) {
+    // request provably had no effect) is retried, within the budget
+    // and a bounded number of attempts (so a single rpc terminates
+    // under sustained overload even while successes on the shared
+    // guard keep refilling the token bucket).
+    for (unsigned attempt = 0;; attempt++) {
         bool sent = false;
         Error err = Error::Overloaded;
         if (guard_ == nullptr ||
@@ -249,8 +261,12 @@ UdpSocket::rpc(NetReqHdr hdr, Bytes payload, NetRespHdr *resp)
         }
         if (sent && guard_)
             guard_->breaker().recordFailure(env_.dtu().now());
+        // Breaker-denied attempts (sent == false) never reached the
+        // wire: they retry within the attempt cap without spending a
+        // retry token, which is reserved for actual retry traffic.
         if (err != Error::Overloaded || guard_ == nullptr ||
-            !guard_->budget().tryAcquire()) {
+            attempt + 1 >= kUdpRpcAttempts ||
+            (sent && !guard_->budget().tryAcquire())) {
             *resp = NetRespHdr{};
             resp->err = err;
             co_return;

@@ -286,9 +286,10 @@ struct BackoffParams
 
 /**
  * Exponential backoff with full jitter: attempt n waits a uniformly
- * random number of cycles in [base, min(cap, base * 2^n)), drawn from
- * a seeded Rng, so a burst of clients that failed together does not
- * retry together.
+ * random number of cycles in [base, min(cap, base * 2^(n+1))), drawn
+ * from a seeded Rng, so a burst of clients that failed together does
+ * not retry together — including on the very first (and most common)
+ * retry, which draws from [base, 2*base).
  */
 class JitterBackoff
 {
@@ -302,7 +303,8 @@ class JitterBackoff
     Cycles
     next()
     {
-        Cycles hi = params_.base << std::min<unsigned>(attempt_, 16);
+        Cycles hi =
+            params_.base << std::min<unsigned>(attempt_ + 1, 16);
         hi = std::min(hi, params_.cap);
         attempt_++;
         if (hi <= params_.base)

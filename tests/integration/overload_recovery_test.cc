@@ -14,6 +14,11 @@
  *    credits, and the DTU invariants (credit conservation, engine
  *    quiescence) must hold at the end of the run — nothing the dead
  *    activity had in flight may leak.
+ *
+ * 3. Reply correlation: the late reply of a timed-out callTimed()
+ *    that arrives *after* the next call's pre-send drain must not be
+ *    misattributed to that next call — the per-call nonce makes the
+ *    poll loop ack-and-discard it as a stale drop.
  */
 
 #include <gtest/gtest.h>
@@ -132,6 +137,68 @@ TEST(OverloadRecoveryTest, RetxExhaustionSurfacesTypedTimeout)
     EXPECT_GT(sys.vdtu(1).retransmits(), 0u);
     EXPECT_GT(sys.vdtu(1).timeouts(), 0u);
     EXPECT_GT(plan.drops().value(), 0u);
+}
+
+TEST(OverloadRecoveryTest, LateReplyIsNotMisattributedToNextCall)
+{
+    sim::EventQueue eq;
+    os::SystemParams params;
+    params.userTiles = 3;
+    os::System sys(eq, params);
+
+    // Client deadline for the first call; the server holds the first
+    // reply until kReplyAt, well past the timeout, so it lands in the
+    // middle of the *second* call's poll loop — after that call's
+    // pre-send drain.
+    const sim::Tick kDeadline1 = 200 * sim::kTicksPerUs;
+    const sim::Tick kReplyAt = 2 * sim::kTicksPerMs;
+    const sim::Tick kDeadline2 = 20 * sim::kTicksPerMs;
+
+    auto *server = sys.createApp(2, "server");
+    auto ring = sys.makeRgate(server, 128, 4);
+    auto *client = sys.createApp(1, "client");
+    auto reply = sys.makeRgate(client, 128, 4);
+    // Two credits: the first call's credit only returns with its
+    // (delayed) reply, and the second call must still be sendable.
+    auto sgate = sys.makeSgate(client, server, ring.ep, 7, 2);
+
+    sys.start(server, [&](os::MuxEnv &env) -> sim::Task {
+        Error rerr = Error::Aborted;
+        int slot = -1;
+        // First request: sit on it until long after the client gave
+        // up and re-sent, then answer it.
+        co_await env.recvOn(ring.ep, &slot);
+        co_await sleepUntil(eq, env, kReplyAt);
+        co_await env.reply(ring.ep, slot, Bytes(1, 0xAA), &rerr);
+        // Second request: answer immediately.
+        co_await env.recvOn(ring.ep, &slot);
+        co_await env.reply(ring.ep, slot, Bytes(1, 0xBB), &rerr);
+    });
+
+    Error firstErr = Error::None;
+    Error secondErr = Error::Aborted;
+    Bytes secondResp;
+    std::uint64_t staleDrops = 0;
+    sys.start(client, [&, sgate](os::MuxEnv &env) -> sim::Task {
+        Bytes resp;
+        Error err = Error::Aborted;
+        co_await env.callTimed(sgate.ep, reply.ep, Bytes(1, 0x01),
+                               &resp, &err, kDeadline1);
+        firstErr = err;
+        co_await env.callTimed(sgate.ep, reply.ep, Bytes(1, 0x02),
+                               &secondResp, &secondErr, kDeadline2);
+        staleDrops = env.staleRepliesDropped();
+    });
+
+    eq.run();
+
+    EXPECT_EQ(firstErr, Error::Timeout);
+    // The second call must see the *second* reply, not the first
+    // call's late one — which must be counted as a stale drop.
+    EXPECT_EQ(secondErr, Error::None);
+    ASSERT_EQ(secondResp.size(), 1u);
+    EXPECT_EQ(secondResp[0], 0xBB);
+    EXPECT_EQ(staleDrops, 1u);
 }
 
 TEST(OverloadRecoveryTest, ReapWithInflightRetxReclaimsCredits)
