@@ -52,3 +52,8 @@ add_executable(micro_sim ${M3V_BENCH_DIR}/micro_sim.cc)
 target_link_libraries(micro_sim PRIVATE m3v_workloads benchmark::benchmark)
 target_include_directories(micro_sim PRIVATE ${M3V_BENCH_DIR})
 set_target_properties(micro_sim PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+add_executable(fanin ${M3V_BENCH_DIR}/fanin.cc)
+target_link_libraries(fanin PRIVATE m3v_dtu)
+target_include_directories(fanin PRIVATE ${M3V_BENCH_DIR})
+set_target_properties(fanin PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

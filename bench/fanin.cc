@@ -1,0 +1,234 @@
+/**
+ * @file
+ * bench/fanin: host-side microbenchmark of the zero-copy message
+ * path. K producer DTUs blast messages at one consumer receive
+ * endpoint (K in {1, 4, 16, 64}); each configuration runs twice, once
+ * on the refcounted slab path (the default) and once with
+ * Dtu::setCopyBaseline(true), which deep-copies the payload at every
+ * ownership hand-off the way a copying implementation would.
+ *
+ * Simulated time is identical between the two modes — wire sizes and
+ * DMA costs depend only on payload length — so the comparison
+ * isolates host work: msgs/sec and ns/msg measured on the wall clock.
+ * The numbers are host-dependent and deliberately NOT part of the
+ * golden summaries; BENCH_msgpath.json is a perf report, not a
+ * regression anchor.
+ *
+ * Producers send from a long-lived extent via cmdSendRef — each
+ * message is a refcount bump on the zero-copy path and two full
+ * payload memcpys (wire creation + receive-slot store) on the
+ * baseline. Pool statistics printed per run confirm the copy counts
+ * (zero on the slab path in steady state).
+ *
+ * Usage: fanin [--msgs=N] [--payload=BYTES] [--out=FILE]
+ *   --msgs      total messages per configuration (default 20000)
+ *   --payload   payload bytes per message (default 32768)
+ *   --out       JSON report path (default BENCH_msgpath.json,
+ *               empty string disables)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dtu/dtu.h"
+#include "sim/slab_pool.h"
+
+namespace {
+
+using namespace m3v;
+
+constexpr dtu::EpId kSendEp = 4;
+constexpr dtu::EpId kRecvEp = 4;
+constexpr std::uint32_t kCreditsPerProducer = 4;
+
+struct RunResult
+{
+    double msgsPerSec = 0;
+    double nsPerMsg = 0;
+    std::uint64_t byteCopies = 0;
+    std::uint64_t copiedBytes = 0;
+    std::uint64_t received = 0;
+};
+
+/** One fan-in cell: K producers -> 1 consumer, `msgs` total sends. */
+RunResult
+runFanIn(unsigned k, std::uint64_t msgs, std::size_t payload_bytes,
+         bool copy_baseline)
+{
+    sim::EventQueue eq;
+    noc::NocParams np;
+    noc::Noc noc(eq, np);
+
+    dtu::Dtu consumer(eq, "consumer", noc, 0, 100'000'000);
+    std::vector<std::unique_ptr<dtu::Dtu>> producers;
+    for (unsigned i = 0; i < k; i++)
+        producers.push_back(std::make_unique<dtu::Dtu>(
+            eq, "prod" + std::to_string(i), noc,
+            static_cast<noc::TileId>(i + 1), 100'000'000));
+    noc.finalize();
+
+    consumer.setCopyBaseline(copy_baseline);
+    for (auto &p : producers)
+        p->setCopyBaseline(copy_baseline);
+
+    // One shared receive endpoint with enough slots for every
+    // producer's full credit window.
+    consumer.configEp(kRecvEp,
+                      dtu::Endpoint::makeRecv(
+                          0, payload_bytes,
+                          static_cast<std::size_t>(k) *
+                              kCreditsPerProducer));
+    for (unsigned i = 0; i < k; i++)
+        producers[i]->configEp(
+            kSendEp,
+            dtu::Endpoint::makeSend(0, 0, kRecvEp, i,
+                                    kCreditsPerProducer,
+                                    payload_bytes));
+
+    // The consumer drains on the doorbell: fetch everything unread,
+    // touch one payload byte (the "consume"), ack the slot.
+    std::uint64_t received = 0;
+    std::uint64_t consumed_bytes = 0;
+    consumer.setMsgNotify([&](dtu::EpId ep, dtu::ActId) {
+        for (;;) {
+            int slot = consumer.fetch(0, ep);
+            if (slot < 0)
+                break;
+            const dtu::Message &m = consumer.slotMsg(ep, slot);
+            const std::vector<std::uint8_t> &bytes = m.payload;
+            if (!bytes.empty())
+                consumed_bytes += bytes[0];
+            received++;
+            consumer.ack(0, ep, slot);
+        }
+    });
+
+    // Each producer owns one long-lived extent and sends refcounted
+    // views of it; NoCredits (acks still in flight) backs off briefly.
+    struct Producer
+    {
+        dtu::Dtu *d = nullptr;
+        sim::PayloadRef extent;
+        std::uint64_t remaining = 0;
+    };
+    std::vector<Producer> state(k);
+    std::uint64_t base = msgs / k, extra = msgs % k;
+    for (unsigned i = 0; i < k; i++) {
+        state[i].d = producers[i].get();
+        state[i].extent = noc.payloadPool().make(payload_bytes);
+        auto &bytes = state[i].extent.mutableBytes();
+        std::memset(bytes.data(), static_cast<int>(i + 1),
+                    bytes.size());
+        state[i].remaining = base + (i < extra ? 1 : 0);
+    }
+
+    std::function<void(Producer &)> pump = [&](Producer &p) {
+        if (p.remaining == 0)
+            return;
+        p.d->cmdSendRef(0, kSendEp, 0x1000, p.extent, dtu::kInvalidEp,
+                        [&](dtu::Error e) {
+                            if (e == dtu::Error::None) {
+                                p.remaining--;
+                                pump(p);
+                            } else if (e == dtu::Error::NoCredits) {
+                                eq.schedule(2000,
+                                            [&]() { pump(p); });
+                            } else {
+                                sim::fatal("fanin: send failed: %s",
+                                           dtu::errorName(e));
+                            }
+                        });
+    };
+    for (auto &p : state)
+        pump(p);
+
+    sim::SlabPool::Stats before = noc.payloadPool().stats();
+    auto t0 = std::chrono::steady_clock::now();
+    eq.run();
+    auto t1 = std::chrono::steady_clock::now();
+    sim::SlabPool::Stats after = noc.payloadPool().stats();
+
+    if (received != msgs)
+        sim::fatal("fanin: received %llu of %llu messages",
+                   static_cast<unsigned long long>(received),
+                   static_cast<unsigned long long>(msgs));
+    (void)consumed_bytes;
+
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    RunResult r;
+    r.msgsPerSec = secs > 0 ? static_cast<double>(msgs) / secs : 0;
+    r.nsPerMsg = msgs > 0 ? secs * 1e9 / static_cast<double>(msgs)
+                          : 0;
+    r.byteCopies = after.byteCopies - before.byteCopies;
+    r.copiedBytes = after.copiedBytes - before.copiedBytes;
+    r.received = received;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t msgs = 20'000;
+    std::size_t payload = 32'768;
+    std::string out = "BENCH_msgpath.json";
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg.rfind("--msgs=", 0) == 0)
+            msgs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        else if (arg.rfind("--payload=", 0) == 0)
+            payload = std::strtoull(arg.c_str() + 10, nullptr, 10);
+        else if (arg.rfind("--out=", 0) == 0)
+            out = arg.substr(6);
+    }
+
+    bench::banner("bench/fanin",
+                  "MPSC fan-in: zero-copy slab path vs copying "
+                  "baseline");
+    std::printf("  %llu msgs/config, %zu-byte payloads\n\n",
+                static_cast<unsigned long long>(msgs), payload);
+
+    bench::Summary summary;
+    summary.addU64("msgs_per_config", msgs);
+    summary.addU64("payload_bytes", payload);
+
+    const unsigned kKs[] = {1, 4, 16, 64};
+    std::printf("  %-5s %15s %15s %10s %15s\n", "K",
+                "zerocopy msg/s", "baseline msg/s", "speedup",
+                "copies/msg");
+    for (unsigned k : kKs) {
+        RunResult zc = runFanIn(k, msgs, payload, false);
+        RunResult cb = runFanIn(k, msgs, payload, true);
+        double speedup =
+            cb.msgsPerSec > 0 ? zc.msgsPerSec / cb.msgsPerSec : 0;
+        std::printf("  %-5u %15.0f %15.0f %9.2fx %15.2f\n", k,
+                    zc.msgsPerSec, cb.msgsPerSec, speedup,
+                    static_cast<double>(cb.byteCopies) /
+                        static_cast<double>(msgs));
+
+        std::string p = "k" + std::to_string(k);
+        summary.add(p + ".zero_copy.msgs_per_sec", zc.msgsPerSec, 0);
+        summary.add(p + ".zero_copy.ns_per_msg", zc.nsPerMsg, 1);
+        summary.addU64(p + ".zero_copy.byte_copies", zc.byteCopies);
+        summary.add(p + ".copy_baseline.msgs_per_sec", cb.msgsPerSec,
+                    0);
+        summary.add(p + ".copy_baseline.ns_per_msg", cb.nsPerMsg, 1);
+        summary.addU64(p + ".copy_baseline.byte_copies",
+                       cb.byteCopies);
+        summary.addU64(p + ".copy_baseline.copied_bytes",
+                       cb.copiedBytes);
+        summary.add(p + ".speedup", speedup, 3);
+    }
+
+    summary.write(out);
+    if (!out.empty())
+        std::printf("\n  report: %s\n", out.c_str());
+    return 0;
+}

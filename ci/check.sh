@@ -53,6 +53,14 @@ echo "== fleet smoke under ASan =="
 # lifetimes ASan is for.
 build-asan/bench/fleet --tenants=100 --rate=6000 --chaos >/dev/null
 
+echo "== fan-in microbench under ASan (bounded) =="
+# The zero-copy slab path hands one refcounted extent through wire,
+# mailbox and recv slot: exactly the shared-ownership lifetimes ASan
+# checks. Bounded iterations — this is a correctness pass, the
+# timing numbers are discarded.
+cmake --build build-asan -j --target fanin
+build-asan/bench/fanin --msgs=2000 --out="" >/dev/null
+
 echo "== sanitized re-run: observability + lifecycle regressions =="
 # The metrics/trace layer and the activity-teardown paths are the
 # most UB-prone (handle lifetimes, histogram arithmetic); run them
@@ -67,9 +75,15 @@ echo "== TSan build: parallel event execution =="
 # the plain and ASan passes above cover them.
 cmake -B build-tsan -S . -DM3VSIM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target sim_lane_test noc_lane_test \
-    fuzz_driver
+    fuzz_driver fanin
 build-tsan/tests/sim/sim_lane_test --gtest_filter='-*Panic*'
 build-tsan/tests/noc/noc_lane_test
+
+echo "== fan-in microbench under TSan (bounded) =="
+# The slab pool's refcount mutex and the COW hand-off are the
+# cross-thread contract of the zero-copy path (lane workers share
+# the pool); run the fan-in traffic with the race detector watching.
+build-tsan/bench/fanin --msgs=2000 --out="" >/dev/null
 
 echo "== fuzz smoke under TSan (differential only, bounded) =="
 # Laned differential runs are the threaded path: per-lane invariant

@@ -21,6 +21,7 @@ VDtu::VDtu(sim::EventQueue &eq, std::string name, noc::Noc &noc,
     tlbMisses_ = statCounter("tlb.misses");
     tlbHits_ = statCounter("tlb.hits");
     coreReqCount_ = statCounter("core_reqs");
+    coreReqsCoalesced_ = statCounter("core_reqs_coalesced");
     foreignDenials_ = statCounter("foreign_denials");
 }
 
@@ -85,14 +86,16 @@ VDtu::resetAct(ActId act)
             reclaimCredits(i);
     }
     unread_.erase(act);
-    // Purge queued core requests of the dead activity. Freed slots
-    // lift the section 3.8 backpressure, so wake any NoC waiters.
+    // Purge queued core requests of the dead activity (pop every
+    // entry, push the survivors back in order). Freed slots lift the
+    // section 3.8 backpressure, so wake any NoC waiters.
     std::size_t before = coreReqs_.size();
-    coreReqs_.erase(std::remove_if(coreReqs_.begin(), coreReqs_.end(),
-                                   [act](const CoreReq &r) {
-                                       return r.act == act;
-                                   }),
-                    coreReqs_.end());
+    for (std::size_t i = 0; i < before; i++) {
+        CoreReq r = std::move(coreReqs_.front());
+        coreReqs_.pop_front();
+        if (r.act != act)
+            coreReqs_.push_back(std::move(r));
+    }
     if (coreReqs_.size() != before)
         notifySpaceWaiters();
     if (cur_.act == act)
@@ -143,6 +146,15 @@ VDtu::unreadOf(ActId act) const
     return it == unread_.end() ? 0 : it->second;
 }
 
+CoreReq *
+VDtu::findCoreReq(ActId act)
+{
+    for (std::size_t i = 0; i < coreReqs_.size(); i++)
+        if (coreReqs_[i].act == act)
+            return &coreReqs_[i];
+    return nullptr;
+}
+
 bool
 VDtu::acceptPacket(noc::Packet &pkt, sim::UniqueFunction<void()> on_space)
 {
@@ -150,15 +162,18 @@ VDtu::acceptPacket(noc::Packet &pkt, sim::UniqueFunction<void()> on_space)
     // backpressure for something that will not be stored.
     if (pkt.corrupted)
         return Dtu::acceptPacket(pkt, std::move(on_space));
-    // Backpressure: a message that will require a core request cannot
-    // be accepted while the core-request queue is full. The NoC's
-    // packet-level flow control holds it at the last hop (section 3.8).
+    // Backpressure: a message that will require a *new* core request
+    // cannot be accepted while the core-request queue is full. The
+    // NoC's packet-level flow control holds it at the last hop
+    // (section 3.8). A message for an activity that already has a
+    // queued request coalesces into it and needs no queue slot.
     auto *wd = dynamic_cast<dtu::WireData *>(pkt.data.get());
     if (wd && wd->kind == dtu::WireKind::MsgXfer &&
         coreReqs_.size() >= params_.coreReqQueue &&
         wd->dstEp < dtu::kNumEps) {
         const dtu::Endpoint &rep = ep(wd->dstEp);
-        if (rep.kind == dtu::EpKind::Receive && rep.act != cur_.act) {
+        if (rep.kind == dtu::EpKind::Receive && rep.act != cur_.act &&
+            findCoreReq(rep.act) == nullptr) {
             spaceWaiters_.push_back(std::move(on_space));
             return false;
         }
@@ -245,9 +260,17 @@ VDtu::onMessageStored(EpId, ActId owner)
         return;
     }
     // Message for a non-running activity: enqueue a core request and
-    // inject an interrupt if the queue was empty (section 3.8).
+    // inject an interrupt if the queue was empty (section 3.8). A
+    // request for this activity already in the queue absorbs the
+    // store — one wakeup drains any number of messages, so a burst
+    // raises one IRQ instead of one per message.
+    if (CoreReq *queued = findCoreReq(owner)) {
+        queued->count++;
+        coreReqsCoalesced_->inc();
+        return;
+    }
     bool was_empty = coreReqs_.empty();
-    coreReqs_.push_back(CoreReq{owner});
+    coreReqs_.push_back(CoreReq{owner, 1});
     coreReqCount_->inc();
     if (was_empty && coreReqIrq_)
         coreReqIrq_();

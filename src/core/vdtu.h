@@ -31,12 +31,12 @@
 #ifndef M3VSIM_CORE_VDTU_H_
 #define M3VSIM_CORE_VDTU_H_
 
-#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "dtu/dtu.h"
+#include "sim/ring_deque.h"
 
 namespace m3v::core {
 
@@ -47,10 +47,18 @@ struct CurAct
     std::uint16_t msgCount = 0;
 };
 
-/** A core request: a message arrived for a non-running activity. */
+/**
+ * A core request: one or more messages arrived for a non-running
+ * activity. Stores for an activity that already has a queued request
+ * are coalesced into it (count goes up, no new queue slot, no new
+ * IRQ) — TileMux wakes the activity once and it drains all unread
+ * messages when it runs, so one request per activity is sufficient.
+ */
 struct CoreReq
 {
     dtu::ActId act = dtu::kInvalidAct;
+    /** Messages aggregated into this request. */
+    std::uint32_t count = 1;
 };
 
 /** A software-loaded TLB entry. */
@@ -144,6 +152,11 @@ class VDtu : public dtu::Dtu
     std::uint64_t tlbMisses() const { return tlbMisses_->value(); }
     std::uint64_t tlbHits() const { return tlbHits_->value(); }
     std::uint64_t coreReqs() const { return coreReqCount_->value(); }
+    /** Message stores absorbed into an already-queued request. */
+    std::uint64_t coreReqsCoalesced() const
+    {
+        return coreReqsCoalesced_->value();
+    }
     std::uint64_t foreignEpDenials() const
     {
         return foreignDenials_->value();
@@ -176,12 +189,14 @@ class VDtu : public dtu::Dtu
     TlbEntry *tlbLookup(dtu::ActId act, dtu::VirtAddr page);
     dtu::Error pmpCheck(dtu::PhysAddr phys, bool write) const;
     void notifySpaceWaiters();
+    /** Queued request for @p act, or nullptr. */
+    CoreReq *findCoreReq(dtu::ActId act);
 
     VDtuParams params_;
     CurAct cur_;
     std::vector<TlbEntry> tlb_;
     std::uint64_t tlbClock_ = 0;
-    std::deque<CoreReq> coreReqs_;
+    sim::RingDeque<CoreReq> coreReqs_;
     std::function<void()> coreReqIrq_;
     std::unordered_map<dtu::ActId, std::size_t> unread_;
     std::vector<sim::UniqueFunction<void()>> spaceWaiters_;
@@ -189,6 +204,7 @@ class VDtu : public dtu::Dtu
     sim::Counter *tlbMisses_;
     sim::Counter *tlbHits_;
     sim::Counter *coreReqCount_;
+    sim::Counter *coreReqsCoalesced_;
     sim::Counter *foreignDenials_;
 };
 

@@ -45,6 +45,8 @@ Dtu::Dtu(sim::EventQueue &eq, std::string name, noc::Noc &noc,
     corruptDropped_ = statCounter("corrupt_dropped");
     straysDropped_ = statCounter("strays_dropped");
     creditsReclaimed_ = statCounter("credits_reclaimed");
+    doorbellsCoalesced_ = statCounter("doorbells_coalesced");
+    doorbellFlushes_ = statCounter("doorbell_flushes");
     trc_ = &eq.tracer();
 }
 
@@ -97,13 +99,112 @@ Dtu::extRequest(noc::TileId dst, ExtOp op, EpId ep_start,
     wd->epStart = ep_start;
     wd->epCount = count;
     wd->eps = std::move(eps);
+    addInflight(wd->reqId, Inflight::Kind::Ext, kInvalidEp,
+                std::move(cb));
+    respond(dst, std::move(wd));
+}
+
+//
+// In-flight request table.
+//
+
+void
+Dtu::addInflight(std::uint64_t req_id, Inflight::Kind kind,
+                 EpId credit_ep, ExtCallback ext_cb)
+{
     Inflight inf;
-    inf.extCb = std::move(cb);
-    inflight_.emplace(wd->reqId, std::move(inf));
-    if (dst == tile_) {
-        deliverLocal(std::move(wd));
-    } else {
-        sendPacket(dst, std::move(wd));
+    inf.reqId = req_id;
+    inf.kind = kind;
+    inf.creditEp = credit_ep;
+    inf.extCb = std::move(ext_cb);
+    inflight_.push_back(std::move(inf));
+}
+
+bool
+Dtu::takeInflight(std::uint64_t req_id, Inflight &out)
+{
+    for (std::size_t i = 0; i < inflight_.size(); i++) {
+        if (inflight_[i].reqId != req_id)
+            continue;
+        out = std::move(inflight_[i]);
+        if (i + 1 != inflight_.size())
+            inflight_[i] = std::move(inflight_.back());
+        inflight_.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+Dtu::completeInflight(Inflight inf, Error e, WireData *resp)
+{
+    auto expect = [this](CmdState::Kind k) {
+        if (curCmd_.kind != k)
+            sim::panic("%s: inflight response for wrong command",
+                       name().c_str());
+    };
+    switch (inf.kind) {
+      case Inflight::Kind::CmdSend:
+        expect(CmdState::Kind::Send);
+        if (e != Error::None) {
+            // Restore the credit on failed delivery.
+            if (inf.creditEp < eps_.size()) {
+                Endpoint &s = eps_[inf.creditEp];
+                if (s.kind == EpKind::Send &&
+                    s.send.credits < s.send.maxCredits) {
+                    s.send.credits++;
+                    if (e == Error::Timeout) {
+                        // A timed-out message may still have been
+                        // delivered (only the ack was lost) — record
+                        // the restore as conservation slack.
+                        timeoutRestores_[inf.creditEp]++;
+                    }
+                }
+            }
+            nacks_->inc();
+        } else {
+            msgsSent_->inc();
+        }
+        completeCmd(e);
+        break;
+
+      case Inflight::Kind::CmdReply:
+        expect(CmdState::Kind::Reply);
+        if (e == Error::None)
+            msgsSent_->inc();
+        else
+            nacks_->inc();
+        completeCmd(e);
+        break;
+
+      case Inflight::Kind::CmdWrite:
+        expect(CmdState::Kind::Write);
+        completeCmd(e);
+        break;
+
+      case Inflight::Kind::CmdRead: {
+        expect(CmdState::Kind::Read);
+        // Stage the response, then DMA the data into the core's
+        // cache (the vector copy below models exactly that DMA; the
+        // zero-copy discipline ends at the software boundary).
+        curCmd_.err = e;
+        curCmd_.readData.clear();
+        if (resp != nullptr && !resp->data.empty()) {
+            const auto &bytes = resp->data.bytes();
+            curCmd_.readData.assign(bytes.begin(), bytes.end());
+        }
+        sim::Cycles dma =
+            timing_.localMemFixed +
+            curCmd_.readData.size() / timing_.localMemBytesPerCycle;
+        eq_.schedule(clk_.cyclesToTicks(dma),
+                     [this]() { completeCmd(curCmd_.err); });
+        break;
+      }
+
+      case Inflight::Kind::Ext:
+        inf.extCb(e, resp != nullptr ? std::move(resp->eps)
+                                     : std::vector<Endpoint>{});
+        break;
     }
 }
 
@@ -112,14 +213,28 @@ Dtu::extRequest(noc::TileId dst, ExtOp op, EpId ep_start,
 //
 
 void
-Dtu::enqueueCmd(sim::UniqueFunction<void()> run)
+Dtu::enqueueCmd(CmdState st)
 {
     if (cmdBusy_) {
-        cmdQueue_.push_back(PendingCmd{std::move(run)});
+        cmdQueue_.push_back(std::move(st));
         return;
     }
     cmdBusy_ = true;
-    run();
+    curCmd_ = std::move(st);
+    dispatchCmd();
+}
+
+void
+Dtu::dispatchCmd()
+{
+    switch (curCmd_.kind) {
+      case CmdState::Kind::Send: doSend(); break;
+      case CmdState::Kind::Reply: doReply(); break;
+      case CmdState::Kind::Read: doRead(); break;
+      case CmdState::Kind::Write: doWrite(); break;
+      case CmdState::Kind::None:
+        sim::panic("%s: dispatch of empty command", name().c_str());
+    }
 }
 
 void
@@ -132,9 +247,27 @@ Dtu::cmdFinished()
         cmdBusy_ = false;
         return;
     }
-    auto next = std::move(cmdQueue_.front());
+    curCmd_ = std::move(cmdQueue_.front());
     cmdQueue_.pop_front();
-    next.run();
+    dispatchCmd();
+}
+
+void
+Dtu::completeCmd(Error e)
+{
+    // Move the callback out and reset the command state before
+    // invoking it: the callback may enqueue the next command.
+    if (curCmd_.kind == CmdState::Kind::Read) {
+        ReadCallback rcb = std::move(curCmd_.rcb);
+        std::vector<std::uint8_t> data = std::move(curCmd_.readData);
+        curCmd_ = CmdState{};
+        rcb(e, std::move(data));
+    } else {
+        CmdCallback cb = std::move(curCmd_.cb);
+        curCmd_ = CmdState{};
+        cb(e);
+    }
+    cmdFinished();
 }
 
 void
@@ -142,275 +275,254 @@ Dtu::cmdSend(ActId act, EpId ep_id, VirtAddr buf,
              std::vector<std::uint8_t> payload, EpId reply_ep,
              CmdCallback cb, std::uint64_t nonce)
 {
-    enqueueCmd([this, act, ep_id, buf, payload = std::move(payload),
-                reply_ep, cb = std::move(cb), nonce]() mutable {
-        doSend(act, ep_id, buf, std::move(payload), reply_ep,
+    cmdSendRef(act, ep_id, buf,
+               noc_.payloadPool().adopt(std::move(payload)), reply_ep,
                std::move(cb), nonce);
-    });
 }
 
 void
-Dtu::doSend(ActId act, EpId ep_id, VirtAddr buf,
-            std::vector<std::uint8_t> payload, EpId reply_ep,
-            CmdCallback cb, std::uint64_t nonce)
+Dtu::cmdSendRef(ActId act, EpId ep_id, VirtAddr buf,
+                sim::PayloadRef payload, EpId reply_ep,
+                CmdCallback cb, std::uint64_t nonce)
+{
+    CmdState st;
+    st.kind = CmdState::Kind::Send;
+    st.act = act;
+    st.ep = ep_id;
+    st.buf = buf;
+    st.payload = std::move(payload);
+    st.replyEp = reply_ep;
+    st.nonce = nonce;
+    st.cb = std::move(cb);
+    enqueueCmd(std::move(st));
+}
+
+void
+Dtu::doSend()
 {
     trc_->begin(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu, "SEND");
     sim::Tick t0 =
         clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
-    eq_.schedule(t0, [this, act, ep_id, buf,
-                      payload = std::move(payload), reply_ep,
-                      cb = std::move(cb), nonce]() mutable {
-        auto fail = [&](Error e) {
-            cb(e);
-            cmdFinished();
-        };
-        if (ep_id >= eps_.size())
-            return fail(Error::InvalidEp);
-        Endpoint &sep = eps_[ep_id];
-        if (sep.kind != EpKind::Send)
-            return fail(Error::InvalidEp);
-        if (Error e = checkEpAccess(act, sep); e != Error::None)
-            return fail(e);
-        if (payload.size() > sep.send.maxMsgSize)
-            return fail(Error::MsgTooBig);
-        if (sep.send.credits == 0)
-            return fail(Error::NoCredits);
-        PhysAddr phys = 0;
-        if (Error e = translate(act, buf, false, phys);
-            e != Error::None)
-            return fail(e);
+    eq_.schedule(t0, [this]() { sendChecks(); });
+}
 
-        // DMA the message out of the core's cache.
-        sim::Cycles dma =
-            timing_.localMemFixed +
-            payload.size() / timing_.localMemBytesPerCycle;
-        eq_.schedule(clk_.cyclesToTicks(dma), [this, act, ep_id,
-                                               payload =
-                                                   std::move(payload),
-                                               reply_ep,
-                                               cb = std::move(cb),
-                                               nonce]() mutable {
-            Endpoint &sep2 = eps_[ep_id];
-            sep2.send.credits--;
+void
+Dtu::sendChecks()
+{
+    CmdState &c = curCmd_;
+    if (c.ep >= eps_.size())
+        return completeCmd(Error::InvalidEp);
+    Endpoint &sep = eps_[c.ep];
+    if (sep.kind != EpKind::Send)
+        return completeCmd(Error::InvalidEp);
+    if (Error e = checkEpAccess(c.act, sep); e != Error::None)
+        return completeCmd(e);
+    if (c.payload.size() > sep.send.maxMsgSize)
+        return completeCmd(Error::MsgTooBig);
+    if (sep.send.credits == 0)
+        return completeCmd(Error::NoCredits);
+    PhysAddr phys = 0;
+    if (Error e = translate(c.act, c.buf, false, phys);
+        e != Error::None)
+        return completeCmd(e);
 
-            auto wd = std::make_unique<WireData>();
-            wd->kind = WireKind::MsgXfer;
-            wd->reqId = nextReqId_++;
-            wd->dstEp = sep2.send.destEp;
-            wd->dstAct = sep2.send.destAct;
-            wd->isReply = sep2.send.isReply;
-            wd->msg.nonce = nonce;
-            wd->msg.label = sep2.send.label;
-            wd->msg.srcTile = tile_;
-            wd->msg.srcAct = act;
-            wd->msg.replyEp = reply_ep;
-            wd->msg.creditEp = ep_id;
-            wd->msg.canReply = reply_ep != kInvalidEp;
-            wd->msg.payload = std::move(payload);
+    // DMA the message out of the core's cache.
+    sim::Cycles dma =
+        timing_.localMemFixed +
+        c.payload.size() / timing_.localMemBytesPerCycle;
+    eq_.schedule(clk_.cyclesToTicks(dma),
+                 [this]() { sendLaunch(); });
+}
 
-            noc::TileId dst = sep2.send.destTile;
-            Inflight inf;
-            inf.cmdCb = [this, ep_id, cb = std::move(cb)](Error e) mutable {
-                if (e != Error::None) {
-                    // Restore the credit on failed delivery.
-                    Endpoint &s = eps_[ep_id];
-                    if (s.kind == EpKind::Send &&
-                        s.send.credits < s.send.maxCredits) {
-                        s.send.credits++;
-                        if (e == Error::Timeout) {
-                            // A timed-out message may still have been
-                            // delivered (only the ack was lost) —
-                            // record the restore as conservation
-                            // slack.
-                            timeoutRestores_[ep_id]++;
-                        }
-                    }
-                    nacks_->inc();
-                } else {
-                    msgsSent_->inc();
-                }
-                cb(e);
-                cmdFinished();
-            };
-            inflight_.emplace(wd->reqId, std::move(inf));
-            if (dst == tile_) {
-                deliverLocal(std::move(wd));
-            } else {
-                sendPacket(dst, std::move(wd));
-            }
-        });
-    });
+void
+Dtu::sendLaunch()
+{
+    CmdState &c = curCmd_;
+    Endpoint &sep = eps_[c.ep];
+    sep.send.credits--;
+
+    auto wd = std::make_unique<WireData>();
+    wd->kind = WireKind::MsgXfer;
+    wd->reqId = nextReqId_++;
+    wd->dstEp = sep.send.destEp;
+    wd->dstAct = sep.send.destAct;
+    wd->isReply = sep.send.isReply;
+    wd->msg.nonce = c.nonce;
+    wd->msg.label = sep.send.label;
+    wd->msg.srcTile = tile_;
+    wd->msg.srcAct = c.act;
+    wd->msg.replyEp = c.replyEp;
+    wd->msg.creditEp = c.ep;
+    wd->msg.canReply = c.replyEp != kInvalidEp;
+    // Zero-copy hand-off: the command's extent becomes the wire's.
+    if (copyBaseline_)
+        wd->msg.payload = noc_.payloadPool().copy(c.payload.data(),
+                                                  c.payload.size());
+    else
+        wd->msg.payload = std::move(c.payload);
+
+    noc::TileId dst = sep.send.destTile;
+    addInflight(wd->reqId, Inflight::Kind::CmdSend, c.ep);
+    respond(dst, std::move(wd));
 }
 
 void
 Dtu::cmdReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
               std::vector<std::uint8_t> payload, CmdCallback cb)
 {
-    enqueueCmd([this, act, rep_id, slot, buf,
-                payload = std::move(payload), cb = std::move(cb)]()
-                   mutable {
-        doReply(act, rep_id, slot, buf, std::move(payload),
+    cmdReplyRef(act, rep_id, slot, buf,
+                noc_.payloadPool().adopt(std::move(payload)),
                 std::move(cb));
-    });
 }
 
 void
-Dtu::doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
-             std::vector<std::uint8_t> payload, CmdCallback cb)
+Dtu::cmdReplyRef(ActId act, EpId rep_id, int slot, VirtAddr buf,
+                 sim::PayloadRef payload, CmdCallback cb)
+{
+    CmdState st;
+    st.kind = CmdState::Kind::Reply;
+    st.act = act;
+    st.ep = rep_id;
+    st.slot = slot;
+    st.buf = buf;
+    st.payload = std::move(payload);
+    st.cb = std::move(cb);
+    enqueueCmd(std::move(st));
+}
+
+void
+Dtu::doReply()
 {
     trc_->begin(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu,
                 "REPLY");
     sim::Tick t0 =
         clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
-    eq_.schedule(t0, [this, act, rep_id, slot, buf,
-                      payload = std::move(payload),
-                      cb = std::move(cb)]() mutable {
-        auto fail = [&](Error e) {
-            cb(e);
-            cmdFinished();
-        };
-        if (rep_id >= eps_.size())
-            return fail(Error::InvalidEp);
-        Endpoint &rep = eps_[rep_id];
-        if (rep.kind != EpKind::Receive)
-            return fail(Error::InvalidEp);
-        if (Error e = checkEpAccess(act, rep); e != Error::None)
-            return fail(e);
-        if (slot < 0 ||
-            static_cast<std::size_t>(slot) >= rep.recv.slots.size())
-            return fail(Error::InvalidEp);
-        RecvSlot &rs = rep.recv.slots[static_cast<std::size_t>(slot)];
-        if (!rs.occupied || !rs.msg.canReply)
-            return fail(Error::NoReplyAllowed);
-        PhysAddr phys = 0;
-        if (Error e = translate(act, buf, false, phys);
-            e != Error::None)
-            return fail(e);
+    eq_.schedule(t0, [this]() { replyChecks(); });
+}
 
-        sim::Cycles dma =
-            timing_.localMemFixed +
-            payload.size() / timing_.localMemBytesPerCycle;
-        eq_.schedule(clk_.cyclesToTicks(dma), [this, act, rep_id, slot,
-                                               payload =
-                                                   std::move(payload),
-                                               cb = std::move(cb)]()
-                                                  mutable {
-            Endpoint &rep2 = eps_[rep_id];
-            RecvSlot &rs2 =
-                rep2.recv.slots[static_cast<std::size_t>(slot)];
-            noc::TileId dst = rs2.msg.srcTile;
-            EpId dst_ep = rs2.msg.replyEp;
-            EpId credit_ep = rs2.msg.creditEp;
+void
+Dtu::replyChecks()
+{
+    CmdState &c = curCmd_;
+    if (c.ep >= eps_.size())
+        return completeCmd(Error::InvalidEp);
+    Endpoint &rep = eps_[c.ep];
+    if (rep.kind != EpKind::Receive)
+        return completeCmd(Error::InvalidEp);
+    if (Error e = checkEpAccess(c.act, rep); e != Error::None)
+        return completeCmd(e);
+    if (c.slot < 0 ||
+        static_cast<std::size_t>(c.slot) >= rep.recv.slots.size())
+        return completeCmd(Error::InvalidEp);
+    RecvSlot &rs = rep.recv.slots[static_cast<std::size_t>(c.slot)];
+    if (!rs.occupied || !rs.msg.canReply)
+        return completeCmd(Error::NoReplyAllowed);
+    PhysAddr phys = 0;
+    if (Error e = translate(c.act, c.buf, false, phys);
+        e != Error::None)
+        return completeCmd(e);
 
-            auto wd = std::make_unique<WireData>();
-            wd->kind = WireKind::MsgXfer;
-            wd->reqId = nextReqId_++;
-            wd->dstEp = dst_ep;
-            wd->isReply = true;
-            wd->msg.nonce = rs2.msg.nonce;
-            wd->msg.label = rs2.msg.label;
-            wd->msg.srcTile = tile_;
-            wd->msg.srcAct = act;
-            wd->msg.replyEp = kInvalidEp;
-            wd->msg.creditEp = kInvalidEp;
-            wd->msg.canReply = false;
-            wd->msg.payload = std::move(payload);
+    sim::Cycles dma =
+        timing_.localMemFixed +
+        c.payload.size() / timing_.localMemBytesPerCycle;
+    eq_.schedule(clk_.cyclesToTicks(dma),
+                 [this]() { replyLaunch(); });
+}
 
-            // Replying acknowledges the original message: free the
-            // slot and return the credit to the sender.
-            rs2.occupied = false;
-            rs2.unread = false;
-            sendCreditReturn(dst, credit_ep);
+void
+Dtu::replyLaunch()
+{
+    CmdState &c = curCmd_;
+    Endpoint &rep = eps_[c.ep];
+    RecvSlot &rs = rep.recv.slots[static_cast<std::size_t>(c.slot)];
+    noc::TileId dst = rs.msg.srcTile;
+    EpId dst_ep = rs.msg.replyEp;
+    EpId credit_ep = rs.msg.creditEp;
 
-            Inflight inf;
-            inf.cmdCb = [this, cb = std::move(cb)](Error e) mutable {
-                if (e == Error::None)
-                    msgsSent_->inc();
-                else
-                    nacks_->inc();
-                cb(e);
-                cmdFinished();
-            };
-            inflight_.emplace(wd->reqId, std::move(inf));
-            if (dst == tile_) {
-                deliverLocal(std::move(wd));
-            } else {
-                sendPacket(dst, std::move(wd));
-            }
-        });
-    });
+    auto wd = std::make_unique<WireData>();
+    wd->kind = WireKind::MsgXfer;
+    wd->reqId = nextReqId_++;
+    wd->dstEp = dst_ep;
+    wd->isReply = true;
+    wd->msg.nonce = rs.msg.nonce;
+    wd->msg.label = rs.msg.label;
+    wd->msg.srcTile = tile_;
+    wd->msg.srcAct = c.act;
+    wd->msg.replyEp = kInvalidEp;
+    wd->msg.creditEp = kInvalidEp;
+    wd->msg.canReply = false;
+    if (copyBaseline_)
+        wd->msg.payload = noc_.payloadPool().copy(c.payload.data(),
+                                                  c.payload.size());
+    else
+        wd->msg.payload = std::move(c.payload);
+
+    // Replying acknowledges the original message: free the slot —
+    // dropping its payload reference so the extent recycles — and
+    // return the credit to the sender.
+    rs.occupied = false;
+    rs.unread = false;
+    rs.msg.payload.reset();
+    sendCreditReturn(dst, credit_ep);
+
+    addInflight(wd->reqId, Inflight::Kind::CmdReply);
+    respond(dst, std::move(wd));
 }
 
 void
 Dtu::cmdRead(ActId act, EpId mep_id, std::uint64_t offset,
              std::size_t size, VirtAddr buf, ReadCallback cb)
 {
-    enqueueCmd([this, act, mep_id, offset, size, buf,
-                cb = std::move(cb)]() mutable {
-        doRead(act, mep_id, offset, size, buf, std::move(cb));
-    });
+    CmdState st;
+    st.kind = CmdState::Kind::Read;
+    st.act = act;
+    st.ep = mep_id;
+    st.offset = offset;
+    st.size = size;
+    st.buf = buf;
+    st.rcb = std::move(cb);
+    enqueueCmd(std::move(st));
 }
 
 void
-Dtu::doRead(ActId act, EpId mep_id, std::uint64_t offset,
-            std::size_t size, VirtAddr buf, ReadCallback cb)
+Dtu::doRead()
 {
     trc_->begin(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu, "READ");
     sim::Tick t0 =
         clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
-    eq_.schedule(t0, [this, act, mep_id, offset, size, buf,
-                      cb = std::move(cb)]() mutable {
-        auto fail = [&](Error e) {
-            cb(e, {});
-            cmdFinished();
-        };
-        if (mep_id >= eps_.size())
-            return fail(Error::InvalidEp);
-        Endpoint &mep = eps_[mep_id];
-        if (mep.kind != EpKind::Memory)
-            return fail(Error::InvalidEp);
-        if (Error e = checkEpAccess(act, mep); e != Error::None)
-            return fail(e);
-        if (!(mep.mem.perms & kPermR))
-            return fail(Error::PmpFault);
-        if (offset + size > mep.mem.size)
-            return fail(Error::OutOfBounds);
-        if (size > kPageSize)
-            return fail(Error::OutOfBounds);
-        PhysAddr phys = 0;
-        if (Error e = translate(act, buf, true, phys);
-            e != Error::None)
-            return fail(e);
+    eq_.schedule(t0, [this]() { readChecks(); });
+}
 
-        auto wd = std::make_unique<WireData>();
-        wd->kind = WireKind::MemReadReq;
-        wd->reqId = nextReqId_++;
-        wd->addr = mep.mem.addr + offset;
-        wd->size = size;
+void
+Dtu::readChecks()
+{
+    CmdState &c = curCmd_;
+    if (c.ep >= eps_.size())
+        return completeCmd(Error::InvalidEp);
+    Endpoint &mep = eps_[c.ep];
+    if (mep.kind != EpKind::Memory)
+        return completeCmd(Error::InvalidEp);
+    if (Error e = checkEpAccess(c.act, mep); e != Error::None)
+        return completeCmd(e);
+    if (!(mep.mem.perms & kPermR))
+        return completeCmd(Error::PmpFault);
+    if (c.offset + c.size > mep.mem.size)
+        return completeCmd(Error::OutOfBounds);
+    if (c.size > kPageSize)
+        return completeCmd(Error::OutOfBounds);
+    PhysAddr phys = 0;
+    if (Error e = translate(c.act, c.buf, true, phys);
+        e != Error::None)
+        return completeCmd(e);
 
-        Inflight inf;
-        inf.readCb = [this, cb = std::move(cb)](
-                         Error e,
-                         std::vector<std::uint8_t> data) mutable {
-            // DMA the data into the core's cache, then complete.
-            sim::Cycles dma =
-                timing_.localMemFixed +
-                data.size() / timing_.localMemBytesPerCycle;
-            eq_.schedule(clk_.cyclesToTicks(dma),
-                         [this, e, data = std::move(data),
-                          cb = std::move(cb)]() mutable {
-                             cb(e, std::move(data));
-                             cmdFinished();
-                         });
-        };
-        inflight_.emplace(wd->reqId, std::move(inf));
-        noc::TileId dst = mep.mem.destTile;
-        if (dst == tile_) {
-            deliverLocal(std::move(wd));
-        } else {
-            sendPacket(dst, std::move(wd));
-        }
-    });
+    auto wd = std::make_unique<WireData>();
+    wd->kind = WireKind::MemReadReq;
+    wd->reqId = nextReqId_++;
+    wd->addr = mep.mem.addr + c.offset;
+    wd->size = c.size;
+
+    addInflight(wd->reqId, Inflight::Kind::CmdRead);
+    respond(mep.mem.destTile, std::move(wd));
 }
 
 void
@@ -418,75 +530,74 @@ Dtu::cmdWrite(ActId act, EpId mep_id, std::uint64_t offset,
               std::vector<std::uint8_t> data, VirtAddr buf,
               CmdCallback cb)
 {
-    enqueueCmd([this, act, mep_id, offset, data = std::move(data), buf,
-                cb = std::move(cb)]() mutable {
-        doWrite(act, mep_id, offset, std::move(data), buf,
-                std::move(cb));
-    });
+    CmdState st;
+    st.kind = CmdState::Kind::Write;
+    st.act = act;
+    st.ep = mep_id;
+    st.offset = offset;
+    st.payload = noc_.payloadPool().adopt(std::move(data));
+    st.buf = buf;
+    st.cb = std::move(cb);
+    enqueueCmd(std::move(st));
 }
 
 void
-Dtu::doWrite(ActId act, EpId mep_id, std::uint64_t offset,
-             std::vector<std::uint8_t> data, VirtAddr buf,
-             CmdCallback cb)
+Dtu::doWrite()
 {
     trc_->begin(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu,
                 "WRITE");
     sim::Tick t0 =
         clk_.cyclesToTicks(timing_.cmdDecode + timing_.tlbLookup);
-    eq_.schedule(t0, [this, act, mep_id, offset,
-                      data = std::move(data), buf,
-                      cb = std::move(cb)]() mutable {
-        auto fail = [&](Error e) {
-            cb(e);
-            cmdFinished();
-        };
-        if (mep_id >= eps_.size())
-            return fail(Error::InvalidEp);
-        Endpoint &mep = eps_[mep_id];
-        if (mep.kind != EpKind::Memory)
-            return fail(Error::InvalidEp);
-        if (Error e = checkEpAccess(act, mep); e != Error::None)
-            return fail(e);
-        if (!(mep.mem.perms & kPermW))
-            return fail(Error::PmpFault);
-        if (offset + data.size() > mep.mem.size)
-            return fail(Error::OutOfBounds);
-        if (data.size() > kPageSize)
-            return fail(Error::OutOfBounds);
-        PhysAddr phys = 0;
-        if (Error e = translate(act, buf, false, phys);
-            e != Error::None)
-            return fail(e);
+    eq_.schedule(t0, [this]() { writeChecks(); });
+}
 
-        sim::Cycles dma =
-            timing_.localMemFixed +
-            data.size() / timing_.localMemBytesPerCycle;
-        eq_.schedule(clk_.cyclesToTicks(dma),
-                     [this, mep_id, offset, data = std::move(data),
-                      cb = std::move(cb)]() mutable {
-            Endpoint &mep2 = eps_[mep_id];
-            auto wd = std::make_unique<WireData>();
-            wd->kind = WireKind::MemWriteReq;
-            wd->reqId = nextReqId_++;
-            wd->addr = mep2.mem.addr + offset;
-            wd->size = data.size();
-            wd->data = std::move(data);
+void
+Dtu::writeChecks()
+{
+    CmdState &c = curCmd_;
+    if (c.ep >= eps_.size())
+        return completeCmd(Error::InvalidEp);
+    Endpoint &mep = eps_[c.ep];
+    if (mep.kind != EpKind::Memory)
+        return completeCmd(Error::InvalidEp);
+    if (Error e = checkEpAccess(c.act, mep); e != Error::None)
+        return completeCmd(e);
+    if (!(mep.mem.perms & kPermW))
+        return completeCmd(Error::PmpFault);
+    if (c.offset + c.payload.size() > mep.mem.size)
+        return completeCmd(Error::OutOfBounds);
+    if (c.payload.size() > kPageSize)
+        return completeCmd(Error::OutOfBounds);
+    PhysAddr phys = 0;
+    if (Error e = translate(c.act, c.buf, false, phys);
+        e != Error::None)
+        return completeCmd(e);
 
-            Inflight inf;
-            inf.cmdCb = [this, cb = std::move(cb)](Error e) mutable {
-                cb(e);
-                cmdFinished();
-            };
-            inflight_.emplace(wd->reqId, std::move(inf));
-            noc::TileId dst = mep2.mem.destTile;
-            if (dst == tile_) {
-                deliverLocal(std::move(wd));
-            } else {
-                sendPacket(dst, std::move(wd));
-            }
-        });
-    });
+    sim::Cycles dma =
+        timing_.localMemFixed +
+        c.payload.size() / timing_.localMemBytesPerCycle;
+    eq_.schedule(clk_.cyclesToTicks(dma),
+                 [this]() { writeLaunch(); });
+}
+
+void
+Dtu::writeLaunch()
+{
+    CmdState &c = curCmd_;
+    Endpoint &mep = eps_[c.ep];
+    auto wd = std::make_unique<WireData>();
+    wd->kind = WireKind::MemWriteReq;
+    wd->reqId = nextReqId_++;
+    wd->addr = mep.mem.addr + c.offset;
+    wd->size = c.payload.size();
+    if (copyBaseline_)
+        wd->data = noc_.payloadPool().copy(c.payload.data(),
+                                           c.payload.size());
+    else
+        wd->data = std::move(c.payload);
+
+    addInflight(wd->reqId, Inflight::Kind::CmdWrite);
+    respond(mep.mem.destTile, std::move(wd));
 }
 
 //
@@ -555,6 +666,10 @@ Dtu::ack(ActId act, EpId rep_id, int slot)
     EpId credit_ep = rs.msg.creditEp;
     rs.occupied = false;
     rs.unread = false;
+    // The receiver is done with the payload: drop the slot's extent
+    // reference so it recycles (the slab conservation law counts
+    // only occupied slots as legitimate holders).
+    rs.msg.payload.reset();
     if (credit_ep == kInvalidEp)
         return; // replies carry no credits
     sendCreditReturn(dst, credit_ep);
@@ -610,14 +725,68 @@ Dtu::deviceMessage(EpId rep, std::vector<std::uint8_t> payload,
     rs.msg = Message{};
     rs.msg.label = label;
     rs.msg.srcTile = tile_;
-    rs.msg.payload = std::move(payload);
+    rs.msg.payload = noc_.payloadPool().adopt(std::move(payload));
     rs.msg.seq = nextSeq_++;
     rs.msg.arrival = eq_.now();
     msgsRecv_->inc();
     onMessageStored(rep, ep.act);
-    if (msgNotify_)
-        msgNotify_(rep, ep.act);
+    notifyMsg(rep, ep.act);
     return true;
+}
+
+//
+// Doorbell batching.
+//
+
+void
+Dtu::notifyMsg(EpId ep, ActId act)
+{
+    if (!msgNotify_)
+        return;
+    sim::Tick now = eq_.now();
+    if (!doorbellFlushScheduled_ && doorbellTick_ != now) {
+        // A new burst window with nothing deferred from the last one:
+        // forget the old window's dedup records.
+        doorbellPending_.clear();
+    }
+    doorbellTick_ = now;
+    for (Doorbell &d : doorbellPending_) {
+        if (d.ep != ep || d.act != act)
+            continue;
+        // Same destination rung again within the burst window:
+        // coalesce. One deferred wakeup — delivered by the
+        // end-of-window flush — stands in for any number of
+        // duplicates.
+        doorbellsCoalesced_->inc();
+        if (!d.deferred) {
+            d.deferred = true;
+            if (!doorbellFlushScheduled_) {
+                doorbellFlushScheduled_ = true;
+                eq_.schedule(0, [this]() { flushDoorbells(); });
+            }
+        }
+        return;
+    }
+    // First doorbell for this destination in the window: ring through
+    // immediately (keeps single-message latency and, with no
+    // duplicates, makes batching a strict no-op).
+    doorbellPending_.push_back(Doorbell{ep, act, false});
+    msgNotify_(ep, act);
+}
+
+void
+Dtu::flushDoorbells()
+{
+    doorbellFlushScheduled_ = false;
+    doorbellFlushes_->inc();
+    // Swap into a scratch buffer (both keep their capacity, so the
+    // steady state allocates nothing) — the callbacks may ring new
+    // doorbells, which then open a fresh window.
+    doorbellScratch_.clear();
+    doorbellScratch_.swap(doorbellPending_);
+    for (const Doorbell &d : doorbellScratch_)
+        if (d.deferred)
+            msgNotify_(d.ep, d.act);
 }
 
 //
@@ -660,16 +829,33 @@ Dtu::deliverLocal(std::unique_ptr<WireData> wd)
 }
 
 void
+Dtu::deepCopyPayload(WireData &wd)
+{
+    sim::SlabPool &pool = noc_.payloadPool();
+    if (wd.msg.payload.valid())
+        wd.msg.payload =
+            pool.copy(wd.msg.payload.data(), wd.msg.payload.size());
+    if (wd.data.valid())
+        wd.data = pool.copy(wd.data.data(), wd.data.size());
+}
+
+void
 Dtu::sendPacket(noc::TileId dst, std::unique_ptr<WireData> wd)
 {
     if (reliable_ && isRetxKind(wd->kind) && wd->seq == 0) {
         // First transmission of a reliable request: stamp the wire
-        // sequence number, keep a copy, and arm the retx timer.
+        // sequence number, keep a reference-holding copy, and arm the
+        // retx timer. The saved WireData shares the payload extent
+        // with the transmitted packet — corruption on the wire
+        // mutates a COW view, so this original stays clean.
         wd->seq = wireSeq_++;
         Retx r;
+        r.seq = wd->seq;
         r.dst = dst;
         r.wd = *wd;
-        retx_.emplace(wd->seq, std::move(r));
+        if (copyBaseline_)
+            deepCopyPayload(r.wd);
+        retx_.push_back(std::move(r));
         armRetxTimer(wd->seq);
     }
     noc::Packet pkt;
@@ -696,63 +882,81 @@ Dtu::isRetxKind(WireKind k)
     }
 }
 
+Dtu::Retx *
+Dtu::findRetx(std::uint64_t seq)
+{
+    for (Retx &r : retx_)
+        if (r.seq == seq)
+            return &r;
+    return nullptr;
+}
+
+void
+Dtu::eraseRetx(std::uint64_t seq)
+{
+    for (std::size_t i = 0; i < retx_.size(); i++) {
+        if (retx_[i].seq != seq)
+            continue;
+        if (i + 1 != retx_.size())
+            retx_[i] = std::move(retx_.back());
+        retx_.pop_back();
+        return;
+    }
+}
+
 void
 Dtu::armRetxTimer(std::uint64_t seq)
 {
-    auto it = retx_.find(seq);
-    if (it == retx_.end())
+    Retx *r = findRetx(seq);
+    if (r == nullptr)
         return;
-    sim::Cycles to = timing_.retxTimeoutCycles << it->second.attempts;
-    it->second.timer = eq_.schedule(
-        clk_.cyclesToTicks(to), [this, seq]() { retxTimeout(seq); });
+    sim::Cycles to = timing_.retxTimeoutCycles << r->attempts;
+    r->timer = eq_.schedule(clk_.cyclesToTicks(to),
+                            [this, seq]() { retxTimeout(seq); });
 }
 
 void
 Dtu::retxTimeout(std::uint64_t seq)
 {
-    auto it = retx_.find(seq);
-    if (it == retx_.end())
+    Retx *r = findRetx(seq);
+    if (r == nullptr)
         return;
-    Retx &r = it->second;
-    if (r.attempts + 1 >= timing_.retxMaxAttempts) {
+    if (r->attempts + 1 >= timing_.retxMaxAttempts) {
         // Give up: surface Error::Timeout to whoever is waiting. For
-        // MsgXfer the inflight callback restores the send credit; a
+        // MsgXfer the inflight completion restores the send credit; a
         // lost CreditReturn has no waiter (the credit is gone until
         // the controller reclaims it).
-        std::uint64_t req_id = r.wd.reqId;
-        WireKind kind = r.wd.kind;
+        std::uint64_t req_id = r->wd.reqId;
+        WireKind kind = r->wd.kind;
         if (kind == WireKind::CreditReturn) {
-            lostCreditReturns_[(static_cast<std::uint64_t>(r.dst)
+            lostCreditReturns_[(static_cast<std::uint64_t>(r->dst)
                                 << 32) |
-                               r.wd.creditEp]++;
+                               r->wd.creditEp]++;
         }
-        retx_.erase(it);
+        eraseRetx(seq);
         timeouts_->inc();
         trc_->instant(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu,
                       "retx_timeout");
         if (kind == WireKind::CreditReturn)
             return;
-        auto inf = inflight_.find(req_id);
-        if (inf == inflight_.end())
+        Inflight inf;
+        if (!takeInflight(req_id, inf))
             return;
-        Inflight cbs = std::move(inf->second);
-        inflight_.erase(inf);
-        if (cbs.cmdCb)
-            cbs.cmdCb(Error::Timeout);
-        else if (cbs.readCb)
-            cbs.readCb(Error::Timeout, {});
-        else if (cbs.extCb)
-            cbs.extCb(Error::Timeout, {});
+        completeInflight(std::move(inf), Error::Timeout, nullptr);
         return;
     }
-    r.attempts++;
+    r->attempts++;
     retransmits_->inc();
     trc_->instant(sim::TraceCat::Dtu, tile_, sim::kTraceTidDtu,
                   "retransmit");
-    auto copy = std::make_unique<WireData>(r.wd);
+    // The retransmitted packet is a fresh header sharing the saved
+    // payload extent (a refcount bump, not a byte copy).
+    auto copy = std::make_unique<WireData>(r->wd);
+    if (copyBaseline_)
+        deepCopyPayload(*copy);
     noc::Packet pkt;
     pkt.src = tile_;
-    pkt.dst = r.dst;
+    pkt.dst = r->dst;
     pkt.bytes = copy->wireBytes();
     pkt.data = std::move(copy);
     txQueue_.push_back(std::move(pkt));
@@ -765,11 +969,11 @@ Dtu::retxComplete(std::uint64_t seq)
 {
     if (!reliable_ || seq == 0)
         return;
-    auto it = retx_.find(seq);
-    if (it == retx_.end())
+    Retx *r = findRetx(seq);
+    if (r == nullptr)
         return;
-    it->second.timer.cancel();
-    retx_.erase(it);
+    r->timer.cancel();
+    eraseRetx(seq);
 }
 
 void
@@ -787,9 +991,10 @@ Dtu::findOutcome(noc::TileId src, std::uint64_t seq) const
     auto it = seen_.find(src);
     if (it == seen_.end())
         return nullptr;
-    for (const auto &entry : it->second)
-        if (entry.seq == seq)
-            return &entry.outcome;
+    const auto &window = it->second;
+    for (std::size_t i = 0; i < window.size(); i++)
+        if (window[i].seq == seq)
+            return &window[i].outcome;
     return nullptr;
 }
 
@@ -825,8 +1030,8 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
       case WireKind::MsgDelivered:
       case WireKind::MsgNack: {
         retxComplete(wd.seq);
-        auto it = inflight_.find(wd.reqId);
-        if (it == inflight_.end()) {
+        Inflight inf;
+        if (!takeInflight(wd.reqId, inf)) {
             // Duplicate response (the request was retransmitted but
             // the first response got through) or a late response
             // after retx exhaustion. Only legal in reliable mode.
@@ -835,9 +1040,10 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
             straysDropped_->inc();
             break;
         }
-        auto cb = std::move(it->second.cmdCb);
-        inflight_.erase(it);
-        cb(wd.kind == WireKind::MsgNack ? wd.error : Error::None);
+        completeInflight(std::move(inf),
+                         wd.kind == WireKind::MsgNack ? wd.error
+                                                      : Error::None,
+                         &wd);
         break;
       }
 
@@ -887,33 +1093,18 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
         break;
       }
 
-      case WireKind::MemReadResp: {
+      case WireKind::MemReadResp:
+      case WireKind::MemWriteAck:
+      case WireKind::ExtResp: {
         retxComplete(wd.seq);
-        auto it = inflight_.find(wd.reqId);
-        if (it == inflight_.end()) {
+        Inflight inf;
+        if (!takeInflight(wd.reqId, inf)) {
             if (!reliable_)
-                sim::panic("%s: stray read response", name().c_str());
+                sim::panic("%s: stray response", name().c_str());
             straysDropped_->inc();
             break;
         }
-        auto cb = std::move(it->second.readCb);
-        inflight_.erase(it);
-        cb(wd.error, std::move(wd.data));
-        break;
-      }
-
-      case WireKind::MemWriteAck: {
-        retxComplete(wd.seq);
-        auto it = inflight_.find(wd.reqId);
-        if (it == inflight_.end()) {
-            if (!reliable_)
-                sim::panic("%s: stray write ack", name().c_str());
-            straysDropped_->inc();
-            break;
-        }
-        auto cb = std::move(it->second.cmdCb);
-        inflight_.erase(it);
-        cb(wd.error);
+        completeInflight(std::move(inf), wd.error, &wd);
         break;
       }
 
@@ -949,21 +1140,6 @@ Dtu::handlePacket(WireData &wd, noc::TileId src)
             }
             respond(src, std::move(resp));
         });
-        break;
-      }
-
-      case WireKind::ExtResp: {
-        retxComplete(wd.seq);
-        auto it = inflight_.find(wd.reqId);
-        if (it == inflight_.end()) {
-            if (!reliable_)
-                sim::panic("%s: stray ext response", name().c_str());
-            straysDropped_->inc();
-            break;
-        }
-        auto cb = std::move(it->second.extCb);
-        inflight_.erase(it);
-        cb(wd.error, std::move(wd.eps));
         break;
       }
     }
@@ -1026,7 +1202,11 @@ Dtu::handleMsgXfer(WireData &wd, noc::TileId src)
     RecvSlot &rs = rep.recv.slots[static_cast<std::size_t>(slot)];
     rs.occupied = true;
     rs.unread = true;
+    // Zero-copy hand-off: the wire's extent becomes the slot's.
     rs.msg = std::move(wd.msg);
+    if (copyBaseline_ && rs.msg.payload.valid())
+        rs.msg.payload = noc_.payloadPool().copy(
+            rs.msg.payload.data(), rs.msg.payload.size());
     rs.msg.seq = nextSeq_++;
     rs.msg.arrival = eq_.now();
     msgsRecv_->inc();
@@ -1040,8 +1220,7 @@ Dtu::handleMsgXfer(WireData &wd, noc::TileId src)
     respond(src, std::move(resp));
 
     onMessageStored(wd.dstEp, rep.act);
-    if (msgNotify_)
-        msgNotify_(wd.dstEp, rep.act);
+    notifyMsg(wd.dstEp, rep.act);
 }
 
 //
@@ -1108,6 +1287,85 @@ registerDtuInvariants(sim::Invariants &inv,
             }
         }
     });
+
+    inv.addCheck("dtu.slab_conservation", [dtus](sim::Invariants &v) {
+        // Distinct pools (a differential rig runs two platforms).
+        std::vector<const sim::SlabPool *> pools;
+        for (const Dtu *d : dtus) {
+            const sim::SlabPool *p = &d->payloadPool();
+            if (std::find(pools.begin(), pools.end(), p) ==
+                pools.end())
+                pools.push_back(p);
+        }
+        for (const sim::SlabPool *p : pools) {
+            sim::SlabPool::Stats s = p->stats();
+            if (s.allocated != s.live + s.free)
+                v.fail("slab pool accounting broken: allocated %zu "
+                       "!= live %zu + free %zu",
+                       s.allocated, s.live, s.free);
+            if (s.staleReleases != 0)
+                v.fail("slab pool saw %llu stale releases "
+                       "(double-release or use-after-free handle)",
+                       static_cast<unsigned long long>(
+                           s.staleReleases));
+        }
+    });
+
+    inv.addCheck("dtu.doorbell_flush_law",
+                 [dtus](sim::Invariants &v) {
+                     for (const Dtu *d : dtus)
+                         if (!d->doorbellFlushLawOk())
+                             v.fail("%s: coalesced doorbell without a "
+                                    "scheduled flush",
+                                    d->name().c_str());
+                 });
+
+    inv.addCheck(
+        "dtu.doorbell_drained",
+        [dtus](sim::Invariants &v) {
+            for (const Dtu *d : dtus)
+                if (!d->doorbellIdle())
+                    v.fail("%s: doorbell flush pending at quiescence",
+                           d->name().c_str());
+        },
+        sim::Invariants::When::QuiescentOnly);
+
+    inv.addCheck(
+        "dtu.slab_no_leak",
+        [dtus](sim::Invariants &v) {
+            // At quiescence the only legitimate extent holders are
+            // occupied receive slots (engines drained, no packets in
+            // flight, retx empty): live extents must match exactly.
+            std::vector<const sim::SlabPool *> pools;
+            for (const Dtu *d : dtus) {
+                const sim::SlabPool *p = &d->payloadPool();
+                if (std::find(pools.begin(), pools.end(), p) ==
+                    pools.end())
+                    pools.push_back(p);
+            }
+            for (const sim::SlabPool *p : pools) {
+                std::size_t held = 0;
+                for (const Dtu *d : dtus) {
+                    if (&d->payloadPool() != p)
+                        continue;
+                    for (EpId i = 0; i < kNumEps; i++) {
+                        const Endpoint &e = d->ep(i);
+                        if (e.kind != EpKind::Receive)
+                            continue;
+                        for (const RecvSlot &rs : e.recv.slots)
+                            if (rs.occupied &&
+                                rs.msg.payload.valid())
+                                held++;
+                    }
+                }
+                sim::SlabPool::Stats s = p->stats();
+                if (s.live != held)
+                    v.fail("slab pool leaked extents: %zu live but "
+                           "only %zu held by receive slots",
+                           s.live, held);
+            }
+        },
+        sim::Invariants::When::QuiescentOnly);
 
     inv.addCheck(
         "dtu.engines_drained",

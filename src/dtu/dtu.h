@@ -22,12 +22,26 @@
  * Addresses passed to commands are *buffer* addresses used only for
  * protection checks and timing; payload bytes travel alongside
  * (content and timing are decoupled, see DESIGN.md).
+ *
+ * Zero-copy message path (DESIGN.md section 4g): payloads are
+ * reference-counted extents in the platform's slab pool
+ * (sim/slab_pool.h). A SEND hands its extent to the wire packet, the
+ * packet hands it to the receive-ring slot, and the retransmission
+ * engine keeps the message alive by holding a second reference — no
+ * intermediate memcpy anywhere. Because the command FSM is fully
+ * serialized (one command owns the engine from enqueue to completion
+ * callback), all per-command state lives in a single member struct
+ * and the stage closures capture nothing but `this`, which keeps the
+ * steady-state send path free of heap allocation (asserted by
+ * tests/dtu/msgpath_test.cc). setCopyBaseline(true) restores the
+ * deep-copying behaviour at every hand-off point — simulated timing
+ * is identical, only host work changes — as the A/B for
+ * bench/fanin.
  */
 
 #ifndef M3VSIM_DTU_DTU_H_
 #define M3VSIM_DTU_DTU_H_
 
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -38,7 +52,9 @@
 #include "noc/noc.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
+#include "sim/ring_deque.h"
 #include "sim/sim_object.h"
+#include "sim/slab_pool.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 
@@ -96,6 +112,24 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     const DtuTiming &timing() const { return timing_; }
     const sim::Clock &clock() const { return clk_; }
 
+    /** The platform's shared payload-extent pool (owned by the NoC). */
+    sim::SlabPool &payloadPool() { return noc_.payloadPool(); }
+    const sim::SlabPool &payloadPool() const
+    {
+        return noc_.payloadPool();
+    }
+
+    /**
+     * A/B switch for bench/fanin: when on, the message path performs
+     * a deep payload copy at every ownership hand-off (wire creation,
+     * receive-slot store, retransmission save) the way a copying
+     * implementation would. Simulated timing is unchanged — wire
+     * sizes and DMA costs depend only on payload length — so digests
+     * stay identical; only host-side work differs.
+     */
+    void setCopyBaseline(bool on) { copyBaseline_ = on; }
+    bool copyBaseline() const { return copyBaseline_; }
+
     //
     // External interface (controller side).
     //
@@ -127,10 +161,18 @@ class Dtu : public sim::SimObject, public noc::HopTarget
      * endpoint @p ep_id; replies (if any) arrive at @p reply_ep.
      * @p nonce is stamped into the message and echoed back by the
      * receiver's REPLY (see Message::nonce); 0 means "unused".
+     *
+     * The byte-vector overload adopts the buffer into the payload
+     * pool (a move, not a copy). cmdSendRef takes a pooled extent
+     * directly — the allocation-free path (pool().make() + fill, or
+     * forwarding a received payload).
      */
     void cmdSend(ActId act, EpId ep_id, VirtAddr buf,
                  std::vector<std::uint8_t> payload, EpId reply_ep,
                  CmdCallback cb, std::uint64_t nonce = 0);
+    void cmdSendRef(ActId act, EpId ep_id, VirtAddr buf,
+                    sim::PayloadRef payload, EpId reply_ep,
+                    CmdCallback cb, std::uint64_t nonce = 0);
 
     /**
      * REPLY: consume the one-shot reply permission of the message in
@@ -138,6 +180,8 @@ class Dtu : public sim::SimObject, public noc::HopTarget
      */
     void cmdReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
                   std::vector<std::uint8_t> payload, CmdCallback cb);
+    void cmdReplyRef(ActId act, EpId rep_id, int slot, VirtAddr buf,
+                     sim::PayloadRef payload, CmdCallback cb);
 
     /** READ: DMA @p size bytes at @p offset within memory EP. */
     void cmdRead(ActId act, EpId mep_id, std::uint64_t offset,
@@ -232,12 +276,43 @@ class Dtu : public sim::SimObject, public noc::HopTarget
      * Install a notification hook invoked after every stored message
      * with (endpoint, owning activity). Software layers use it to
      * wake threads that poll the DTU for new messages.
+     *
+     * Doorbell batching: the first notification per (endpoint,
+     * activity) in a burst window (one tick) rings through
+     * immediately; further stores to the same destination within the
+     * window are coalesced into a single deferred wakeup delivered by
+     * an end-of-window flush event. With at most one store per
+     * destination per tick — the common case — behaviour is
+     * bit-identical to unbatched delivery (no extra events at all).
      */
     void
     setMsgNotify(sim::UniqueFunction<void(EpId, ActId)> cb)
     {
         msgNotify_ = std::move(cb);
     }
+
+    /** Doorbells coalesced into a batched wakeup (stats). */
+    std::uint64_t doorbellsCoalesced() const
+    {
+        return doorbellsCoalesced_->value();
+    }
+
+    /**
+     * The doorbell flush law: a coalesced (deferred) doorbell always
+     * has a flush event scheduled within the current tick, so no
+     * wakeup can leak past a lane barrier (the flush runs before the
+     * lane advances). Checked at every invariant boundary.
+     */
+    bool doorbellFlushLawOk() const
+    {
+        for (const Doorbell &d : doorbellPending_)
+            if (d.deferred && !doorbellFlushScheduled_)
+                return false;
+        return true;
+    }
+
+    /** No flush pending at all (the quiescent doorbell state). */
+    bool doorbellIdle() const { return !doorbellFlushScheduled_; }
 
     // noc::HopTarget
     bool acceptPacket(noc::Packet &pkt,
@@ -312,21 +387,71 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     sim::Clock clk_;
 
   private:
-    struct PendingCmd
+    /**
+     * All state of the command currently owning the FSM. Because the
+     * engine is strictly serialized (cmdBusy_ held from enqueue to
+     * completion callback), one member instance suffices and every
+     * stage closure captures only `this` — small enough for the
+     * UniqueFunction inline buffer, so command dispatch never touches
+     * the heap.
+     */
+    struct CmdState
     {
-        sim::UniqueFunction<void()> run;
+        enum class Kind : std::uint8_t
+        {
+            None,
+            Send,
+            Reply,
+            Read,
+            Write,
+        };
+
+        Kind kind = Kind::None;
+        ActId act = kInvalidAct;
+        EpId ep = kInvalidEp;        ///< command's endpoint
+        int slot = -1;               ///< reply: acked recv slot
+        VirtAddr buf = 0;
+        sim::PayloadRef payload;     ///< send/reply payload, write data
+        EpId replyEp = kInvalidEp;   ///< send
+        std::uint64_t nonce = 0;     ///< send
+        std::uint64_t offset = 0;    ///< read/write
+        std::size_t size = 0;        ///< read
+        CmdCallback cb;              ///< send/reply/write completion
+        ReadCallback rcb;            ///< read completion
+        Error err = Error::None;     ///< read: staged response error
+        std::vector<std::uint8_t> readData; ///< read: staged bytes
     };
 
-    void enqueueCmd(sim::UniqueFunction<void()> run);
+    void enqueueCmd(CmdState st);
+    void dispatchCmd();
     void cmdFinished();
+    /** Invoke the current command's callback with @p e and advance. */
+    void completeCmd(Error e);
+
+    void doSend();
+    void sendChecks();
+    void sendLaunch();
+    void doReply();
+    void replyChecks();
+    void replyLaunch();
+    void doRead();
+    void readChecks();
+    void doWrite();
+    void writeChecks();
+    void writeLaunch();
+
     void sendPacket(noc::TileId dst, std::unique_ptr<WireData> wd);
     void handlePacket(WireData &wd, noc::TileId src);
     void handleMsgXfer(WireData &wd, noc::TileId src);
     void deliverLocal(std::unique_ptr<WireData> wd);
-    void storeMessage(WireData &wd);
     void respond(noc::TileId dst, std::unique_ptr<WireData> wd);
     void sendCreditReturn(noc::TileId dst, EpId credit_ep);
     void addCredit(EpId credit_ep);
+
+    /** Ring or coalesce the doorbell for a stored message. */
+    void notifyMsg(EpId ep, ActId act);
+    /** Deliver the deferred doorbells of the closing burst window. */
+    void flushDoorbells();
 
     //
     // Reliable wire protocol (active iff the NoC has a fault plan).
@@ -335,21 +460,12 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     void armRetxTimer(std::uint64_t seq);
     void retxTimeout(std::uint64_t seq);
     void retxComplete(std::uint64_t seq);
+    /** Deep-copy the payload of @p wd (copy-baseline mode only). */
+    void deepCopyPayload(WireData &wd);
     /** Record the outcome of request @p seq from @p src for dedup. */
     void rememberOutcome(noc::TileId src, std::uint64_t seq, Error e);
     /** Outcome of an already-seen request, or nullptr if fresh. */
     const Error *findOutcome(noc::TileId src, std::uint64_t seq) const;
-
-    void doSend(ActId act, EpId ep_id, VirtAddr buf,
-                std::vector<std::uint8_t> payload, EpId reply_ep,
-                CmdCallback cb, std::uint64_t nonce);
-    void doReply(ActId act, EpId rep_id, int slot, VirtAddr buf,
-                 std::vector<std::uint8_t> payload, CmdCallback cb);
-    void doRead(ActId act, EpId mep_id, std::uint64_t offset,
-                std::size_t size, VirtAddr buf, ReadCallback cb);
-    void doWrite(ActId act, EpId mep_id, std::uint64_t offset,
-                 std::vector<std::uint8_t> data, VirtAddr buf,
-                 CmdCallback cb);
 
     noc::Noc &noc_;
     noc::TileId tile_;
@@ -357,23 +473,48 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     std::vector<Endpoint> eps_;
 
     bool cmdBusy_ = false;
-    std::deque<PendingCmd> cmdQueue_;
+    CmdState curCmd_;
+    sim::RingDeque<CmdState> cmdQueue_;
 
     std::uint64_t nextReqId_ = 1;
     std::uint64_t nextSeq_ = 1;
 
-    /** In-flight requests awaiting a response keyed by reqId. */
+    bool copyBaseline_ = false;
+
+    /**
+     * An issued request awaiting its response. The FSM serialization
+     * means the heavy per-command state (callbacks, staged data)
+     * lives in curCmd_; an in-flight entry only records how to route
+     * the response — small enough for a flat vector with linear scan
+     * (at most one command plus a few ext requests outstanding).
+     */
     struct Inflight
     {
-        CmdCallback cmdCb;
-        ReadCallback readCb;
-        ExtCallback extCb;
+        enum class Kind : std::uint8_t
+        {
+            CmdSend,  ///< completes curCmd_ (credit restore on error)
+            CmdReply, ///< completes curCmd_
+            CmdRead,  ///< completes curCmd_ (stages data + DMA-in)
+            CmdWrite, ///< completes curCmd_
+            Ext,      ///< standalone: invokes extCb
+        };
+
+        std::uint64_t reqId = 0;
+        Kind kind = Kind::CmdSend;
+        EpId creditEp = kInvalidEp; ///< CmdSend: credit restore target
+        ExtCallback extCb;          ///< Ext only
     };
-    std::unordered_map<std::uint64_t, Inflight> inflight_;
+    std::vector<Inflight> inflight_;
+
+    void addInflight(std::uint64_t req_id, Inflight::Kind kind,
+                     EpId credit_ep = kInvalidEp,
+                     ExtCallback ext_cb = {});
+    bool takeInflight(std::uint64_t req_id, Inflight &out);
+    /** Route a response/timeout into the waiting command or extCb. */
+    void completeInflight(Inflight inf, Error e, WireData *resp);
 
     /** Packets waiting to be injected into the NoC. */
-    std::deque<noc::Packet> txQueue_;
-    bool txBusy_ = false;
+    sim::RingDeque<noc::Packet> txQueue_;
     void pumpTx();
 
     /** Reliable mode: is the wire protocol running with retx? */
@@ -382,16 +523,25 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     /** Per-DTU wire sequence counter (reliable mode). */
     std::uint64_t wireSeq_ = 1;
 
-    /** An unacknowledged reliable packet awaiting retransmission. */
+    /**
+     * An unacknowledged reliable packet awaiting retransmission. The
+     * saved WireData shares the payload extent with the transmitted
+     * packet (a refcount, not a deep copy); a retransmission bumps it
+     * again. Flat vector: few packets are ever outstanding, and
+     * steady-state operation must not churn the heap.
+     */
     struct Retx
     {
+        std::uint64_t seq = 0;
         noc::TileId dst = 0;
         WireData wd;
         unsigned attempts = 0;
         sim::EventHandle timer;
     };
-    /** Outstanding reliable packets keyed by wire seq. */
-    std::unordered_map<std::uint64_t, Retx> retx_;
+    std::vector<Retx> retx_;
+
+    Retx *findRetx(std::uint64_t seq);
+    void eraseRetx(std::uint64_t seq);
 
     /** Credit-conservation slack bookkeeping (reliable mode only;
      *  see timeoutCreditRestores() / lostCreditReturns()). */
@@ -406,7 +556,20 @@ class Dtu : public sim::SimObject, public noc::HopTarget
         Error outcome = Error::None;
     };
     static constexpr std::size_t kSeenWindow = 128;
-    std::unordered_map<noc::TileId, std::deque<SeenEntry>> seen_;
+    std::unordered_map<noc::TileId, sim::RingDeque<SeenEntry>> seen_;
+
+    /** One pending doorbell of the current burst window. */
+    struct Doorbell
+    {
+        EpId ep = kInvalidEp;
+        ActId act = kInvalidAct;
+        /** Coalesced: delivery owed to the end-of-window flush. */
+        bool deferred = false;
+    };
+    std::vector<Doorbell> doorbellPending_;
+    std::vector<Doorbell> doorbellScratch_;
+    bool doorbellFlushScheduled_ = false;
+    sim::Tick doorbellTick_ = 0;
 
     sim::Counter *msgsSent_;
     sim::Counter *msgsRecv_;
@@ -417,6 +580,8 @@ class Dtu : public sim::SimObject, public noc::HopTarget
     sim::Counter *corruptDropped_;
     sim::Counter *straysDropped_;
     sim::Counter *creditsReclaimed_;
+    sim::Counter *doorbellsCoalesced_;
+    sim::Counter *doorbellFlushes_;
     sim::UniqueFunction<void(EpId, ActId)> msgNotify_;
 
   protected:
@@ -429,6 +594,14 @@ class Dtu : public sim::SimObject, public noc::HopTarget
  * (tests only):
  *  - per send endpoint, credits never exceed the configured maximum,
  *    and per receive slot, unread implies occupied (every boundary);
+ *  - the payload pool's slot accounting balances (allocated ==
+ *    live + free) and no stale release was ever observed (every
+ *    boundary), and at quiescence every live extent is accounted for
+ *    by an occupied receive slot — no extent leaked by the zero-copy
+ *    hand-off chain;
+ *  - the doorbell flush law (every boundary) and doorbell idleness
+ *    (quiescence): a coalesced wakeup never outlives its burst
+ *    window, so none can leak past a lane barrier;
  *  - at quiescence every engine has drained (no queued command, tx
  *    packet, in-flight request, or retransmission);
  *  - at quiescence every non-reply send endpoint's credits are
@@ -437,7 +610,7 @@ class Dtu : public sim::SimObject, public noc::HopTarget
  *    retransmission exhaustion and restored on a timed-out-but-
  *    delivered send (both zero in fault-free runs).
  * All DTUs that exchange traffic must be in @p dtus or the
- * attribution scan under-counts held credits.
+ * attribution scans under-count held credits and live extents.
  */
 void registerDtuInvariants(sim::Invariants &inv,
                            std::vector<const Dtu *> dtus);

@@ -60,8 +60,10 @@ MemoryTile::acceptPacket(noc::Packet &pkt, sim::UniqueFunction<void()>)
             resp->kind = WireKind::MemReadResp;
             resp->reqId = req_id;
             resp->seq = seq;
-            resp->data.resize(size);
-            dram_.read(addr, resp->data.data(), size);
+            resp->data = noc_.payloadPool().make(size);
+            if (size > 0)
+                dram_.read(addr, resp->data.mutableBytes().data(),
+                           size);
             sendResp(src, std::move(resp));
         });
         break;

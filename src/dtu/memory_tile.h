@@ -13,11 +13,11 @@
 #ifndef M3VSIM_DTU_MEMORY_TILE_H_
 #define M3VSIM_DTU_MEMORY_TILE_H_
 
-#include <deque>
 #include <memory>
 
 #include "dtu/wire.h"
 #include "noc/noc.h"
+#include "sim/ring_deque.h"
 #include "sim/sim_object.h"
 #include "tile/dram.h"
 
@@ -55,7 +55,7 @@ class MemoryTile : public sim::SimObject, public noc::HopTarget
     noc::TileId tile_;
     tile::Dram dram_;
     PhysAddr allocNext_ = 0;
-    std::deque<noc::Packet> txQueue_;
+    sim::RingDeque<noc::Packet> txQueue_;
 };
 
 } // namespace m3v::dtu

@@ -7,10 +7,10 @@
 #define M3VSIM_DTU_MESSAGE_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "dtu/types.h"
 #include "noc/packet.h"
+#include "sim/slab_pool.h"
 
 namespace m3v::dtu {
 
@@ -57,8 +57,14 @@ struct Message
      */
     std::uint64_t arrival = 0;
 
-    /** Payload bytes. */
-    std::vector<std::uint8_t> payload;
+    /**
+     * Payload bytes: a shared reference into the platform's payload
+     * pool (sim/slab_pool.h). The sender's DTU allocates the extent
+     * once; packets, retransmission buffers and the receive-ring slot
+     * all share it. Reads convert implicitly to a byte vector, so
+     * software treats it as plain bytes.
+     */
+    sim::PayloadRef payload;
 };
 
 } // namespace m3v::dtu

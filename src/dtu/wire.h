@@ -11,12 +11,14 @@
 #define M3VSIM_DTU_WIRE_H_
 
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "dtu/ep.h"
 #include "dtu/message.h"
 #include "dtu/types.h"
 #include "noc/packet.h"
+#include "sim/slab_pool.h"
 
 namespace m3v::dtu {
 
@@ -48,6 +50,26 @@ enum class WireKind : std::uint8_t
 /** The DTU packet payload carried opaquely through the NoC. */
 struct WireData : noc::PacketData
 {
+    /**
+     * WireData headers are pooled: the message path creates and
+     * destroys one per packet in steady state, and a global freelist
+     * (wire.cc) recycles them so the hot path performs no heap
+     * allocation. Thread-safe (one mutex) because packets are created
+     * and destroyed on different lanes.
+     */
+    static void *operator new(std::size_t sz);
+    static void operator delete(void *p, std::size_t sz) noexcept;
+
+    /** Pooled headers currently on the freelist (tests). */
+    static std::size_t pooledFree();
+
+    /**
+     * Fault injection flipped this packet's CRC: damage the payload
+     * bytes through a copy-on-write view, so a retransmission buffer
+     * sharing the extent keeps the clean original (wire.cc).
+     */
+    void corruptPayload() override;
+
     WireKind kind = WireKind::MsgXfer;
 
     /** Correlates requests and responses. */
@@ -77,7 +99,8 @@ struct WireData : noc::PacketData
     // --- Mem* ---
     PhysAddr addr = 0;
     std::size_t size = 0;
-    std::vector<std::uint8_t> data;
+    /** DMA payload (MemReadResp/MemWriteReq): pooled like msg. */
+    sim::PayloadRef data;
 
     // --- Ext* ---
     ExtOp extOp = ExtOp::SetEp;

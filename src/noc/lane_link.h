@@ -22,11 +22,11 @@
 #ifndef M3VSIM_NOC_LANE_LINK_H_
 #define M3VSIM_NOC_LANE_LINK_H_
 
-#include <deque>
 #include <vector>
 
 #include "noc/packet.h"
 #include "sim/lane.h"
+#include "sim/ring_deque.h"
 
 namespace m3v::noc {
 
@@ -65,7 +65,7 @@ class LaneLink : public HopTarget
     std::vector<sim::UniqueFunction<void()>> waiters_;
 
     // Destination-lane state.
-    std::deque<Packet> rxQueue_;
+    sim::RingDeque<Packet> rxQueue_;
     bool rxStalled_ = false;
 };
 

@@ -30,6 +30,16 @@ struct PacketData
     PacketData &operator=(const PacketData &) = default;
     PacketData &operator=(PacketData &&) = default;
     virtual ~PacketData() = default;
+
+    /**
+     * A faulty link flipped bits in this packet's payload. Called by
+     * the output port that decides the corruption, alongside setting
+     * Packet::corrupted. Implementations must mutate only their own
+     * copy of any shared payload (copy-on-write): other holders of
+     * the same bytes — notably a sender's retransmission buffer —
+     * must keep the clean original. Default: no payload to damage.
+     */
+    virtual void corruptPayload() {}
 };
 
 /** A packet in flight on the NoC. */

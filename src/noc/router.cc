@@ -58,8 +58,14 @@ OutPort::startDrain()
         sim::Tick now = eq_.now();
         dropHead_ = faultSite_.shouldDrop(now);
         if (!dropHead_ && !head.corrupted &&
-            faultSite_.shouldCorrupt(now))
+            faultSite_.shouldCorrupt(now)) {
             head.corrupted = true;
+            // Actually damage the payload bytes (on the packet's own
+            // copy-on-write view; a retransmission buffer sharing the
+            // extent keeps the clean original).
+            if (head.data)
+                head.data->corruptPayload();
+        }
         ser += faultSite_.delayCycles(now);
     }
     sim::Tick delay =

@@ -13,7 +13,6 @@
 #ifndef M3VSIM_NOC_ROUTER_H_
 #define M3VSIM_NOC_ROUTER_H_
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "noc/packet.h"
 #include "sim/clock.h"
 #include "sim/fault.h"
+#include "sim/ring_deque.h"
 #include "sim/sim_object.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -122,7 +122,8 @@ class OutPort
     const NocParams &params_;
     std::string name_;
     HopTarget *target_ = nullptr;
-    std::deque<Packet> queue_;
+    /** RingDeque: steady-state forwarding must not churn the heap. */
+    sim::RingDeque<Packet> queue_;
     bool draining_ = false;
     sim::Tick launchEarly_ = 0;
     /** Fault decision for the head packet, taken at drain start. */

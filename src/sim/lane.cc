@@ -21,9 +21,11 @@ LaneScheduler::LaneScheduler(unsigned lanes, unsigned jobs,
     lanes_.reserve(n_);
     for (std::size_t i = 0; i < n_; i++)
         lanes_.push_back(std::make_unique<EventQueue>());
-    boxes_.reserve(n_ * n_);
-    for (std::size_t i = 0; i < n_ * n_; i++)
-        boxes_.push_back(std::make_unique<Mailbox>(mailbox_capacity));
+    rings_.reserve(n_);
+    for (std::size_t i = 0; i < n_; i++)
+        rings_.push_back(
+            std::make_unique<MpscRing<Msg>>(mailbox_capacity * n_));
+    seqs_.assign(n_ * n_, 0);
     if (jobs_ > 1) {
         workers_.reserve(jobs_);
         for (unsigned w = 0; w < jobs_; w++)
@@ -58,17 +60,23 @@ LaneScheduler::tryPost(unsigned src, unsigned dst, Tick due,
               static_cast<unsigned long long>(due),
               static_cast<unsigned long long>(lanes_[src]->now()),
               static_cast<unsigned long long>(lookahead_));
-    Mailbox &b = box(src, dst);
+    std::uint64_t &seq = seqs_[src * n_ + dst];
     Msg m;
     m.due = due;
-    m.seq = b.nextSeq;
+    m.seq = seq;
     m.srcLane = src;
     m.dstLane = dst;
     m.fn = std::move(fn);
-    if (!b.ring.tryPush(std::move(m)))
+    if (!rings_[dst]->tryPush(std::move(m)))
         return false;
-    b.nextSeq++;
+    seq++;
     return true;
+}
+
+void
+LaneScheduler::addBarrierHook(UniqueFunction<void()> fn)
+{
+    barrierHooks_.push_back(std::move(fn));
 }
 
 void
@@ -83,9 +91,9 @@ void
 LaneScheduler::mergeMailboxes()
 {
     scratch_.clear();
-    for (auto &b : boxes_) {
+    for (auto &r : rings_) {
         Msg m;
-        while (b->ring.tryPop(m))
+        while (r->tryPop(m))
             scratch_.push_back(std::move(m));
     }
     if (scratch_.empty())
@@ -182,6 +190,8 @@ LaneScheduler::run()
         // previous window produced (and, on the first round, of the
         // posts made during model construction).
         mergeMailboxes();
+        for (auto &hook : barrierHooks_)
+            hook();
         Tick w;
         if (!nextTick(&w))
             break;

@@ -7,9 +7,11 @@
  * own calendar machinery, metrics registry, and tracer) and executes
  * them round by round on a pool of worker threads:
  *
- *   1. Barrier (single-threaded): drain every cross-lane mailbox,
- *      merge the messages in canonical (due, srcLane, seq) order, and
- *      schedule each into its destination lane at its due tick.
+ *   1. Barrier (single-threaded): drain every destination lane's
+ *      fan-in ring, merge the messages in canonical
+ *      (due, srcLane, dstLane, seq) order, schedule each into its
+ *      destination lane at its due tick, and run the registered
+ *      barrier hooks (e.g. the doorbell-batch flush law check).
  *   2. Window: W = min over lanes of the next pending tick. Every
  *      lane with work below W + lookahead executes all its events
  *      with tick < W + lookahead, each lane on one worker.
@@ -24,6 +26,14 @@
  * yields the same result, and the canonical merge order makes the
  * destination lane's (tick, seq) order independent of thread count
  * and scheduling. Results are bit-identical for any jobs >= 1.
+ *
+ * Cross-lane posts land in one MPSC combining ring per *destination*
+ * lane (sim/mpsc.h) rather than one SPSC mailbox per (src, dst) pair:
+ * a high-fan-in lane (the NoC lane, a controller tile) is drained
+ * with one ring walk instead of n, and capacity is pooled across
+ * sources instead of fragmented per pair. Each (src, dst) pair still
+ * stamps its own sender-order sequence, so the canonical sort — and
+ * therefore bit-identical determinism — is unchanged.
  *
  * The lookahead comes from the model: it is the minimum latency of
  * any lane-crossing interaction (for the NoC boundary, the minimum
@@ -45,7 +55,7 @@
 #include <vector>
 
 #include "sim/event_queue.h"
-#include "sim/spsc.h"
+#include "sim/mpsc.h"
 #include "sim/types.h"
 #include "sim/unique_function.h"
 
@@ -62,7 +72,10 @@ class LaneScheduler
      * @param lookahead Conservative window width in ticks; every
      *                  cross-lane post must be due at least this far
      *                  after the sender's current time. Must be > 0.
-     * @param mailbox_capacity  Per-(src,dst) mailbox slots.
+     * @param mailbox_capacity  Cross-lane slots per (src,dst) pair;
+     *                  each destination's fan-in ring holds
+     *                  lanes * mailbox_capacity entries, so the
+     *                  aggregate bound matches the per-pair budget.
      */
     LaneScheduler(unsigned lanes, unsigned jobs, Tick lookahead,
                   std::size_t mailbox_capacity = 4096);
@@ -85,8 +98,8 @@ class LaneScheduler
      * absolute tick @p due. Must be called from src's window (or
      * before run(), during model construction). While running, due
      * must be >= lane(src).now() + lookahead(); posting closer than
-     * the lookahead is a model bug and panics. Returns false when the
-     * (src, dst) mailbox is full — the caller owns backpressure
+     * the lookahead is a model bug and panics. Returns false when
+     * dst's fan-in ring is full — the caller owns backpressure
      * (e.g. retry from a later local event). @p fn runs on dst's
      * thread at tick due; it must touch only dst-lane state.
      */
@@ -97,6 +110,16 @@ class LaneScheduler
      *  in-flight count is bounded (credits) below the capacity. */
     void post(unsigned src, unsigned dst, Tick due,
               UniqueFunction<void()> fn);
+
+    /**
+     * Register a hook that runs single-threaded at every barrier,
+     * right after the mailbox merge (and once more when the last
+     * window drains). No lane window is executing while hooks run, so
+     * a hook may inspect any lane's components — the place to assert
+     * cross-lane flush laws such as "no doorbell batch is still
+     * pending when a barrier is crossed" (see dtu::Dtu).
+     */
+    void addBarrierHook(UniqueFunction<void()> fn);
 
     /** Run until every lane drains and no message is in flight. */
     void run();
@@ -134,20 +157,7 @@ class LaneScheduler
         UniqueFunction<void()> fn;
     };
 
-    struct Mailbox
-    {
-        explicit Mailbox(std::size_t cap) : ring(cap) {}
-        SpscRing<Msg> ring;
-        /** Sender-side sequence, in sender program order. */
-        std::uint64_t nextSeq = 0;
-    };
-
-    Mailbox &box(unsigned src, unsigned dst)
-    {
-        return *boxes_[src * n_ + dst];
-    }
-
-    /** Drain all mailboxes and schedule the messages canonically. */
+    /** Drain all fan-in rings and schedule the messages canonically. */
     void mergeMailboxes();
 
     /** Next pending tick over all lanes; false if all empty. */
@@ -164,8 +174,17 @@ class LaneScheduler
     std::uint64_t merged_ = 0;
 
     std::vector<std::unique_ptr<EventQueue>> lanes_;
-    std::vector<std::unique_ptr<Mailbox>> boxes_;
+    /** One MPSC combining ring per destination lane. */
+    std::vector<std::unique_ptr<MpscRing<Msg>>> rings_;
+    /**
+     * Sender-order sequence per (src, dst) pair, indexed
+     * src * n_ + dst. Element (s, d) is touched only by lane s's
+     * worker thread; successive windows of a lane are ordered by the
+     * barrier, so no element is ever written concurrently.
+     */
+    std::vector<std::uint64_t> seqs_;
     std::vector<Msg> scratch_;
+    std::vector<UniqueFunction<void()>> barrierHooks_;
 
     //
     // Worker pool (created once; parked between rounds).

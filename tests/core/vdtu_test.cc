@@ -281,14 +281,16 @@ TEST_F(VDtuTest, AckReraisesIrqWhenQueueNonEmpty)
     EXPECT_EQ(irqs, 2);
 }
 
-TEST_F(VDtuTest, FullCoreRequestQueueBackpressuresNoc)
+TEST_F(VDtuTest, SameActBurstCoalescesCoreRequests)
 {
     vdtuB.configEp(8, Endpoint::makeRecv(5, 256, 16));
     vdtuA.configEp(8, Endpoint::makeSend(1, kTileB, 8, 0, 16));
     vdtuA.xchgAct(1);
     vdtuB.xchgAct(1);
-    dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
 
+    int irqs = 0;
+    vdtuB.setCoreReqIrq([&]() { irqs++; });
+    dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
     int delivered = 0;
     for (int i = 0; i < 6; i++) {
         vdtuA.cmdSend(1, 8, buf, bytes("m"), kInvalidEp,
@@ -298,15 +300,51 @@ TEST_F(VDtuTest, FullCoreRequestQueueBackpressuresNoc)
                       });
     }
     eq.run();
+    // All six messages target the same sleeping activity: they
+    // coalesce into one core request — one IRQ, one queue slot, no
+    // backpressure even though the queue depth is only 4.
+    EXPECT_EQ(delivered, 6);
+    EXPECT_EQ(vdtuB.unread(5, 8), 6u);
+    EXPECT_EQ(irqs, 1);
+    EXPECT_EQ(vdtuB.coreReqs(), 1u);
+    EXPECT_EQ(vdtuB.coreReqsCoalesced(), 5u);
+    CoreReq req = vdtuB.coreReqGet();
+    EXPECT_EQ(req.act, 5);
+    EXPECT_EQ(req.count, 6u);
+    vdtuB.coreReqAck();
+    EXPECT_FALSE(vdtuB.coreReqPending());
+}
+
+TEST_F(VDtuTest, FullCoreRequestQueueBackpressuresNoc)
+{
+    // Six distinct sleeping activities: every message needs its own
+    // core-request slot (same-act coalescing cannot absorb any).
+    for (EpId i = 0; i < 6; i++) {
+        vdtuB.configEp(8 + i, Endpoint::makeRecv(
+                                  static_cast<ActId>(5 + i), 256, 16));
+        vdtuA.configEp(8 + i,
+                       Endpoint::makeSend(1, kTileB, 8 + i, 0, 16));
+    }
+    vdtuA.xchgAct(1);
+    vdtuB.xchgAct(1);
+    dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
+
+    int delivered = 0;
+    for (EpId i = 0; i < 6; i++) {
+        vdtuA.cmdSend(1, 8 + i, buf, bytes("m"), kInvalidEp,
+                      [&](Error e) {
+                          if (e == Error::None)
+                              delivered++;
+                      });
+    }
+    eq.run();
     // Default queue depth is 4: two sends stay backpressured in the
     // NoC until core requests are acknowledged.
     EXPECT_EQ(delivered, 4);
-    EXPECT_EQ(vdtuB.unread(5, 8), 4u);
     while (vdtuB.coreReqPending())
         vdtuB.coreReqAck();
     eq.run();
     EXPECT_EQ(delivered, 6);
-    EXPECT_EQ(vdtuB.unread(5, 8), 6u);
 }
 
 TEST_F(VDtuTest, ResetActClearsUnreadCoreReqsAndTlb)
@@ -336,15 +374,20 @@ TEST_F(VDtuTest, ResetActClearsUnreadCoreReqsAndTlb)
 
 TEST_F(VDtuTest, ResetActReleasesCoreReqBackpressure)
 {
-    vdtuB.configEp(8, Endpoint::makeRecv(5, 256, 16));
-    vdtuA.configEp(8, Endpoint::makeSend(1, kTileB, 8, 0, 16));
+    // Distinct activities so the queue actually fills (see above).
+    for (EpId i = 0; i < 6; i++) {
+        vdtuB.configEp(8 + i, Endpoint::makeRecv(
+                                  static_cast<ActId>(5 + i), 256, 16));
+        vdtuA.configEp(8 + i,
+                       Endpoint::makeSend(1, kTileB, 8 + i, 0, 16));
+    }
     vdtuA.xchgAct(1);
     vdtuB.xchgAct(1);
     dtu::VirtAddr buf = mapped(vdtuA, 1, 0x10000, kPermRW);
 
     int delivered = 0;
-    for (int i = 0; i < 6; i++) {
-        vdtuA.cmdSend(1, 8, buf, bytes("m"), kInvalidEp,
+    for (EpId i = 0; i < 6; i++) {
+        vdtuA.cmdSend(1, 8 + i, buf, bytes("m"), kInvalidEp,
                       [&](Error e) {
                           if (e == Error::None)
                               delivered++;
@@ -355,9 +398,10 @@ TEST_F(VDtuTest, ResetActReleasesCoreReqBackpressure)
     // the NoC.
     EXPECT_EQ(delivered, 4);
 
-    // Killing the recipient must free the queue slots and wake the
+    // Killing the recipients must free the queue slots and wake the
     // parked senders (previously they would hang forever).
-    vdtuB.resetAct(5);
+    for (ActId a = 5; a < 9; a++)
+        vdtuB.resetAct(a);
     eq.run();
     EXPECT_EQ(delivered, 6);
 }

@@ -401,6 +401,23 @@ actBody(Platform &plat, RunState &rs, bool buggy, Prog prog,
                 ov.budget.recordSuccess();
             break;
         }
+        case OpKind::FanIn: {
+            // Fan-in burst: 2-4 ungated back-to-back sends on the
+            // remote EP. Every tile's remote EPs target the same
+            // destination, so concurrent FanIn ops converge on one
+            // receiver — same-tick stores coalesce doorbells and, in
+            // laned mode, the stores funnel through the MPSC mailbox
+            // merge. Tags stay within this op's kTagStride window.
+            EpId sep = static_cast<EpId>(kRemoteSepBase + li);
+            unsigned k = 2 + op.arg % 3;
+            for (unsigned s = 0; s < k; s++) {
+                Error err = Error::Aborted;
+                co_await oneSend(plat, idx, sep, tag + s, err);
+                rec.sendErrs.push_back(
+                    static_cast<std::uint8_t>(err));
+            }
+            break;
+        }
         case OpKind::Wait: {
             co_await mux.waitForMsg(act, rep);
             for (;;) {
@@ -649,6 +666,7 @@ opKindName(OpKind k)
     case OpKind::Burst: return "burst";
     case OpKind::Shed: return "shed";
     case OpKind::Trip: return "trip";
+    case OpKind::FanIn: return "fanin";
     }
     return "?";
 }
@@ -682,8 +700,10 @@ makeScenario(std::uint64_t seed, std::uint64_t index, bool faults,
             op.kind = OpKind::Burst;
         else if (roll < 92)
             op.kind = OpKind::Shed;
-        else
+        else if (roll < 96)
             op.kind = OpKind::Trip;
+        else
+            op.kind = OpKind::FanIn;
         op.arg = static_cast<std::uint32_t>(rng.next());
         sc.ops.push_back(op);
     }

@@ -59,6 +59,11 @@ enum class OpKind : std::uint8_t
            ///< (queue age + ring occupancy)
     Trip,  ///< drive the breaker trip/reset edges and the retry
            ///< budget directly with an arg-derived outcome pattern
+
+    FanIn, ///< ungated back-to-back sends on the remote EP: many
+           ///< activities' remote EPs converge on one receiver,
+           ///< exercising doorbell coalescing and the MPSC mailbox
+           ///< merge under the laned differential
 };
 
 const char *opKindName(OpKind k);

@@ -330,6 +330,9 @@ TEST(LaneSchedulerTest, HorizonRolloverAcrossWindowBarriers)
         }
         sched.run();
         EXPECT_GT(sched.rounds(), 10u);
+        // *step captures the shared_ptr that owns it; break the
+        // cycle so the chain closures are released.
+        *step = nullptr;
         return log;
     };
 
