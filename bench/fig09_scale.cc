@@ -18,9 +18,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "bench_util.h"
 #include "m3x/system.h"
+#include "noc/noc.h"
 #include "sim/lane.h"
 #include "services/fs_proto.h"
 #include "services/m3fs.h"
@@ -526,6 +528,168 @@ m3xRunsPerSec(unsigned tiles, bool find,
     return tiles * kMeasuredRuns / secs;
 }
 
+//
+// Mesh tile-count sweep: the fabric itself, at 64/256/1024 tiles on a
+// router-sharded LaneScheduler (one lane per mesh router, per-pair
+// lookaheads from the link latencies, distant lanes windowed by the
+// distance matrix). Deterministic synthetic traffic; every tile count
+// runs at jobs = 1, 2, 4 and the runs must be digest-identical — the
+// jobs=1-vs-N gate of the parallel fabric at scale. Simulated-time
+// results go to stdout/summary; wall-clock throughput and speedup go
+// to stderr and --scale-out (host-dependent numbers must not disturb
+// the byte-identical-output contract).
+//
+
+constexpr unsigned kMeshShots = 48;
+constexpr int kMeshSinkChain = 6;
+constexpr sim::Cycles kMeshShotSpacing = 150;
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Tile sink: digests every arrival (tick, source, size) in lane
+ *  order, then models tile-side processing as a short lane-local
+ *  event chain so every router lane carries real work. */
+struct MeshSink : noc::HopTarget
+{
+    sim::EventQueue *eq = nullptr;
+    const sim::Clock *clk = nullptr;
+    std::uint64_t digest = 0;
+    std::uint64_t received = 0;
+
+    bool
+    acceptPacket(noc::Packet &pkt,
+                 sim::UniqueFunction<void()>) override
+    {
+        digest = digest * 0x100000001b3ull ^
+                 mix64(eq->now() ^
+                       (static_cast<std::uint64_t>(pkt.src) << 40) ^
+                       (static_cast<std::uint64_t>(pkt.bytes) << 20));
+        received++;
+        step(kMeshSinkChain);
+        return true;
+    }
+
+    void
+    step(int left)
+    {
+        if (left == 0)
+            return;
+        eq->schedule(clk->cyclesToTicks(200), [this, left]() {
+            digest = mix64(digest + static_cast<unsigned>(left));
+            step(left - 1);
+        });
+    }
+};
+
+/** Per-tile traffic source: kMeshShots packets to pseudo-random
+ *  destinations, rebuilt deterministically on every backpressure
+ *  retry (inject leaves the packet untouched on false). */
+struct MeshInjector
+{
+    noc::Noc *noc = nullptr;
+    unsigned tiles = 0;
+    noc::TileId src = 0;
+
+    void
+    fire(unsigned shot)
+    {
+        std::uint64_t h =
+            mix64((static_cast<std::uint64_t>(src) << 20) ^ shot);
+        noc::Packet p;
+        p.src = src;
+        p.dst = static_cast<noc::TileId>(
+            (src + 1 + h % (tiles - 1)) % tiles);
+        p.bytes = 16 + ((h >> 32) % 240);
+        noc->inject(p, [this, shot]() { fire(shot); });
+    }
+};
+
+struct MeshResult
+{
+    std::uint64_t digest = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t events = 0;
+    sim::Tick finalTick = 0;
+    double wallMs = 0;
+};
+
+MeshResult
+runMeshOnce(unsigned tiles, unsigned jobs)
+{
+    noc::NocParams np = noc::NocParams::forTiles(tiles);
+    unsigned routers = np.meshCols * np.meshRows;
+    sim::Tick min_link = noc::Noc::minLinkLatency(np);
+    // Small per-pair mailbox budget: in-flight per lane is bounded by
+    // the adjacent LaneLinks' credits, and the rings are preallocated
+    // (256 lanes * the default budget would be gigabytes).
+    sim::LaneScheduler sched(routers, jobs, min_link,
+                             /*mailbox_capacity=*/4);
+    // Only adjacent router lanes ever post (declared by finalize());
+    // everything else stays kNoCrossing so distant lanes earn
+    // hop-proportional windows from the distance matrix.
+    sched.fillPairLookaheads(sim::LaneScheduler::kNoCrossing);
+    noc::Noc fabric(sched.lane(0), np);
+    std::vector<unsigned> lane_of_router(routers);
+    for (unsigned r = 0; r < routers; r++)
+        lane_of_router[r] = r;
+    fabric.setRouterLanePlan(sched, lane_of_router);
+
+    std::vector<MeshSink> sinks(tiles);
+    for (unsigned t = 0; t < tiles; t++) {
+        unsigned r = fabric.nextRouter();
+        sinks[t].eq = &sched.lane(r);
+        sinks[t].clk = &fabric.clock();
+        fabric.attachTile(t, &sinks[t]);
+    }
+    fabric.finalize();
+
+    const sim::Clock &clk = fabric.clock();
+    std::vector<MeshInjector> injectors(tiles);
+    for (unsigned t = 0; t < tiles; t++) {
+        injectors[t].noc = &fabric;
+        injectors[t].tiles = tiles;
+        injectors[t].src = t;
+        MeshInjector *inj = &injectors[t];
+        sim::EventQueue &home = sched.lane(t % routers);
+        for (unsigned s = 0; s < kMeshShots; s++) {
+            sim::Tick at =
+                clk.cyclesToTicks(100 + s * kMeshShotSpacing) +
+                mix64(t * 977u + s) % min_link;
+            home.scheduleAt(at, [inj, s]() { inj->fire(s); });
+        }
+    }
+
+    double t0 = m3v::bench::wallMs();
+    sched.run();
+    MeshResult res;
+    res.wallMs = m3v::bench::wallMs() - t0;
+    for (unsigned t = 0; t < tiles; t++)
+        res.digest = res.digest * 0x100000001b3ull ^ sinks[t].digest;
+    res.delivered = fabric.delivered();
+    res.bytes = fabric.deliveredBytes();
+    res.stalls = fabric.portStalls();
+    res.events = sched.executed();
+    for (unsigned r = 0; r < routers; r++)
+        res.finalTick = std::max(res.finalTick, sched.lane(r).now());
+    if (res.delivered !=
+        static_cast<std::uint64_t>(tiles) * kMeshShots)
+        sim::panic("fig09 mesh: %llu/%llu packets delivered",
+                   static_cast<unsigned long long>(res.delivered),
+                   static_cast<unsigned long long>(
+                       static_cast<std::uint64_t>(tiles) *
+                       kMeshShots));
+    return res;
+}
+
 } // namespace
 
 int
@@ -535,6 +699,19 @@ main(int argc, char **argv)
 
     m3v::bench::ObsOptions obs = m3v::bench::parseObsArgs(argc, argv);
     m3v::bench::MetricsDump dump;
+    m3v::bench::Summary summary;
+
+    // Sweep-local flags (parseObsArgs ignores what it doesn't know):
+    // --mesh-only skips the trace-replay sweep (CI mesh smoke);
+    // --scale-out=FILE records the host-side mesh throughput JSON.
+    bool mesh_only = false;
+    std::string scale_out;
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--mesh-only"))
+            mesh_only = true;
+        else if (!std::strncmp(argv[i], "--scale-out=", 12))
+            scale_out = argv[i] + 12;
+    }
 
     banner("Figure 9",
            "Scalability of context-switch-heavy applications with "
@@ -543,11 +720,13 @@ main(int argc, char **argv)
                 "per tile; runs/s)\n\n");
 
     // M3V_FIG09_TILES caps the tile sweep (CI smoke runs use a
-    // reduced configuration; unset means the full figure).
+    // reduced configuration; unset means the full figure). 64 and
+    // beyond additionally enables the mesh fabric sweep.
     unsigned max_tiles = 12;
     if (const char *cap = std::getenv("M3V_FIG09_TILES"))
         max_tiles = static_cast<unsigned>(std::atoi(cap));
 
+    if (!mesh_only) {
     // Every (tiles, system, workload) run is an independent cell:
     // its own EventQueue, its own metrics shard, its own result
     // slot. Cells run on --jobs threads; everything is printed and
@@ -616,7 +795,6 @@ main(int argc, char **argv)
     dump.write(obs.metricsOut);
     m3v::bench::writePerfJson(obs.perfOut, obs.jobs, wall, events);
 
-    m3v::bench::Summary summary;
     for (std::size_t i = 0; i < ns.size(); i++) {
         const CellOut *o = &outs[i * 4];
         std::string n = std::to_string(ns[i]);
@@ -626,6 +804,139 @@ main(int argc, char **argv)
         summary.add("m3v_sqlite_" + n + "_runs_per_s", o[3].v, 1);
     }
     summary.addU64("events", events);
+    } // !mesh_only
+
+    // Mesh fabric sweep (64+ tiles): only simulated-time results are
+    // printed / summarized, so stdout stays byte-identical for any
+    // --jobs; the internal jobs = {1, 2, 4} runs must agree exactly.
+    std::vector<unsigned> mesh_ns;
+    for (unsigned n : {64u, 256u, 1024u})
+        if (n <= max_tiles)
+            mesh_ns.push_back(n);
+    if (!mesh_ns.empty()) {
+        std::printf("\nMesh fabric sweep (k-ary 2D mesh, one lane "
+                    "per router, jobs=1/2/4 digest-checked):\n\n");
+        sim::TablePrinter mesh_table(
+            {"# tiles", "mesh", "delivered", "stalls", "final us",
+             "digest"});
+        struct MeshRow
+        {
+            unsigned tiles = 0;
+            noc::NocParams np;
+            MeshResult r1, r2, r4;
+        };
+        std::vector<MeshRow> rows;
+        for (unsigned n : mesh_ns) {
+            MeshRow row;
+            row.tiles = n;
+            row.np = noc::NocParams::forTiles(n);
+            row.r1 = runMeshOnce(n, 1);
+            row.r2 = runMeshOnce(n, 2);
+            row.r4 = runMeshOnce(n, 4);
+            for (const MeshResult *r : {&row.r2, &row.r4}) {
+                if (r->digest != row.r1.digest ||
+                    r->delivered != row.r1.delivered ||
+                    r->events != row.r1.events ||
+                    r->finalTick != row.r1.finalTick)
+                    sim::panic("fig09 mesh: %u-tile run diverges "
+                               "across jobs (digest %016llx vs "
+                               "%016llx)",
+                               n,
+                               static_cast<unsigned long long>(
+                                   row.r1.digest),
+                               static_cast<unsigned long long>(
+                                   r->digest));
+            }
+            char digest_hex[32], mesh_dim[32];
+            std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                          static_cast<unsigned long long>(
+                              row.r1.digest));
+            std::snprintf(mesh_dim, sizeof(mesh_dim), "%ux%u",
+                          row.np.meshCols, row.np.meshRows);
+            mesh_table.addRow(
+                {std::to_string(n), mesh_dim,
+                 std::to_string(row.r1.delivered),
+                 std::to_string(row.r1.stalls),
+                 sim::fmtDouble(
+                     sim::ticksToSec(row.r1.finalTick) * 1e6, 2),
+                 digest_hex});
+            std::string key = "mesh_" + std::to_string(n);
+            summary.addU64(key + "_delivered", row.r1.delivered);
+            summary.addU64(key + "_bytes", row.r1.bytes);
+            summary.addU64(key + "_stalls", row.r1.stalls);
+            summary.addU64(key + "_final_tick", row.r1.finalTick);
+            summary.addU64(key + "_digest", row.r1.digest);
+            rows.push_back(row);
+        }
+        mesh_table.print();
+
+        // Host-side throughput: stderr + --scale-out only (never
+        // stdout — wall clock is not deterministic).
+        unsigned hw = std::thread::hardware_concurrency();
+        for (const MeshRow &row : rows) {
+            std::fprintf(
+                stderr,
+                "mesh %u tiles: jobs1 %.1f ms (%.0f ev/s), jobs2 "
+                "%.1f ms, jobs4 %.1f ms, speedup4 %.2f\n",
+                row.tiles, row.r1.wallMs,
+                row.r1.events / (row.r1.wallMs / 1000.0),
+                row.r2.wallMs, row.r4.wallMs,
+                row.r1.wallMs / row.r4.wallMs);
+        }
+        if (!scale_out.empty()) {
+            FILE *f = std::fopen(scale_out.c_str(), "w");
+            if (!f)
+                sim::panic("fig09 mesh: cannot write %s",
+                           scale_out.c_str());
+            std::fprintf(f,
+                         "{\n  \"bench\": \"fig09_scale mesh "
+                         "sweep\",\n  \"hw_concurrency\": %u,\n"
+                         "  \"mesh\": [\n",
+                         hw);
+            for (std::size_t i = 0; i < rows.size(); i++) {
+                const MeshRow &row = rows[i];
+                bool valid = hw >= 4;
+                std::fprintf(
+                    f,
+                    "    {\n      \"tiles\": %u,\n"
+                    "      \"mesh\": \"%ux%u\",\n"
+                    "      \"routers\": %u,\n"
+                    "      \"events\": %llu,\n"
+                    "      \"delivered\": %llu,\n"
+                    "      \"stalls\": %llu,\n"
+                    "      \"digest\": \"%016llx\",\n"
+                    "      \"jobs1_wall_ms\": %.3f,\n"
+                    "      \"jobs2_wall_ms\": %.3f,\n"
+                    "      \"jobs4_wall_ms\": %.3f,\n"
+                    "      \"events_per_sec_jobs1\": %.0f,\n"
+                    "      \"speedup_valid\": %s",
+                    row.tiles, row.np.meshCols, row.np.meshRows,
+                    row.np.meshCols * row.np.meshRows,
+                    static_cast<unsigned long long>(row.r1.events),
+                    static_cast<unsigned long long>(
+                        row.r1.delivered),
+                    static_cast<unsigned long long>(row.r1.stalls),
+                    static_cast<unsigned long long>(row.r1.digest),
+                    row.r1.wallMs, row.r2.wallMs, row.r4.wallMs,
+                    row.r1.events / (row.r1.wallMs / 1000.0),
+                    valid ? "true" : "false");
+                // The speedup keys are only present when the host
+                // can actually run 4 workers (see ci/bench_smoke.sh:
+                // absent beats a null that reads as 0 downstream).
+                if (valid)
+                    std::fprintf(
+                        f,
+                        ",\n      \"speedup2\": %.3f,\n"
+                        "      \"speedup4\": %.3f",
+                        row.r1.wallMs / row.r2.wallMs,
+                        row.r1.wallMs / row.r4.wallMs);
+                std::fprintf(f, "\n    }%s\n",
+                             i + 1 < rows.size() ? "," : "");
+            }
+            std::fprintf(f, "  ]\n}\n");
+            std::fclose(f);
+        }
+    }
     summary.write(obs.summaryOut);
     return 0;
 }

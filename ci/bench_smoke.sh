@@ -45,8 +45,10 @@ cmp "$OUT1" "$OUT4" || {
     exit 1
 }
 # On a single-hardware-thread runner the jobs=4 run cannot go faster
-# than jobs=1; the speedup figure is meaningless noise there, so mark
-# it invalid rather than let a review diff flag a "regression".
+# than jobs=1; the speedup figure is meaningless noise there, so the
+# "speedup" key is emitted only when it is a real measurement — a
+# null would read as a broken run in review diffs, and downstream
+# smoke checks must skip the comparison instead of comparing to null.
 jq -n --slurpfile j1 "$PERF1" --slurpfile j4 "$PERF4" \
     --argjson cpus "$(nproc)" '{
   bench: "fig09_scale (M3V_FIG09_TILES=4)",
@@ -55,17 +57,34 @@ jq -n --slurpfile j1 "$PERF1" --slurpfile j4 "$PERF4" \
   jobs_config: [$j1[0].jobs, $j4[0].jobs],
   jobs1: $j1[0],
   jobs4: $j4[0],
-  speedup_valid: ($j1[0].hw_concurrency > 1),
-  speedup: (if $j1[0].hw_concurrency > 1 and $j4[0].wall_ms > 0
-            then ($j1[0].wall_ms / $j4[0].wall_ms) else null end)
-}' >"$SCALE_OUT"
+  speedup_valid: ($j1[0].hw_concurrency > 1)
+} + (if $j1[0].hw_concurrency > 1 and $j4[0].wall_ms > 0
+     then {speedup: ($j1[0].wall_ms / $j4[0].wall_ms)} else {} end)
+' >"$SCALE_OUT"
 rm -f "$PERF1" "$PERF4" "$OUT1" "$OUT4"
+
+echo "== fig09_scale mesh fabric sweep (64/256 tiles) =="
+# The k-ary mesh sweep: per tile count, the same workload runs at
+# jobs=1/2/4 and must produce identical digests (the bench aborts
+# otherwise). Wall-clock rows merge into BENCH_scale.json under
+# "mesh"; per-row speedup keys appear only on hosts with >= 4
+# hardware threads (speedup_valid).
+MESH_JSON=$(mktemp)
+M3V_FIG09_TILES=256 "$BUILD_DIR/bench/fig09_scale" --mesh-only \
+    --scale-out="$MESH_JSON"
+jq --slurpfile m "$MESH_JSON" '. + {mesh: $m[0].mesh}' \
+    "$SCALE_OUT" >"$SCALE_OUT.tmp" && mv "$SCALE_OUT.tmp" "$SCALE_OUT"
+rm -f "$MESH_JSON"
+
 echo "== wrote $SCALE_OUT =="
 if [ "$(jq '.speedup_valid' "$SCALE_OUT")" = "false" ]; then
     echo "NOTE: hw_concurrency == 1 -- jobs=1 vs jobs=4 speedup" \
          "comparison skipped (speedup_valid: false)"
 fi
-jq '{host_cpus, speedup_valid, speedup, jobs1: .jobs1.wall_ms, jobs4: .jobs4.wall_ms}' "$SCALE_OUT"
+jq '{host_cpus, speedup_valid,
+     speedup: (.speedup // "skipped"),
+     jobs1: .jobs1.wall_ms, jobs4: .jobs4.wall_ms,
+     mesh_tiles: [.mesh[].tiles]}' "$SCALE_OUT"
 
 echo "== bench/fanin (zero-copy message path vs copying baseline) =="
 # Reduced message count: this is a smoke run that checks the slab

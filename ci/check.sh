@@ -36,6 +36,28 @@ cmp "$FLEET1" "$FLEET4" || {
 }
 rm -f "$FLEET1" "$FLEET4"
 
+echo "== mesh scaling: 64-tile sweep, jobs=4 speedup =="
+# Measured parallel speedup of the router-sharded 64-tile mesh on the
+# plain build. Below four hardware threads a jobs=4 run cannot
+# express real parallelism — the assertion is skipped with a notice
+# rather than failing small runners.
+if [ "$(nproc)" -ge 4 ]; then
+    MESH_PERF=$(mktemp)
+    M3V_FIG09_TILES=64 build/bench/fig09_scale --mesh-only \
+        --scale-out="$MESH_PERF"
+    jq -e '.mesh[0].jobs1_wall_ms / .mesh[0].jobs4_wall_ms > 1.15' \
+        "$MESH_PERF" >/dev/null || {
+        echo "FAIL: 64-tile mesh jobs=4 speedup <= 1.15" >&2
+        jq '.mesh[0]' "$MESH_PERF" >&2
+        exit 1
+    }
+    echo "mesh jobs=4 speedup: $(jq '.mesh[0].speedup4' "$MESH_PERF")"
+    rm -f "$MESH_PERF"
+else
+    echo "NOTE: fewer than 4 hardware threads -- mesh jobs=4" \
+         "speedup assertion skipped"
+fi
+
 echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DM3VSIM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
@@ -78,6 +100,23 @@ cmake --build build-tsan -j --target sim_lane_test noc_lane_test \
     fuzz_driver fanin
 build-tsan/tests/sim/sim_lane_test --gtest_filter='-*Panic*'
 build-tsan/tests/noc/noc_lane_test
+
+echo "== mesh sweep under TSan (64 tiles, router-sharded) =="
+# The 64-tile k-ary mesh runs one lane per router with whole-lane
+# work-stealing: 16 lanes exchanging packets and credit returns
+# through LaneLinks while per-pair windows advance — the densest
+# threaded path in the tree. Death tests excluded as above. Needs a
+# second hardware thread for real concurrency under TSan.
+if [ "$(nproc)" -ge 2 ]; then
+    cmake --build build-tsan -j --target noc_mesh_test fig09_scale
+    build-tsan/tests/noc/noc_mesh_test --gtest_filter='-*TypedError*'
+    MESH_TSAN=$(mktemp)
+    M3V_FIG09_TILES=64 build-tsan/bench/fig09_scale --mesh-only \
+        --scale-out="$MESH_TSAN" >/dev/null
+    rm -f "$MESH_TSAN"
+else
+    echo "NOTE: single hardware thread -- TSan mesh sweep skipped"
+fi
 
 echo "== fan-in microbench under TSan (bounded) =="
 # The slab pool's refcount mutex and the COW hand-off are the

@@ -12,11 +12,22 @@ LaneLink::LaneLink(sim::LaneScheduler &sched, unsigned src_lane,
     : sched_(sched), srcLane_(src_lane), dstLane_(dst_lane),
       latency_(latency), target_(target), credits_(credits)
 {
-    if (latency_ < sched_.lookahead())
-        sim::panic("LaneLink: latency %llu below lookahead %llu",
-                   static_cast<unsigned long long>(latency_),
-                   static_cast<unsigned long long>(
-                       sched_.lookahead()));
+    // Both directions post at this latency: packets src -> dst,
+    // credit returns dst -> src. Each must satisfy its pair's
+    // declared lookahead.
+    for (auto [a, b] : {std::pair{src_lane, dst_lane},
+                        std::pair{dst_lane, src_lane}}) {
+        sim::Tick l = sched_.pairLookahead(a, b);
+        if (l == sim::LaneScheduler::kNoCrossing)
+            sim::panic("LaneLink: lanes %u->%u have no declared "
+                       "lookahead",
+                       a, b);
+        if (latency_ < l)
+            sim::panic("LaneLink: latency %llu below %u->%u "
+                       "lookahead %llu",
+                       static_cast<unsigned long long>(latency_), a,
+                       b, static_cast<unsigned long long>(l));
+    }
     if (credits_ == 0)
         sim::panic("LaneLink: zero credits");
 }

@@ -1,5 +1,6 @@
 #include "noc/noc.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
@@ -10,11 +11,27 @@
 
 namespace m3v::noc {
 
+const char *
+nocConfigErrorName(NocConfigError e)
+{
+    switch (e) {
+    case NocConfigError::None:
+        return "none";
+    case NocConfigError::TooManyTilesPerRouter:
+        return "too many tiles per router";
+    case NocConfigError::DuplicateTile:
+        return "duplicate tile id";
+    }
+    return "unknown";
+}
+
 /**
  * Per-tile plumbing: an injection port (tile -> router) and an exit
  * adapter (router -> tile sink) that counts deliveries. In lane mode
  * the adapter runs on the tile's lane and counts into that lane's
- * registry, and both directions cross lanes through LaneLinks.
+ * registry, and both directions cross lanes through LaneLinks; in
+ * router-plan mode everything lives on the home router's lane and the
+ * handover is direct.
  */
 struct Noc::TileAttachment
 {
@@ -44,7 +61,7 @@ struct Noc::TileAttachment
     /** Router-side port index toward the tile. */
     std::size_t exitPortIdx = 0;
     ExitAdapter exit;
-    /** Lane mode only: the two lane-crossing directions. */
+    /** Tile-plan lane mode only: the two lane-crossing directions. */
     std::unique_ptr<LaneLink> injectLink;
     std::unique_ptr<LaneLink> exitLink;
 };
@@ -90,6 +107,8 @@ Noc::setLanePlan(sim::LaneScheduler &sched,
 {
     if (!tiles_.empty() || finalized_)
         sim::panic("Noc: setLanePlan after attach/finalize");
+    if (laneSched_)
+        sim::panic("Noc: lane plan already set");
     if (&sched.lane(noc_lane) != &eq_)
         sim::panic("Noc: noc_lane %u is not this Noc's event queue",
                    noc_lane);
@@ -104,16 +123,68 @@ Noc::setLanePlan(sim::LaneScheduler &sched,
     nocLane_ = noc_lane;
 }
 
+void
+Noc::setRouterLanePlan(sim::LaneScheduler &sched,
+                       std::vector<unsigned> lane_of_router)
+{
+    if (!tiles_.empty() || finalized_)
+        sim::panic("Noc: setRouterLanePlan after attach/finalize");
+    if (laneSched_)
+        sim::panic("Noc: lane plan already set");
+    if (lane_of_router.size() != routers_.size())
+        sim::panic("Noc: %zu router lanes for %zu routers",
+                   lane_of_router.size(), routers_.size());
+    for (unsigned l : lane_of_router)
+        if (l >= sched.lanes())
+            sim::panic("Noc: router lane %u outside %u lanes", l,
+                       sched.lanes());
+    laneLatency_ = minLinkLatency();
+    laneSched_ = &sched;
+    routerPlan_ = true;
+    laneOfRouter_ = std::move(lane_of_router);
+    // Rebuild the routers against their lanes' event queues: each
+    // router's ports, metrics, and tracer become lane-local, so a
+    // whole router (and its star of tiles) is one shard.
+    for (unsigned r = 0; r < routers_.size(); r++) {
+        routers_[r] = std::make_unique<Router>(
+            sched.lane(laneOfRouter_[r]), clk_, params_, r,
+            "noc.r" + std::to_string(r));
+    }
+}
+
+unsigned
+Noc::laneOfRouter(unsigned r) const
+{
+    if (!routerPlan_)
+        sim::panic("Noc: laneOfRouter without a router lane plan");
+    if (r >= laneOfRouter_.size())
+        sim::panic("Noc: router %u outside mesh", r);
+    return laneOfRouter_[r];
+}
+
+unsigned
+Noc::nextRouter() const
+{
+    return static_cast<unsigned>(tiles_.size() % routers_.size());
+}
+
 unsigned
 Noc::routerOf(TileId id) const
 {
-    for (const auto &t : tiles_)
-        if (t->id == id)
-            return t->router;
-    sim::panic("Noc: unknown tile %u", id);
+    return attachmentOf(id).router;
 }
 
-void
+const Noc::TileAttachment &
+Noc::attachmentOf(TileId id) const
+{
+    std::size_t idx =
+        id < tileIndexOf_.size() ? tileIndexOf_[id] : SIZE_MAX;
+    if (idx == SIZE_MAX)
+        sim::panic("Noc: unknown tile %u", id);
+    return *tiles_[idx];
+}
+
+unsigned
 Noc::attachTile(TileId id, HopTarget *sink)
 {
     if (finalized_)
@@ -122,12 +193,20 @@ Noc::attachTile(TileId id, HopTarget *sink)
     att->id = id;
     // Distribute tiles over routers round-robin, like the platform in
     // Figure 4 spreads its eleven tiles over four routers.
-    att->router = static_cast<unsigned>(tiles_.size()) %
-                  static_cast<unsigned>(routers_.size());
+    att->router = nextRouter();
     att->exit.sink = sink;
+
+    // O(1) id -> attachment lookup (inject() runs per packet). A
+    // re-attached id keeps its first mapping; validate() reports the
+    // duplicate before finalize() would build routes for it.
+    if (id >= tileIndexOf_.size())
+        tileIndexOf_.resize(id + 1, SIZE_MAX);
+    if (tileIndexOf_[id] == SIZE_MAX)
+        tileIndexOf_[id] = tiles_.size();
 
     Router &r = *routers_[att->router];
     att->exitPortIdx = r.addPort();
+    unsigned assigned = att->router;
 
     std::string inj_name = "noc.tile" + std::to_string(id) + ".inj";
     if (!laneSched_) {
@@ -138,7 +217,24 @@ Noc::attachTile(TileId id, HopTarget *sink)
                                                     params_, inj_name);
         att->injectPort->connect(&r);
         tiles_.push_back(std::move(att));
-        return;
+        return assigned;
+    }
+
+    std::string base = "noc.tile" + std::to_string(id);
+    if (routerPlan_) {
+        // Router-sharded mode: the tile lives on its home router's
+        // lane, so both handover directions stay lane-local. Only the
+        // mesh links between routers cross lanes (see finalize()).
+        sim::EventQueue &req = laneSched_->lane(laneOfRouter_[att->router]);
+        att->exit.delivered = req.metrics().counter(base + ".delivered");
+        att->exit.deliveredBytes =
+            req.metrics().counter(base + ".delivered_bytes");
+        r.port(att->exitPortIdx).connect(&att->exit);
+        att->injectPort =
+            std::make_unique<OutPort>(req, clk_, params_, inj_name);
+        att->injectPort->connect(&r);
+        tiles_.push_back(std::move(att));
+        return assigned;
     }
 
     // Lane mode: the injection port and the exit adapter live on the
@@ -149,7 +245,6 @@ Noc::attachTile(TileId id, HopTarget *sink)
         sim::panic("Noc: no lane for tile %u", id);
     unsigned lt = laneOfTile_[id];
     sim::EventQueue &teq = laneSched_->lane(lt);
-    std::string base = "noc.tile" + std::to_string(id);
     att->exit.delivered = teq.metrics().counter(base + ".delivered");
     att->exit.deliveredBytes =
         teq.metrics().counter(base + ".delivered_bytes");
@@ -172,6 +267,60 @@ Noc::attachTile(TileId id, HopTarget *sink)
     att->injectPort->setLaunchEarly(laneLatency_);
 
     tiles_.push_back(std::move(att));
+    return assigned;
+}
+
+NocConfigError
+Noc::validate() const
+{
+    std::size_t mapped = 0;
+    for (std::size_t idx : tileIndexOf_)
+        if (idx != SIZE_MAX)
+            mapped++;
+    if (mapped != tiles_.size())
+        return NocConfigError::DuplicateTile;
+    std::vector<std::size_t> per_router(routers_.size(), 0);
+    for (const auto &t : tiles_)
+        per_router[t->router]++;
+    for (std::size_t c : per_router)
+        if (c > params_.maxTilesPerRouter)
+            return NocConfigError::TooManyTilesPerRouter;
+    return NocConfigError::None;
+}
+
+int
+Noc::travelDir(unsigned from, unsigned to, unsigned size) const
+{
+    if (!wrapsDim(size))
+        return to > from ? +1 : -1;
+    unsigned fwd = (to + size - from) % size;
+    unsigned back = (from + size - to) % size;
+    return fwd <= back ? +1 : -1;
+}
+
+unsigned
+Noc::stepRouter(unsigned r, bool horizontal, int dir) const
+{
+    unsigned cols = params_.meshCols, rows = params_.meshRows;
+    if (horizontal) {
+        unsigned x = routerX(r);
+        unsigned nx = dir > 0 ? (x + 1 == cols ? 0 : x + 1)
+                              : (x == 0 ? cols - 1 : x - 1);
+        return routerY(r) * cols + nx;
+    }
+    unsigned y = routerY(r);
+    unsigned ny = dir > 0 ? (y + 1 == rows ? 0 : y + 1)
+                          : (y == 0 ? rows - 1 : y - 1);
+    return ny * cols + routerX(r);
+}
+
+unsigned
+Noc::dimHops(unsigned a, unsigned b, unsigned size) const
+{
+    unsigned d = a > b ? a - b : b - a;
+    if (wrapsDim(size))
+        d = std::min(d, size - d);
+    return d;
 }
 
 void
@@ -179,18 +328,47 @@ Noc::finalize()
 {
     if (finalized_)
         return;
+    if (NocConfigError e = validate(); e != NocConfigError::None)
+        sim::panic("Noc: invalid configuration: %s",
+                   nocConfigErrorName(e));
     finalized_ = true;
 
     unsigned cols = params_.meshCols;
     unsigned rows = params_.meshRows;
     unsigned n = cols * rows;
 
-    // Create mesh links between orthogonal neighbours.
+    // On the router lane plan a mesh link to a router on another lane
+    // crosses through a LaneLink; declare the pair's lookahead (both
+    // directions: packets out, credits back) before constructing it.
+    auto declare_pair = [&](unsigned a, unsigned b) {
+        sim::Tick cur = laneSched_->pairLookahead(a, b);
+        if (cur == sim::LaneScheduler::kNoCrossing ||
+            cur > laneLatency_)
+            laneSched_->setPairLookahead(a, b, laneLatency_);
+    };
+
+    // Create mesh links between neighbours (orthogonal, plus the
+    // wrap links of a torus in dimensions wider than 2).
     for (unsigned r = 0; r < n; r++) {
         unsigned x = routerX(r), y = routerY(r);
         auto link_to = [&](unsigned other) {
             std::size_t p = routers_[r]->addPort();
-            routers_[r]->port(p).connect(routers_[other].get());
+            if (routerPlan_ &&
+                laneOfRouter_[r] != laneOfRouter_[other]) {
+                unsigned a = laneOfRouter_[r];
+                unsigned b = laneOfRouter_[other];
+                declare_pair(a, b);
+                declare_pair(b, a);
+                auto ll = std::make_unique<LaneLink>(
+                    *laneSched_, a, b, laneLatency_,
+                    routers_[other].get(),
+                    params_.portQueuePackets + 2);
+                routers_[r]->port(p).connect(ll.get());
+                routers_[r]->port(p).setLaunchEarly(laneLatency_);
+                meshLinks_.push_back(std::move(ll));
+            } else {
+                routers_[r]->port(p).connect(routers_[other].get());
+            }
             meshPort_[r][other] = p;
         };
         if (x + 1 < cols)
@@ -201,10 +379,23 @@ Noc::finalize()
             link_to(r + cols);
         if (y > 0)
             link_to(r - cols);
+        if (wrapsDim(cols)) {
+            if (x == cols - 1)
+                link_to(r - (cols - 1));
+            if (x == 0)
+                link_to(r + (cols - 1));
+        }
+        if (wrapsDim(rows)) {
+            if (y == rows - 1)
+                link_to(r - (rows - 1) * cols);
+            if (y == 0)
+                link_to(r + (rows - 1) * cols);
+        }
     }
 
-    // Routing: XY dimension-ordered between routers, then the tile's
-    // exit port at its home router.
+    // Routing: XY dimension-ordered between routers (shorter way
+    // around per dimension on a torus), then the tile's exit port at
+    // its home router.
     for (const auto &t : tiles_) {
         for (unsigned r = 0; r < n; r++) {
             if (r == t->router) {
@@ -214,11 +405,10 @@ Noc::finalize()
             unsigned x = routerX(r), y = routerY(r);
             unsigned tx = routerX(t->router), ty = routerY(t->router);
             unsigned next;
-            if (x != tx) {
-                next = (x < tx) ? r + 1 : r - 1;
-            } else {
-                next = (y < ty) ? r + cols : r - cols;
-            }
+            if (x != tx)
+                next = stepRouter(r, true, travelDir(x, tx, cols));
+            else
+                next = stepRouter(r, false, travelDir(y, ty, rows));
             if (meshPort_[r][next] == SIZE_MAX)
                 sim::panic("Noc: missing mesh link %u->%u", r, next);
             routers_[r]->setRoute(t->id, meshPort_[r][next]);
@@ -231,17 +421,17 @@ Noc::inject(Packet &pkt, sim::UniqueFunction<void()> on_space)
 {
     if (!finalized_)
         sim::panic("Noc: inject before finalize");
-    for (auto &t : tiles_) {
-        if (t->id == pkt.src) {
-            if (!t->injectPort->hasSpace()) {
-                t->injectPort->waitForSpace(std::move(on_space));
-                return false;
-            }
-            t->injectPort->enqueue(std::move(pkt));
-            return true;
-        }
+    std::size_t idx =
+        pkt.src < tileIndexOf_.size() ? tileIndexOf_[pkt.src] : SIZE_MAX;
+    if (idx == SIZE_MAX)
+        sim::panic("Noc: inject from unknown tile %u", pkt.src);
+    TileAttachment &t = *tiles_[idx];
+    if (!t.injectPort->hasSpace()) {
+        t.injectPort->waitForSpace(std::move(on_space));
+        return false;
     }
-    sim::panic("Noc: inject from unknown tile %u", pkt.src);
+    t.injectPort->enqueue(std::move(pkt));
+    return true;
 }
 
 std::uint64_t
@@ -263,6 +453,19 @@ Noc::deliveredBytes() const
     std::uint64_t sum = 0;
     for (const auto &t : tiles_)
         sum += t->exit.deliveredBytes->value();
+    return sum;
+}
+
+std::uint64_t
+Noc::portStalls() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : routers_)
+        for (std::size_t p = 0; p < r->numPorts(); p++)
+            sum += r->port(p).stalls();
+    for (const auto &t : tiles_)
+        if (t->injectPort)
+            sum += t->injectPort->stalls();
     return sum;
 }
 
@@ -291,14 +494,28 @@ Noc::registerInvariants(sim::Invariants &inv)
 }
 
 unsigned
+Noc::routeStep(unsigned router, TileId dst) const
+{
+    if (!finalized_)
+        sim::panic("Noc: routeStep before finalize");
+    if (router >= routers_.size())
+        sim::panic("Noc: router %u outside mesh", router);
+    std::size_t p = routers_[router]->route(dst);
+    if (p == SIZE_MAX)
+        sim::panic("Noc: no route from router %u to tile %u", router,
+                   dst);
+    for (unsigned n = 0; n < routers_.size(); n++)
+        if (meshPort_[router][n] == p)
+            return n;
+    return router; // the tile's exit port at its home router
+}
+
+unsigned
 Noc::hopCount(TileId src, TileId dst) const
 {
     unsigned rs = routerOf(src), rd = routerOf(dst);
-    int dx = std::abs(static_cast<int>(routerX(rs)) -
-                      static_cast<int>(routerX(rd)));
-    int dy = std::abs(static_cast<int>(routerY(rs)) -
-                      static_cast<int>(routerY(rd)));
-    return static_cast<unsigned>(dx + dy);
+    return dimHops(routerX(rs), routerX(rd), params_.meshCols) +
+           dimHops(routerY(rs), routerY(rd), params_.meshRows);
 }
 
 } // namespace m3v::noc

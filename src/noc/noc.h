@@ -5,9 +5,10 @@
  * routing between routers) and offers per-tile injection ports.
  *
  * The paper's FPGA platform uses a 2x2 star-mesh connecting eleven
- * tiles (Figure 4); this builder generalizes to any mesh size and tile
- * count so the gem5-style scalability runs (Figure 9, up to 12 user
- * tiles) use the same fabric.
+ * tiles (Figure 4); this builder generalizes to any k-ary 2D mesh
+ * (optionally wrapped into a torus) and tile count, so the gem5-style
+ * scalability runs (Figure 9) use the same fabric from 2 tiles up to
+ * 1024-tile platforms (NocParams::forTiles()).
  */
 
 #ifndef M3VSIM_NOC_NOC_H_
@@ -28,6 +29,26 @@ class LaneScheduler;
 }
 
 namespace m3v::noc {
+
+class LaneLink;
+
+/**
+ * Typed configuration errors reported by Noc::validate(). finalize()
+ * refuses to build a fabric whose validation fails, so a silently
+ * degraded topology (e.g. 256 tiles crowding a 2x2 mesh past its
+ * per-router credit accounting) can never reach simulation.
+ */
+enum class NocConfigError
+{
+    None,
+    /** Tiles outnumber routers * maxTilesPerRouter. */
+    TooManyTilesPerRouter,
+    /** The same TileId was attached twice. */
+    DuplicateTile,
+};
+
+/** Stable name for a NocConfigError (for messages and tests). */
+const char *nocConfigErrorName(NocConfigError e);
 
 /** The network-on-chip fabric. */
 class Noc : public sim::SimObject
@@ -66,6 +87,33 @@ class Noc : public sim::SimObject
                      unsigned noc_lane);
 
     /**
+     * Shard the fabric by *router* instead of funnelling every hop
+     * through one NoC lane: router r, its tile exits, and its tiles'
+     * injection ports live on lane @p lane_of_router[r]. Mesh links
+     * between routers on different lanes cross through LaneLinks
+     * launched minLinkLatency() early, so uncongested hop timing is
+     * identical to the single-queue fabric. finalize() declares the
+     * per-lane-pair lookaheads for every adjacent link on @p sched
+     * (both directions — packets and credit returns); non-adjacent
+     * lane pairs are left as declared by the caller, so the usual
+     * setup is sched.fillPairLookaheads(LaneScheduler::kNoCrossing)
+     * first, letting the scheduler derive distant-pair windows from
+     * the mesh distance matrix. Tile sinks must be built on their
+     * home router's lane (tiles are assigned round-robin; attachTile
+     * returns the router). Must be called before any attachTile();
+     * this Noc must have been constructed against one of @p sched's
+     * lanes.
+     */
+    void setRouterLanePlan(sim::LaneScheduler &sched,
+                           std::vector<unsigned> lane_of_router);
+
+    /** Lane carrying router @p r under setRouterLanePlan(). */
+    unsigned laneOfRouter(unsigned r) const;
+
+    /** Router that the next attachTile() will assign (round-robin). */
+    unsigned nextRouter() const;
+
+    /**
      * Minimum time any packet occupies a link: router pipeline plus
      * the serialization of an empty (header-only) packet. The
      * conservative lookahead of lane mode. The static overload lets
@@ -77,11 +125,20 @@ class Noc : public sim::SimObject
 
     /**
      * Attach a component to the fabric. Tiles are assigned to routers
-     * round-robin. Must precede finalize().
+     * round-robin. Must precede finalize(). Returns the router the
+     * tile was assigned to.
      */
-    void attachTile(TileId id, HopTarget *sink);
+    unsigned attachTile(TileId id, HopTarget *sink);
 
-    /** Build mesh links and routing tables. Call once after attach. */
+    /**
+     * Check the attached topology against the parameters without
+     * building it: the typed-error form of the checks finalize()
+     * enforces. Callable any time after the attach phase.
+     */
+    NocConfigError validate() const;
+
+    /** Build mesh links and routing tables. Call once after attach;
+     *  panics (with the typed error's name) if validate() fails. */
     void finalize();
 
     /**
@@ -91,8 +148,18 @@ class Noc : public sim::SimObject
      */
     bool inject(Packet &pkt, sim::UniqueFunction<void()> on_space);
 
-    /** Number of router-to-router hops between two tiles. */
+    /** Number of router-to-router hops between two tiles (shortest
+     *  path; wraparound-aware on a torus). */
     unsigned hopCount(TileId src, TileId dst) const;
+
+    /**
+     * Walk one step of the *installed* routing tables: the router a
+     * packet for @p dst standing at @p router is forwarded to, or
+     * @p router itself when the route is the tile's exit port there.
+     * Only valid after finalize(); lets tests enumerate full routes
+     * and check them against hopCount() without injecting traffic.
+     */
+    unsigned routeStep(unsigned router, TileId dst) const;
 
     /** Total packets delivered to tile sinks (in lane mode, summed
      *  over the per-tile counters; read after the lanes quiesce). */
@@ -100,6 +167,10 @@ class Noc : public sim::SimObject
 
     /** Total payload bytes delivered. */
     std::uint64_t deliveredBytes() const;
+
+    /** Backpressure stalls summed over every router output port —
+     *  per-hop credit exhaustion events (see OutPort::stalls()). */
+    std::uint64_t portStalls() const;
 
     /**
      * Register the fabric's drain law with @p inv (tests only,
@@ -117,8 +188,21 @@ class Noc : public sim::SimObject
     struct TileAttachment;
 
     unsigned routerOf(TileId id) const;
+    const TileAttachment &attachmentOf(TileId id) const;
     unsigned routerX(unsigned r) const { return r % params_.meshCols; }
     unsigned routerY(unsigned r) const { return r / params_.meshCols; }
+    /** Step from router @p r one hop toward coordinate delta
+     *  (+1/-1) in dimension x (horizontal = true) with wrap. */
+    unsigned stepRouter(unsigned r, bool horizontal, int dir) const;
+    /** Signed direction (+1/-1) to travel in a dimension of @p size
+     *  from @p from to @p to; shorter way around on a torus. */
+    int travelDir(unsigned from, unsigned to, unsigned size) const;
+    /** Hops needed in one dimension (wraparound-aware). */
+    unsigned dimHops(unsigned a, unsigned b, unsigned size) const;
+    bool wrapsDim(unsigned size) const
+    {
+        return params_.wraparound && size > 2;
+    }
 
     NocParams params_;
     sim::Clock clk_;
@@ -128,6 +212,8 @@ class Noc : public sim::SimObject
     /** meshPort_[r][n]: port index on router r toward router n. */
     std::vector<std::vector<std::size_t>> meshPort_;
     std::vector<std::unique_ptr<TileAttachment>> tiles_;
+    /** TileId -> index into tiles_ (SIZE_MAX = not attached). */
+    std::vector<std::size_t> tileIndexOf_;
     sim::Counter *delivered_;
     sim::Counter *deliveredBytes_;
 
@@ -136,6 +222,11 @@ class Noc : public sim::SimObject
     std::vector<unsigned> laneOfTile_;
     unsigned nocLane_ = 0;
     sim::Tick laneLatency_ = 0;
+    /** Router-sharded lane mode (setRouterLanePlan). */
+    bool routerPlan_ = false;
+    std::vector<unsigned> laneOfRouter_;
+    /** Lane-crossing mesh links (router plan only). */
+    std::vector<std::unique_ptr<LaneLink>> meshLinks_;
 };
 
 } // namespace m3v::noc

@@ -6,12 +6,26 @@
 
 namespace m3v::noc {
 
+NocParams
+NocParams::forTiles(unsigned totalTiles)
+{
+    NocParams p;
+    unsigned routers_needed = (totalTiles + 3) / 4;
+    unsigned side = 2;
+    while (side * side < routers_needed)
+        side++;
+    p.meshCols = side;
+    p.meshRows = side;
+    return p;
+}
+
 OutPort::OutPort(sim::EventQueue &eq, const sim::Clock &clk,
                  const NocParams &params, std::string name)
     : eq_(eq), clk_(clk), params_(params), name_(std::move(name))
 {
     forwarded_ = eq.metrics().counter(name_ + ".forwarded");
     dropped_ = eq.metrics().counter(name_ + ".dropped");
+    stalled_ = eq.metrics().counter(name_ + ".stalls");
     trc_ = &eq.tracer();
     if (params_.faults)
         faultSite_ = params_.faults->makeSite(name_);
@@ -36,6 +50,7 @@ OutPort::enqueue(Packet &&pkt)
 void
 OutPort::waitForSpace(sim::UniqueFunction<void()> cb)
 {
+    stalled_->inc();
     spaceWaiters_.push_back(std::move(cb));
 }
 

@@ -52,6 +52,36 @@ struct NocParams
     unsigned meshRows = 2;
 
     /**
+     * Wrap the mesh into a torus: each row and column closes into a
+     * ring (only in dimensions with more than two routers — a 2-ring
+     * would duplicate the direct link). Routing picks the shorter
+     * direction per dimension, still XY-ordered. Off by default: the
+     * paper's platform is a plain mesh.
+     */
+    bool wraparound = false;
+
+    /**
+     * Upper bound on tiles star-attached to one router. attachTile
+     * distributes tiles round-robin; when the tile count exceeds
+     * routers * maxTilesPerRouter the per-router credit accounting
+     * degrades silently, so Noc::validate() reports
+     * NocConfigError::TooManyTilesPerRouter instead (and finalize()
+     * refuses the build). The paper's platform puts at most three
+     * tiles on a router; 16 leaves headroom for dense configs while
+     * still catching a 256-tile platform on a 2x2 mesh.
+     */
+    std::size_t maxTilesPerRouter = 16;
+
+    /**
+     * Mesh dimensions for a platform of @p totalTiles tiles: the
+     * smallest square mesh (min 2x2) averaging at most ~4 tiles per
+     * router, matching the paper's star-mesh density (eleven tiles
+     * on four routers). 64 tiles -> 4x4, 256 -> 8x8, 1024 -> 16x16.
+     * All other parameters keep their defaults.
+     */
+    static NocParams forTiles(unsigned totalTiles);
+
+    /**
      * Optional fault plan. When set, every output port becomes a
      * fault site (named after the port) that can drop, corrupt, or
      * delay the packets it drains, and the DTUs attached to the
@@ -101,6 +131,10 @@ class OutPort
     /** Packets this port dropped under a fault plan. */
     std::uint64_t dropped() const { return dropped_->value(); }
 
+    /** Backpressure events: upstream found the queue full and parked
+     *  a space waiter (per-hop credit exhaustion). */
+    std::uint64_t stalls() const { return stalled_->value(); }
+
     /** Fully drained: nothing queued, in drain, or waiting for
      *  space (the quiescent state; see Noc::registerInvariants). */
     bool
@@ -131,6 +165,7 @@ class OutPort
     std::vector<sim::UniqueFunction<void()>> spaceWaiters_;
     sim::Counter *forwarded_;
     sim::Counter *dropped_;
+    sim::Counter *stalled_;
     sim::Tracer *trc_;
     sim::FaultSite faultSite_;
 };
@@ -158,6 +193,13 @@ class Router : public sim::SimObject, public HopTarget
      * @p dst tile takes.
      */
     void setRoute(TileId dst, std::size_t port_idx);
+
+    /** Installed route for @p dst (SIZE_MAX = none). */
+    std::size_t
+    route(TileId dst) const
+    {
+        return dst < routeTable_.size() ? routeTable_[dst] : SIZE_MAX;
+    }
 
     // HopTarget: upstream elements push packets into the router, which
     // immediately places them on the routed output port's queue.

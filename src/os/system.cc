@@ -32,6 +32,27 @@ appWrapper(MuxEnv *env, std::function<sim::Task(MuxEnv &)> body)
 System::System(sim::EventQueue &eq, SystemParams params)
     : eq_(eq), params_(std::move(params))
 {
+    // Platform bring-up sizes the fabric before building it: when the
+    // full tile complement would over-subscribe the configured mesh,
+    // grow it to the forTiles() geometry (timing parameters kept)
+    // rather than hit the typed config error at finalize().
+    unsigned total = params_.userTiles + 1 + params_.memTiles +
+                     params_.accelTiles;
+    std::size_t cap =
+        static_cast<std::size_t>(params_.noc.meshCols) *
+        params_.noc.meshRows * params_.noc.maxTilesPerRouter;
+    if (params_.autoMesh && total > cap) {
+        noc::NocParams grown = noc::NocParams::forTiles(total);
+        grown.freqHz = params_.noc.freqHz;
+        grown.linkBytesPerCycle = params_.noc.linkBytesPerCycle;
+        grown.pipelineCycles = params_.noc.pipelineCycles;
+        grown.portQueuePackets = params_.noc.portQueuePackets;
+        grown.headerBytes = params_.noc.headerBytes;
+        grown.wraparound = params_.noc.wraparound;
+        grown.maxTilesPerRouter = params_.noc.maxTilesPerRouter;
+        grown.faults = params_.noc.faults;
+        params_.noc = grown;
+    }
     noc_ = std::make_unique<noc::Noc>(eq, params_.noc);
 
     // User tiles: core + vDTU + TileMux.

@@ -51,6 +51,19 @@ struct SystemParams
     AccelParams accel{};
 
     noc::NocParams noc{};
+
+    /**
+     * Grow the mesh automatically when the platform's total tile
+     * count (user + controller + memory + accelerator) would exceed
+     * the configured mesh's capacity (routers * maxTilesPerRouter):
+     * the mesh is replaced by NocParams::forTiles(total), keeping
+     * every timing parameter. Platforms that fit the configured mesh
+     * are untouched, so the paper-sized configs keep their 2x2
+     * star-mesh. Disable to make an over-subscribed mesh a hard
+     * config error at Noc::finalize() instead.
+     */
+    bool autoMesh = true;
+
     tile::DramParams dram{};
     core::TileMuxParams mux{};
     core::VDtuParams vdtu{};

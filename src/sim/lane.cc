@@ -9,15 +9,33 @@
 
 namespace m3v::sim {
 
+namespace {
+
+constexpr Tick kNever = LaneScheduler::kNoCrossing;
+
+/** a + b with saturation at kNever (infinity). */
+inline Tick
+satAdd(Tick a, Tick b)
+{
+    if (a == kNever || b == kNever)
+        return kNever;
+    Tick s = a + b;
+    return s < a ? kNever : s;
+}
+
+} // namespace
+
 LaneScheduler::LaneScheduler(unsigned lanes, unsigned jobs,
                              Tick lookahead,
                              std::size_t mailbox_capacity)
-    : n_(lanes), jobs_(jobs ? jobs : 1), lookahead_(lookahead)
+    : n_(lanes), jobs_(jobs ? jobs : 1)
 {
     if (lanes == 0)
         panic("LaneScheduler: zero lanes");
     if (lookahead == 0)
         panic("LaneScheduler: zero lookahead");
+    pairL_.assign(n_ * n_, lookahead);
+    minPairL_ = lookahead;
     lanes_.reserve(n_);
     for (std::size_t i = 0; i < n_; i++)
         lanes_.push_back(std::make_unique<EventQueue>());
@@ -47,6 +65,41 @@ LaneScheduler::~LaneScheduler()
     }
 }
 
+Tick
+LaneScheduler::pairLookahead(unsigned src, unsigned dst) const
+{
+    if (src >= n_ || dst >= n_)
+        panic("LaneScheduler: pairLookahead %u->%u outside %zu lanes",
+              src, dst, n_);
+    return pairL_[src * n_ + dst];
+}
+
+void
+LaneScheduler::setPairLookahead(unsigned src, unsigned dst, Tick l)
+{
+    if (running_)
+        panic("LaneScheduler: setPairLookahead while running");
+    if (src >= n_ || dst >= n_)
+        panic("LaneScheduler: setPairLookahead %u->%u outside %zu "
+              "lanes",
+              src, dst, n_);
+    if (l == 0)
+        panic("LaneScheduler: zero pair lookahead %u->%u", src, dst);
+    pairL_[src * n_ + dst] = l;
+    distDirty_ = true;
+}
+
+void
+LaneScheduler::fillPairLookaheads(Tick l)
+{
+    if (running_)
+        panic("LaneScheduler: fillPairLookaheads while running");
+    if (l == 0)
+        panic("LaneScheduler: zero pair lookahead");
+    std::fill(pairL_.begin(), pairL_.end(), l);
+    distDirty_ = true;
+}
+
 bool
 LaneScheduler::tryPost(unsigned src, unsigned dst, Tick due,
                        UniqueFunction<void()> fn)
@@ -54,12 +107,19 @@ LaneScheduler::tryPost(unsigned src, unsigned dst, Tick due,
     if (src >= n_ || dst >= n_)
         panic("LaneScheduler: post %u->%u outside %zu lanes", src,
               dst, n_);
-    if (running_ && due < lanes_[src]->now() + lookahead_)
-        panic("LaneScheduler: post due %llu violates lookahead "
-              "(now %llu + %llu)",
-              static_cast<unsigned long long>(due),
-              static_cast<unsigned long long>(lanes_[src]->now()),
-              static_cast<unsigned long long>(lookahead_));
+    if (running_) {
+        Tick l = pairL_[src * n_ + dst];
+        if (l == kNoCrossing)
+            panic("LaneScheduler: post %u->%u on a pair with no "
+                  "declared lookahead (kNoCrossing)",
+                  src, dst);
+        if (due < lanes_[src]->now() + l)
+            panic("LaneScheduler: post due %llu violates lookahead "
+                  "(now %llu + %llu)",
+                  static_cast<unsigned long long>(due),
+                  static_cast<unsigned long long>(lanes_[src]->now()),
+                  static_cast<unsigned long long>(l));
+    }
     std::uint64_t &seq = seqs_[src * n_ + dst];
     Msg m;
     m.due = due;
@@ -120,23 +180,85 @@ LaneScheduler::mergeMailboxes()
     scratch_.clear();
 }
 
-bool
-LaneScheduler::nextTick(Tick *out)
+void
+LaneScheduler::recomputeDistances()
 {
-    bool have = false;
-    Tick best = 0;
-    for (auto &l : lanes_) {
-        Tick t;
-        if (!l->peekNextTick(&t))
-            continue;
-        if (!have || t < best) {
-            best = t;
-            have = true;
+    minPairL_ = kNever;
+    uniform_ = true;
+    Tick first = pairL_.empty() ? kNever : pairL_[0];
+    for (std::size_t i = 0; i < n_; i++) {
+        for (std::size_t j = 0; j < n_; j++) {
+            Tick l = pairL_[i * n_ + j];
+            if (l != first)
+                uniform_ = false;
+            if (i != j && l < minPairL_)
+                minPairL_ = l;
         }
     }
-    if (have)
-        *out = best;
-    return have;
+    if (uniform_) {
+        // The global-window fast path never reads dist_.
+        dist_.clear();
+        distDirty_ = false;
+        return;
+    }
+    // Floyd-Warshall closure with saturating adds: D(i, j) is the
+    // cheapest chain of declared crossings from lane i to lane j —
+    // the earliest any event in lane i can influence lane j. The
+    // diagonal is deliberately NOT zeroed: D(i, i) relaxes to lane
+    // i's cheapest round trip through other lanes, which is exactly
+    // how far lane i may run ahead before a reply triggered by its
+    // own posts could come back (crossing weights are positive, so
+    // leaving the diagonal free never corrupts the off-diagonal
+    // shortest paths).
+    dist_ = pairL_;
+    for (std::size_t k = 0; k < n_; k++) {
+        for (std::size_t i = 0; i < n_; i++) {
+            Tick dik = dist_[i * n_ + k];
+            if (dik == kNever)
+                continue;
+            for (std::size_t j = 0; j < n_; j++) {
+                Tick cand = satAdd(dik, dist_[k * n_ + j]);
+                if (cand < dist_[i * n_ + j])
+                    dist_[i * n_ + j] = cand;
+            }
+        }
+    }
+    distDirty_ = false;
+}
+
+void
+LaneScheduler::computeLimits()
+{
+    limits_.assign(n_, kNever);
+    if (uniform_) {
+        // All pairs share one lookahead: the classic global window.
+        // W = min next tick; every lane may run to W + lookahead.
+        Tick w = kNever;
+        for (std::size_t i = 0; i < n_; i++)
+            if (nts_[i] < w)
+                w = nts_[i];
+        Tick limit = satAdd(w, minPairL_);
+        std::fill(limits_.begin(), limits_.end(), limit);
+        return;
+    }
+    // Per-lane windows from the distance matrix: lane i may run
+    // until the earliest tick any lane's pending work could reach it
+    // — including its own, whose influence can return through the
+    // cheapest round trip D(i, i). Empty lanes contribute nothing:
+    // any influence routed through one originates at a non-empty
+    // lane, and D's path closure already bounds that chain. Lanes no
+    // path leads to run unbounded.
+    for (std::size_t j = 0; j < n_; j++) {
+        Tick ntj = nts_[j];
+        if (ntj == kNever)
+            continue;
+        const Tick *dj = &dist_[j * n_];
+        for (std::size_t i = 0; i < n_; i++) {
+            Tick reach = satAdd(ntj, dj[i]);
+            if (reach < limits_[i])
+                limits_[i] = reach;
+        }
+    }
 }
 
 void
@@ -144,7 +266,7 @@ LaneScheduler::workerLoop(unsigned)
 {
     std::uint64_t seen_round = 0;
     for (;;) {
-        unsigned lane_idx;
+        ActiveLane a;
         {
             std::unique_lock<std::mutex> lock(mu_);
             cvWork_.wait(lock, [&]() {
@@ -153,11 +275,11 @@ LaneScheduler::workerLoop(unsigned)
             });
             if (shutdown_)
                 return;
-            lane_idx = active_[next_++];
+            a = active_[next_++];
             if (next_ == active_.size())
                 seen_round = roundId_;
         }
-        lanes_[lane_idx]->runBefore(roundLimit_);
+        lanes_[a.lane]->runBefore(a.limit);
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (--pendingLanes_ == 0)
@@ -167,11 +289,10 @@ LaneScheduler::workerLoop(unsigned)
 }
 
 void
-LaneScheduler::runRoundOnWorkers(Tick limit)
+LaneScheduler::runRoundOnWorkers()
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        roundLimit_ = limit;
         next_ = 0;
         pendingLanes_ = active_.size();
         roundId_++;
@@ -184,6 +305,8 @@ LaneScheduler::runRoundOnWorkers(Tick limit)
 void
 LaneScheduler::run()
 {
+    if (distDirty_)
+        recomputeDistances();
     running_ = true;
     for (;;) {
         // Barrier phase: single-threaded merge of everything the
@@ -192,28 +315,47 @@ LaneScheduler::run()
         mergeMailboxes();
         for (auto &hook : barrierHooks_)
             hook();
-        Tick w;
-        if (!nextTick(&w))
+        nts_.assign(n_, kNever);
+        bool any = false;
+        for (std::size_t i = 0; i < n_; i++) {
+            Tick t;
+            if (lanes_[i]->peekNextTick(&t)) {
+                nts_[i] = t;
+                any = true;
+            }
+        }
+        if (!any)
             break;
-        Tick limit = w + lookahead_;
+        computeLimits();
         {
             // Parked workers read active_ inside their wait
             // predicate (under mu_), so refilling it between rounds
             // must hold the lock too.
             std::lock_guard<std::mutex> lock(mu_);
             active_.clear();
-            for (unsigned i = 0; i < n_; i++) {
-                Tick t;
-                if (lanes_[i]->peekNextTick(&t) && t < limit)
-                    active_.push_back(i);
-            }
+            for (unsigned i = 0; i < n_; i++)
+                if (nts_[i] != kNever && nts_[i] < limits_[i])
+                    active_.push_back({i, limits_[i]});
+            // Longest-pending lanes first, so a straggler lane is
+            // claimed early and the short lanes pack behind it
+            // (whole-lane stealing keeps per-lane order intact).
+            // pending() is deterministic at the barrier, so the
+            // claim order — though irrelevant to results — is too.
+            std::sort(active_.begin(), active_.end(),
+                      [this](const ActiveLane &a, const ActiveLane &b) {
+                          std::size_t pa = lanes_[a.lane]->pending();
+                          std::size_t pb = lanes_[b.lane]->pending();
+                          if (pa != pb)
+                              return pa > pb;
+                          return a.lane < b.lane;
+                      });
         }
         rounds_++;
         if (workers_.empty() || active_.size() == 1) {
-            for (unsigned i : active_)
-                lanes_[i]->runBefore(limit);
+            for (const ActiveLane &a : active_)
+                lanes_[a.lane]->runBefore(a.limit);
         } else {
-            runRoundOnWorkers(limit);
+            runRoundOnWorkers();
         }
     }
     running_ = false;

@@ -12,20 +12,50 @@
  *      (due, srcLane, dstLane, seq) order, schedule each into its
  *      destination lane at its due tick, and run the registered
  *      barrier hooks (e.g. the doorbell-batch flush law check).
- *   2. Window: W = min over lanes of the next pending tick. Every
- *      lane with work below W + lookahead executes all its events
- *      with tick < W + lookahead, each lane on one worker.
+ *   2. Window: every lane i gets its own limit
+ *        limit_i = min over non-empty lanes j of (nextTick_j + D(j, i))
+ *      where D is the all-pairs minimum crossing latency (see below;
+ *      D(i, i) is lane i's cheapest round trip through other lanes,
+ *      bounding self-influence via replies). Every lane with work
+ *      below its limit executes all its events with tick < limit_i,
+ *      one whole lane per worker.
  *   3. Repeat until all lanes are empty and no messages are in
  *      flight.
  *
- * Safety: a cross-lane message posted at sender time t is due no
- * earlier than t + lookahead, so everything due inside the window
- * currently executing was already merged at the barrier before it —
- * lanes never observe a message "from the past". Lanes share no other
- * state, so any interleaving of same-window events in different lanes
- * yields the same result, and the canonical merge order makes the
- * destination lane's (tick, seq) order independent of thread count
- * and scheduling. Results are bit-identical for any jobs >= 1.
+ * Lookahead is per lane pair. The model declares, for each (src, dst)
+ * pair that ever posts, the minimum latency L(src, dst) of a crossing
+ * in that direction (setPairLookahead); pairs that never post carry
+ * the kNoCrossing sentinel and panic on post. From the direct matrix
+ * the scheduler derives the all-pairs distance matrix D by
+ * shortest-path closure (Floyd-Warshall with saturating adds), so a
+ * lane that is h hops away contributes a window allowance of h link
+ * latencies, not one. The scalar constructor fills the matrix
+ * uniformly, which degenerates to the classic single-lookahead
+ * windows: W = min next tick, limit = W + lookahead for every lane.
+ *
+ * Safety: a message posted by lane j during a round is due no earlier
+ * than NT_j + L(j, k) >= NT_j + D(j, k) >= limit_k, where NT_j was
+ * lane j's next pending tick when the limits were computed — no
+ * matter how far lane j itself runs inside the round. Influence
+ * through intermediate lanes is covered because D is closed under
+ * path composition (D(j,k) <= D(j,m) + D(m,k)), and because messages
+ * posted during a round are not executable until the next barrier has
+ * merged them. A lane's influence on itself (a reply provoked by its
+ * own posts) is bounded the same way by the diagonal round-trip term
+ * D(i, i). Lanes share no other state, so any interleaving of
+ * same-round events in different lanes yields the same result, and
+ * the canonical merge order makes the destination lane's (tick, seq)
+ * order independent of thread count and scheduling. Results are
+ * bit-identical for any jobs >= 1. Progress: the lane holding the
+ * globally minimal next tick always satisfies NT < limit (every
+ * addend is positive), so each round executes at least one event.
+ *
+ * Work distribution inside a round is whole-lane work stealing: the
+ * active lanes are published as a shared claim list sorted by
+ * descending pending-event count (longest processing time first) and
+ * idle workers pull the next unclaimed lane. A lane's FIFO is never
+ * split across workers — lane-local event order, and therefore
+ * determinism, is untouched by who executes the lane.
  *
  * Cross-lane posts land in one MPSC combining ring per *destination*
  * lane (sim/mpsc.h) rather than one SPSC mailbox per (src, dst) pair:
@@ -35,10 +65,10 @@
  * stamps its own sender-order sequence, so the canonical sort — and
  * therefore bit-identical determinism — is unchanged.
  *
- * The lookahead comes from the model: it is the minimum latency of
- * any lane-crossing interaction (for the NoC boundary, the minimum
- * link traversal time derived from NocParams — see
- * noc::Noc::minLinkLatency()).
+ * The lookahead values come from the model: for the NoC boundary, the
+ * minimum link traversal time derived from NocParams (see
+ * noc::Noc::minLinkLatency()), and for a mesh of router lanes the
+ * per-link latencies declared by Noc::setRouterLanePlan().
  *
  * jobs = 1 runs every window on the calling thread; a model built on
  * a single lane degenerates to exactly the sequential event loop.
@@ -66,16 +96,28 @@ class LaneScheduler
 {
   public:
     /**
+     * Pair-lookahead sentinel: no crossing is ever allowed between
+     * the two lanes. Posts on such a pair panic; the pair contributes
+     * nothing to any window limit.
+     */
+    static constexpr Tick kNoCrossing = ~Tick{0};
+
+    /**
      * @param lanes     Number of event lanes (model shards).
      * @param jobs      Worker threads executing lane windows. 1 means
      *                  everything runs on the calling thread.
-     * @param lookahead Conservative window width in ticks; every
+     * @param lookahead Uniform conservative lookahead in ticks: every
+     *                  pair (src, dst) starts at this value, so every
      *                  cross-lane post must be due at least this far
      *                  after the sender's current time. Must be > 0.
+     *                  Refine per pair with setPairLookahead().
      * @param mailbox_capacity  Cross-lane slots per (src,dst) pair;
      *                  each destination's fan-in ring holds
      *                  lanes * mailbox_capacity entries, so the
      *                  aggregate bound matches the per-pair budget.
+     *                  Large-lane-count models whose in-flight count
+     *                  is credit-bounded should pass a small value —
+     *                  the rings are preallocated.
      */
     LaneScheduler(unsigned lanes, unsigned jobs, Tick lookahead,
                   std::size_t mailbox_capacity = 4096);
@@ -86,7 +128,28 @@ class LaneScheduler
 
     unsigned lanes() const { return static_cast<unsigned>(n_); }
     unsigned jobs() const { return jobs_; }
-    Tick lookahead() const { return lookahead_; }
+
+    /** Minimum finite pair lookahead — the tightest crossing any
+     *  pair allows. Uniform models: the constructor value. */
+    Tick lookahead() const { return minPairL_; }
+
+    /** Declared direct lookahead for (src, dst); kNoCrossing if the
+     *  pair may never post. */
+    Tick pairLookahead(unsigned src, unsigned dst) const;
+
+    /**
+     * Declare the minimum latency of a direct (src, dst) crossing.
+     * Posts from src to dst must be due >= lane(src).now() + l; the
+     * window limits are derived from the shortest-path closure of
+     * these declarations. Must not be called while run() is active;
+     * l must be > 0 (or kNoCrossing to forbid the pair).
+     */
+    void setPairLookahead(unsigned src, unsigned dst, Tick l);
+
+    /** Set every (src, dst) entry — including the diagonal — to
+     *  @p l. Typical mesh setup: fill with kNoCrossing, then declare
+     *  the adjacent pairs. Must not be called while run() is active. */
+    void fillPairLookaheads(Tick l);
 
     /** Lane @p i's event queue. Components of shard i are
      *  constructed against this queue and schedule only here. */
@@ -97,11 +160,13 @@ class LaneScheduler
      * Post a closure from lane @p src into lane @p dst, to run at
      * absolute tick @p due. Must be called from src's window (or
      * before run(), during model construction). While running, due
-     * must be >= lane(src).now() + lookahead(); posting closer than
-     * the lookahead is a model bug and panics. Returns false when
-     * dst's fan-in ring is full — the caller owns backpressure
-     * (e.g. retry from a later local event). @p fn runs on dst's
-     * thread at tick due; it must touch only dst-lane state.
+     * must be >= lane(src).now() + pairLookahead(src, dst); the
+     * boundary is inclusive — posting exactly at it is legal at any
+     * tick, including across a calendar-horizon rollover. Posting
+     * closer, or on a kNoCrossing pair, is a model bug and panics.
+     * Returns false when dst's fan-in ring is full — the caller owns
+     * backpressure (e.g. retry from a later local event). @p fn runs
+     * on dst's thread at tick due; it must touch only dst-lane state.
      */
     bool tryPost(unsigned src, unsigned dst, Tick due,
                  UniqueFunction<void()> fn);
@@ -157,18 +222,37 @@ class LaneScheduler
         UniqueFunction<void()> fn;
     };
 
+    /** One claimable unit of round work: a whole lane and the
+     *  window limit it may run up to (exclusive). */
+    struct ActiveLane
+    {
+        unsigned lane = 0;
+        Tick limit = 0;
+    };
+
     /** Drain all fan-in rings and schedule the messages canonically. */
     void mergeMailboxes();
 
-    /** Next pending tick over all lanes; false if all empty. */
-    bool nextTick(Tick *out);
+    /** Shortest-path closure of pairL_ into dist_; refreshes
+     *  minPairL_ and the uniform fast-path flag. */
+    void recomputeDistances();
+
+    /** Fill limits_ from nts_ (per-lane next ticks). */
+    void computeLimits();
 
     void workerLoop(unsigned worker);
-    void runRoundOnWorkers(Tick limit);
+    void runRoundOnWorkers();
 
     std::size_t n_;
     unsigned jobs_;
-    Tick lookahead_;
+    /** Direct pair lookahead, src * n_ + dst. */
+    std::vector<Tick> pairL_;
+    /** Shortest-path crossing latency, src * n_ + dst. */
+    std::vector<Tick> dist_;
+    Tick minPairL_ = 0;
+    /** All off-diagonal pairs equal: use the O(n) global window. */
+    bool uniform_ = true;
+    bool distDirty_ = true;
     bool running_ = false;
     std::uint64_t rounds_ = 0;
     std::uint64_t merged_ = 0;
@@ -185,6 +269,10 @@ class LaneScheduler
     std::vector<std::uint64_t> seqs_;
     std::vector<Msg> scratch_;
     std::vector<UniqueFunction<void()>> barrierHooks_;
+    /** Per-round scratch: next pending tick per lane (kNoCrossing =
+     *  lane empty) and the derived per-lane window limits. */
+    std::vector<Tick> nts_;
+    std::vector<Tick> limits_;
 
     //
     // Worker pool (created once; parked between rounds).
@@ -193,11 +281,11 @@ class LaneScheduler
     std::mutex mu_;
     std::condition_variable cvWork_;
     std::condition_variable cvDone_;
-    /** Lanes active this round; workers claim indices from next_. */
-    std::vector<unsigned> active_;
+    /** Lanes active this round, longest-pending first; idle workers
+     *  steal whole entries by advancing next_. */
+    std::vector<ActiveLane> active_;
     std::size_t next_ = 0;
     std::size_t pendingLanes_ = 0;
-    Tick roundLimit_ = 0;
     std::uint64_t roundId_ = 0;
     bool shutdown_ = false;
 };

@@ -67,6 +67,13 @@ burstLen(const Op &op)
     return 1 + (op.arg >> 8) % 3;
 }
 
+/** Sub-sends of a FanIn op (2..4), derived from its arg alone. */
+unsigned
+fanInLen(const Op &op)
+{
+    return 2 + op.arg % 3;
+}
+
 ActId
 actId(unsigned idx)
 {
@@ -87,6 +94,15 @@ sendDst(unsigned idx, const Op &op)
     unsigned li2 = (idx % kActsPerTile + 1) % kActsPerTile;
     unsigned dt = (op.arg & 1) ? (1 - t) : t;
     return dt * kActsPerTile + li2;
+}
+
+/** Destination of a FanIn op: always the remote EP's target. */
+unsigned
+fanInDst(unsigned idx)
+{
+    unsigned t = tileOf(idx);
+    unsigned li2 = (idx % kActsPerTile + 1) % kActsPerTile;
+    return (1 - t) * kActsPerTile + li2;
 }
 
 /** Activity program: ops in scenario order, tagged with the op's
@@ -409,7 +425,7 @@ actBody(Platform &plat, RunState &rs, bool buggy, Prog prog,
             // laned mode, the stores funnel through the MPSC mailbox
             // merge. Tags stay within this op's kTagStride window.
             EpId sep = static_cast<EpId>(kRemoteSepBase + li);
-            unsigned k = 2 + op.arg % 3;
+            unsigned k = fanInLen(op);
             for (unsigned s = 0; s < k; s++) {
                 Error err = Error::Aborted;
                 co_await oneSend(plat, idx, sep, tag + s, err);
@@ -519,11 +535,18 @@ modelCheck(Platform &plat, const RunState &rs, const Scenario &sc,
         std::size_t si = 0;
         bool cut = false;
         for (const auto &[op, tag] : progs[idx]) {
+            // Every op kind that appends to sendErrs must be
+            // walked here, or the sequential err/tag pairing
+            // drifts and later sends get checked against the
+            // wrong outcome.
             if (op.kind != OpKind::Send &&
-                op.kind != OpKind::Burst)
+                op.kind != OpKind::Burst &&
+                op.kind != OpKind::FanIn)
                 continue;
-            unsigned subs =
-                op.kind == OpKind::Burst ? burstLen(op) : 1;
+            unsigned subs = op.kind == OpKind::Burst ? burstLen(op)
+                            : op.kind == OpKind::FanIn
+                                ? fanInLen(op)
+                                : 1;
             for (unsigned s = 0; s < subs; s++) {
                 if (si >= rs.acts[idx].sendErrs.size()) {
                     cut = true; // blocked or exited mid-program
@@ -536,7 +559,9 @@ modelCheck(Platform &plat, const RunState &rs, const Scenario &sc,
                 out.sendsOk++;
                 if (!sc.kills.empty())
                     continue;
-                unsigned dst = sendDst(idx, op);
+                unsigned dst = op.kind == OpKind::FanIn
+                                   ? fanInDst(idx)
+                                   : sendDst(idx, op);
                 if (plat.acts[dst]->state() ==
                     Activity::State::Dead)
                     continue;
@@ -933,6 +958,8 @@ readTrace(std::istream &is, Scenario &sc)
                 op.kind = OpKind::Shed;
             else if (kind == "trip")
                 op.kind = OpKind::Trip;
+            else if (kind == "fanin")
+                op.kind = OpKind::FanIn;
             else
                 return false;
             if (ls.fail())

@@ -46,6 +46,39 @@ TEST_F(SystemTest, BuildsPlatform)
     eq.run(); // controller parks waiting for syscalls
 }
 
+TEST(SystemMeshTest, DefaultPlatformKeepsPaperMesh)
+{
+    // The paper-sized config fits the 2x2 star-mesh; autoMesh must
+    // leave it untouched.
+    sim::EventQueue eq;
+    System sys(eq);
+    EXPECT_EQ(sys.params().noc.meshCols, 2u);
+    EXPECT_EQ(sys.params().noc.meshRows, 2u);
+}
+
+TEST(SystemMeshTest, AutoMeshGrowsForLargePlatforms)
+{
+    // 80 user tiles + controller + 2 memory tiles = 83 > the 2x2
+    // capacity: the fabric must grow to forTiles(83) = 5x5 while the
+    // timing parameters stay put, and boot must still succeed with
+    // every tile routed.
+    sim::EventQueue eq;
+    SystemParams p;
+    p.userTiles = 80;
+    // Small PMP windows: 80 tiles must fit the default DRAM.
+    p.perTilePmp = 64 << 10;
+    System sys(eq, p);
+    EXPECT_EQ(sys.params().noc.meshCols, 5u);
+    EXPECT_EQ(sys.params().noc.meshRows, 5u);
+    EXPECT_EQ(sys.params().noc.freqHz, noc::NocParams{}.freqHz);
+    EXPECT_EQ(sys.fabric().validate(), noc::NocConfigError::None);
+    // Opposite corners of the grown mesh are several hops apart.
+    EXPECT_GT(sys.fabric().hopCount(sys.userTile(0),
+                                    sys.memTileId(1)),
+              0u);
+    eq.run();
+}
+
 TEST_F(SystemTest, EchoRpcBetweenApps)
 {
     auto *client = sys.createApp(0, "client");

@@ -197,6 +197,71 @@ TEST(LaneSchedulerTest, LookaheadViolationPanics)
     EXPECT_DEATH(sched.run(), "lookahead");
 }
 
+TEST(LaneSchedulerTest, PostExactlyAtLookaheadBoundary)
+{
+    // Regression: posting at precisely now() + pairLookahead(src,
+    // dst) is legal — the boundary is inclusive — including when the
+    // due tick lands exactly on a calendar-wheel horizon multiple
+    // (2^20 ticks) and the per-pair lookaheads are asymmetric.
+    static constexpr Tick kHorizon = Tick{1} << 20;
+    for (unsigned jobs : {1u, 2u}) {
+        LaneScheduler sched(2, jobs, 10);
+        sched.setPairLookahead(0, 1, 64);
+        sched.setPairLookahead(1, 0, kHorizon + 3);
+        std::vector<Tick> hits;
+        // Park lane 0 just short of the horizon so the boundary
+        // post lands exactly on the rollover edge...
+        sched.lane(0).schedule(kHorizon - 64, [&]() {
+            sched.post(0, 1,
+                       sched.lane(0).now() +
+                           sched.pairLookahead(0, 1),
+                       [&]() {
+                           hits.push_back(sched.lane(1).now());
+                           // ...and the reply sits exactly on the
+                           // (larger, asymmetric) reverse-pair
+                           // boundary, crossing a second horizon
+                           // multiple.
+                           sched.post(
+                               1, 0,
+                               sched.lane(1).now() +
+                                   sched.pairLookahead(1, 0),
+                               [&]() {
+                                   hits.push_back(
+                                       sched.lane(0).now());
+                               });
+                       });
+        });
+        sched.run();
+        ASSERT_EQ(hits.size(), 2u) << "jobs=" << jobs;
+        EXPECT_EQ(hits[0], kHorizon);
+        EXPECT_EQ(hits[1], 2 * kHorizon + 3);
+    }
+}
+
+TEST(LaneSchedulerTest, PerPairLookaheadIsDirectional)
+{
+    // A post that clears the scheduler's smallest lookahead but
+    // violates its own (larger) directional pair value must panic —
+    // the check is per ordered pair, not global.
+    LaneScheduler sched(2, 1, 10);
+    sched.setPairLookahead(0, 1, 500);
+    sched.lane(0).schedule(50, [&]() {
+        sched.post(0, 1, 50 + 499, []() {});
+    });
+    EXPECT_DEATH(sched.run(), "lookahead");
+}
+
+TEST(LaneSchedulerTest, NoCrossingPairPanicsOnPost)
+{
+    // Pairs declared kNoCrossing carry no messages at any distance.
+    LaneScheduler sched(2, 1, 10);
+    sched.setPairLookahead(0, 1, LaneScheduler::kNoCrossing);
+    sched.lane(0).schedule(0, [&]() {
+        sched.post(0, 1, 1000000, []() {});
+    });
+    EXPECT_DEATH(sched.run(), "lookahead");
+}
+
 TEST(LaneSchedulerTest, MailboxOverflowBackpressure)
 {
     // Tiny mailbox: tryPost must refuse once full, and succeed again
