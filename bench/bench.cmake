@@ -53,6 +53,11 @@ target_link_libraries(micro_sim PRIVATE m3v_workloads benchmark::benchmark)
 target_include_directories(micro_sim PRIVATE ${M3V_BENCH_DIR})
 set_target_properties(micro_sim PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+add_executable(ctrl_storm ${M3V_BENCH_DIR}/ctrl_storm.cc)
+target_link_libraries(ctrl_storm PRIVATE m3v_os m3v_workloads)
+target_include_directories(ctrl_storm PRIVATE ${M3V_BENCH_DIR})
+set_target_properties(ctrl_storm PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 add_executable(fanin ${M3V_BENCH_DIR}/fanin.cc)
 target_link_libraries(fanin PRIVATE m3v_dtu)
 target_include_directories(fanin PRIVATE ${M3V_BENCH_DIR})

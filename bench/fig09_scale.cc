@@ -895,7 +895,13 @@ main(int argc, char **argv)
                          hw);
             for (std::size_t i = 0; i < rows.size(); i++) {
                 const MeshRow &row = rows[i];
-                bool valid = hw >= 4;
+                // Sampled per row: on shared CI runners the visible
+                // core count can change between rows (cgroup
+                // resizes), and a row's speedup is only meaningful
+                // against the cores it actually had.
+                unsigned row_hw =
+                    std::thread::hardware_concurrency();
+                bool valid = row_hw >= 4;
                 std::fprintf(
                     f,
                     "    {\n      \"tiles\": %u,\n"
@@ -905,10 +911,13 @@ main(int argc, char **argv)
                     "      \"delivered\": %llu,\n"
                     "      \"stalls\": %llu,\n"
                     "      \"digest\": \"%016llx\",\n"
+                    "      \"hw_concurrency\": %u,\n"
                     "      \"jobs1_wall_ms\": %.3f,\n"
                     "      \"jobs2_wall_ms\": %.3f,\n"
                     "      \"jobs4_wall_ms\": %.3f,\n"
                     "      \"events_per_sec_jobs1\": %.0f,\n"
+                    "      \"events_per_sec_jobs2\": %.0f,\n"
+                    "      \"events_per_sec_jobs4\": %.0f,\n"
                     "      \"speedup_valid\": %s",
                     row.tiles, row.np.meshCols, row.np.meshRows,
                     row.np.meshCols * row.np.meshRows,
@@ -917,8 +926,11 @@ main(int argc, char **argv)
                         row.r1.delivered),
                     static_cast<unsigned long long>(row.r1.stalls),
                     static_cast<unsigned long long>(row.r1.digest),
-                    row.r1.wallMs, row.r2.wallMs, row.r4.wallMs,
+                    row_hw, row.r1.wallMs, row.r2.wallMs,
+                    row.r4.wallMs,
                     row.r1.events / (row.r1.wallMs / 1000.0),
+                    row.r1.events / (row.r2.wallMs / 1000.0),
+                    row.r1.events / (row.r4.wallMs / 1000.0),
                     valid ? "true" : "false");
                 // The speedup keys are only present when the host
                 // can actually run 4 workers (see ci/bench_smoke.sh:

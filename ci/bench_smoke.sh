@@ -12,7 +12,8 @@ BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_eventcore.json}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j --target micro_sim fig09_scale fanin
+cmake --build "$BUILD_DIR" -j --target micro_sim fig09_scale fanin \
+    ctrl_storm
 
 echo "== micro_sim (event-queue benchmarks) =="
 MICRO_JSON=$(mktemp)
@@ -97,6 +98,27 @@ jq '{k16_speedup: ."k16.speedup",
      k16_zero_copy_copies: ."k16.zero_copy.byte_copies",
      k16_baseline_copies: ."k16.copy_baseline.byte_copies"}' \
     "$MSGPATH_OUT"
+
+echo "== bench/ctrl_storm (sharded controller, 1/2/4 shards) =="
+# The storm binary runs every shard count at --jobs=1/2/4 internally
+# and aborts on any digest divergence, so a clean exit IS the
+# determinism check. The simulated shards=4/shards=1 capacity ratio
+# is deterministic; the speedup_shards* keys are still only emitted
+# on hosts with >= 4 hardware threads (same absent-beats-null
+# contract as the fig09 mesh rows).
+CTRL_OUT="${CTRL_OUT:-BENCH_controller.json}"
+"$BUILD_DIR/bench/ctrl_storm" ${CTRL_STORM_OPS:+--ops=$CTRL_STORM_OPS} \
+    --storm-out="$CTRL_OUT"
+echo "== wrote $CTRL_OUT =="
+if [ "$(jq '.speedup_valid' "$CTRL_OUT")" = "false" ]; then
+    echo "NOTE: hw_concurrency < 4 -- shards=4 vs shards=1 speedup" \
+         "keys omitted (speedup_valid: false)"
+fi
+jq '{ops, hw_concurrency, speedup_valid,
+     speedup_shards4: (.speedup_shards4 // "skipped"),
+     syscalls_per_sec: [.shards[].syscalls_per_sec],
+     p99_us: [.shards[].p99_us],
+     xshard_timeouts: [.shards[].xshard_timeouts]}' "$CTRL_OUT"
 
 echo "== fig06_micro observability smoke =="
 cmake --build "$BUILD_DIR" -j --target fig06_micro

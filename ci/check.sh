@@ -18,7 +18,7 @@ echo "== fuzz smoke: protocol fuzzer, fixed seeds =="
 # runs (laned jobs=1 vs jobs=4 must produce identical digests). Any
 # invariant trip, reference-model mismatch, or divergence fails.
 build/tests/fuzz/fuzz_driver --seeds=5 --seqs=2100 --diff=25 \
-    --faults=both
+    --faults=both --caps=10
 
 echo "== fleet smoke: overload + chaos drill, jobs=1 vs jobs=4 =="
 # Small-config open-loop fleet with the chaos drill (two tile kills +
@@ -67,7 +67,16 @@ echo "== fuzz smoke under ASan (bounded) =="
 # Smaller corpus (sanitizer overhead), same fixed seeds: memory bugs
 # in the protocol engines surface here before they corrupt state.
 build-asan/tests/fuzz/fuzz_driver --seeds=5 --seqs=300 --diff=10 \
-    --faults=both
+    --faults=both --caps=3
+
+echo "== sharded controller under ASan (cross-shard revoke paths) =="
+# Two-phase revocation frees capability subtrees across shards while
+# peers still hold RemoteRefs into them, and crash reaping tears down
+# tables with in-flight protocol state — the dangling-pointer
+# surface ASan exists for. (The full build-asan ctest above already
+# ran these; the explicit re-run keeps a filter typo from silently
+# skipping the newest protocol tests.)
+(cd build-asan && ctest --output-on-failure -R 'Shard|CapsFuzz')
 
 echo "== fleet smoke under ASan =="
 # The chaos drill tears down tiles with live retransmission state and
@@ -116,6 +125,21 @@ if [ "$(nproc)" -ge 2 ]; then
     rm -f "$MESH_TSAN"
 else
     echo "NOTE: single hardware thread -- TSan mesh sweep skipped"
+fi
+
+echo "== sharded controller under TSan (caps differential) =="
+# The caps-fuzz differential runs four sharded-controller cells on
+# jobs=4 worker threads through runCells — per-cell Systems must stay
+# thread-local and the merged digests identical with the race
+# detector watching. Needs a second hardware thread for real
+# concurrency under TSan.
+if [ "$(nproc)" -ge 2 ]; then
+    cmake --build build-tsan -j --target os_shard_test caps_fuzz_test
+    build-tsan/tests/os/os_shard_test
+    build-tsan/tests/fuzz/caps_fuzz_test
+else
+    echo "NOTE: single hardware thread -- TSan sharded-controller" \
+         "stage skipped"
 fi
 
 echo "== fan-in microbench under TSan (bounded) =="

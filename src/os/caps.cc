@@ -27,6 +27,18 @@ CapTable::insertChild(std::shared_ptr<KObject> obj, Capability &parent)
     return sel;
 }
 
+Capability &
+CapTable::insertReserved(CapSel sel, std::shared_ptr<KObject> obj)
+{
+    auto cap = std::make_unique<Capability>(sel, owner_,
+                                            std::move(obj));
+    Capability &ref = *cap;
+    if (!caps_.emplace(sel, std::move(cap)).second)
+        sim::panic("CapTable: reserved selector %u already in use",
+                   sel);
+    return ref;
+}
+
 Capability *
 CapTable::get(CapSel sel)
 {
@@ -79,18 +91,23 @@ CapTable::revoke(CapSel sel,
 CapTable &
 CapMgr::tableOf(dtu::ActId act)
 {
-    auto it = tables_.find(act);
-    if (it == tables_.end()) {
-        it = tables_.emplace(act, std::make_unique<CapTable>(act))
-                 .first;
-    }
-    return *it->second;
+    if (act >= tables_.size())
+        tables_.resize(act + 1);
+    if (!tables_[act])
+        tables_[act] = std::make_unique<CapTable>(act, shard_);
+    return *tables_[act];
+}
+
+CapTable *
+CapMgr::tableIfExists(dtu::ActId act)
+{
+    return act < tables_.size() ? tables_[act].get() : nullptr;
 }
 
 bool
 CapMgr::hasTable(dtu::ActId act) const
 {
-    return tables_.count(act) > 0;
+    return act < tables_.size() && tables_[act] != nullptr;
 }
 
 void
@@ -101,52 +118,137 @@ CapMgr::collectSubtree(Capability &cap, std::vector<Capability *> &out)
         collectSubtree(*child, out);
 }
 
-std::size_t
-CapMgr::revoke(dtu::ActId act, CapSel sel,
-               const std::function<void(Capability &)> &on_revoke,
-               bool keep_root)
+bool
+CapMgr::planRevoke(dtu::ActId act, CapSel sel, bool keep_root,
+                   RevokePlan *plan)
 {
-    CapTable &table = tableOf(act);
-    Capability *root = table.get(sel);
-    if (!root)
-        return 0;
-    std::vector<Capability *> subtree;
-    collectSubtree(*root, subtree);
-    std::size_t removed = 0;
-    // Leaves first so parent/child links stay valid while walking.
-    for (auto it = subtree.rbegin(); it != subtree.rend(); ++it) {
-        Capability *cap = *it;
-        if (keep_root && cap == root)
+    CapTable *table = tableIfExists(act);
+    if (!table)
+        return false;
+    Capability *root = table->get(sel);
+    // Idempotence: a missing root (already revoked, double revoke, a
+    // retransmitted revoke request) and a root another in-progress
+    // revoke owns are both "nothing left for this plan to do".
+    if (!root || (root->revoking && !keep_root))
+        return false;
+
+    plan->root = root;
+    plan->keepRoot = keep_root;
+
+    // Mark the local subtree pre-order, skipping subtrees an earlier
+    // plan already owns (it reaps them; marking twice would make two
+    // plans free the same caps).
+    std::vector<Capability *> stack;
+    if (keep_root) {
+        for (Capability *c : root->children)
+            stack.push_back(c);
+    } else {
+        stack.push_back(root);
+    }
+    // Children are pushed in reverse so they pop in sibling order:
+    // plan->caps is the exact recursive pre-order (root, first child's
+    // subtree, ...), which keeps the EP-invalidation sequence of a
+    // single-shard revoke identical to the pre-sharding walk.
+    std::reverse(stack.begin(), stack.end());
+    while (!stack.empty()) {
+        Capability *cap = stack.back();
+        stack.pop_back();
+        if (cap->revoking)
             continue;
+        cap->revoking = true;
+        plan->caps.push_back(cap);
+        for (const RemoteRef &r : cap->remoteChildren)
+            plan->remoteChildren.push_back(r);
+        if (cap->hasRemoteParent)
+            plan->remoteParents.emplace_back(
+                cap->remoteParent,
+                RemoteRef{static_cast<std::uint8_t>(shard_),
+                          cap->owner(), cap->sel()});
+        for (auto it = cap->children.rbegin();
+             it != cap->children.rend(); ++it)
+            stack.push_back(*it);
+    }
+    // A kept root with no local children can still have delegated
+    // copies on other shards: the plan is then empty locally but the
+    // caller must still sever the root's remote children.
+    return !plan->caps.empty() ||
+           (keep_root && !root->remoteChildren.empty());
+}
+
+std::size_t
+CapMgr::executeRevoke(
+    const RevokePlan &plan,
+    const std::function<void(Capability &)> &on_revoke)
+{
+    std::size_t removed = 0;
+    // Reverse plan order: every cap precedes its (unskipped) children,
+    // so reaping back-to-front frees leaves first.
+    for (auto it = plan.caps.rbegin(); it != plan.caps.rend(); ++it) {
+        Capability *cap = *it;
         on_revoke(*cap);
         if (cap->parent) {
             auto &sib = cap->parent->children;
             sib.erase(std::remove(sib.begin(), sib.end(), cap),
                       sib.end());
         }
-        tableOf(cap->owner()).caps_.erase(cap->sel());
+        // Children skipped at plan time (another revoke owns them)
+        // are still linked: detach them so their own plan's reap does
+        // not chase a dangling parent pointer.
+        for (Capability *child : cap->children)
+            child->parent = nullptr;
+        CapTable *t = tableIfExists(cap->owner());
+        if (!t)
+            sim::panic("CapMgr: revoked cap of act %u without table",
+                       cap->owner());
+        t->caps_.erase(cap->sel());
         removed++;
     }
-    if (keep_root)
-        root->children.clear();
     return removed;
+}
+
+std::size_t
+CapMgr::revoke(dtu::ActId act, CapSel sel,
+               const std::function<void(Capability &)> &on_revoke,
+               bool keep_root)
+{
+    RevokePlan plan;
+    if (!planRevoke(act, sel, keep_root, &plan))
+        return 0;
+    return executeRevoke(plan, on_revoke);
 }
 
 void
 CapMgr::dropTable(dtu::ActId act,
                   const std::function<void(Capability &)> &on_revoke)
 {
-    auto it = tables_.find(act);
-    if (it == tables_.end())
+    CapTable *table = tableIfExists(act);
+    if (!table)
         return;
     // Revoke every root (and thereby all delegated descendants).
     std::vector<CapSel> roots;
-    for (auto &[sel, cap] : it->second->caps_)
-        if (!cap->parent)
+    for (auto &[sel, cap] : table->caps_)
+        if (!cap->parent && !cap->revoking)
             roots.push_back(sel);
     for (CapSel sel : roots)
         revoke(act, sel, on_revoke, false);
-    tables_.erase(act);
+    // Caps derived from other tables (delegated *to* this activity)
+    // or detached by a concurrent plan may remain; they are reaped by
+    // revoking their local parents, which dropTable must not wait
+    // for — remove them now, bottom-up.
+    for (;;) {
+        Capability *leaf = nullptr;
+        for (auto &[sel, cap] : table->caps_) {
+            if (!cap->revoking) {
+                leaf = cap.get();
+                break;
+            }
+        }
+        if (!leaf)
+            break;
+        revoke(act, leaf->sel(), on_revoke, false);
+    }
+    if (table->caps_.empty())
+        tables_[act].reset();
 }
 
 } // namespace m3v::os

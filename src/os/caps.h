@@ -7,6 +7,18 @@
  * Capabilities form a derivation tree: delegating or deriving creates
  * children, and revocation removes a whole subtree, invalidating any
  * DTU endpoints the revoked capabilities were activated into.
+ *
+ * The tree is partitioned per controller shard (DESIGN.md section 4i):
+ * each shard owns the tables of the activities homed in its tile
+ * quadrant, and selectors carry the shard id in their top byte.
+ * Derivation edges within a shard are ordinary parent/child pointers;
+ * edges that cross shards are explicit share records (RemoteRef) kept
+ * on both sides, maintained by the cross-shard controller protocol.
+ * Revocation is two-phase: the local subtree is first *marked*
+ * (revoking = true, which fails new delegations from it), the remote
+ * children are revoked over the wire, and only then is the marked
+ * subtree reaped — so an in-flight delegation can never resurrect a
+ * capability that a concurrent revoke already decided to kill.
  */
 
 #ifndef M3VSIM_OS_CAPS_H_
@@ -78,6 +90,25 @@ struct KObject
     ActObj act;
 };
 
+/**
+ * One end of a cross-shard derivation edge: (shard, activity,
+ * selector) of the capability on the other side. Kernel objects are
+ * *copied* across shards (Corey explicit-share semantics); only these
+ * records tie the two copies into one derivation tree.
+ */
+struct RemoteRef
+{
+    std::uint8_t shard = 0;
+    dtu::ActId act = dtu::kInvalidAct;
+    CapSel sel = kInvalidSel;
+
+    bool
+    operator==(const RemoteRef &o) const
+    {
+        return shard == o.shard && act == o.act && sel == o.sel;
+    }
+};
+
 /** One capability in an activity's table. */
 class Capability
 {
@@ -102,6 +133,33 @@ class Capability
     noc::TileId actTile = 0;
     dtu::EpId actEp = dtu::kInvalidEp;
 
+    /**
+     * Marked for removal by an in-progress two-phase revoke: the cap
+     * still resolves (idempotent re-revokes see it) but refuses to be
+     * a delegation/derivation source, and exactly one revoke plan owns
+     * its eventual reaping.
+     */
+    bool revoking = false;
+
+    /** Derived from a capability on another shard. */
+    bool hasRemoteParent = false;
+    RemoteRef remoteParent{};
+
+    /** Children delegated/obtained into other shards. */
+    std::vector<RemoteRef> remoteChildren;
+
+    /** Remove the share record matching @p ref (idempotent). */
+    void
+    dropRemoteChild(const RemoteRef &ref)
+    {
+        for (std::size_t i = 0; i < remoteChildren.size(); i++) {
+            if (remoteChildren[i] == ref) {
+                remoteChildren.erase(remoteChildren.begin() + i);
+                return;
+            }
+        }
+    }
+
   private:
     CapSel sel_;
     dtu::ActId owner_;
@@ -112,7 +170,10 @@ class Capability
 class CapTable
 {
   public:
-    explicit CapTable(dtu::ActId owner) : owner_(owner) {}
+    explicit CapTable(dtu::ActId owner, unsigned shard = 0)
+        : owner_(owner), next_(makeSel(shard, 1))
+    {
+    }
 
     CapTable(const CapTable &) = delete;
     CapTable &operator=(const CapTable &) = delete;
@@ -129,6 +190,17 @@ class CapTable
     CapSel insertChild(std::shared_ptr<KObject> obj,
                        Capability &parent);
 
+    /**
+     * Reserve a selector without inserting (cross-shard obtain: the
+     * destination selector must be on the wire before the cap
+     * exists). Pair with insertReserved().
+     */
+    CapSel reserveSel() { return next_++; }
+
+    /** Insert a capability under a previously reserved selector. */
+    Capability &insertReserved(CapSel sel,
+                               std::shared_ptr<KObject> obj);
+
     Capability *get(CapSel sel);
     const Capability *get(CapSel sel) const;
 
@@ -143,23 +215,59 @@ class CapTable
 
     std::size_t size() const { return caps_.size(); }
 
+    /** Visit every capability in this table. */
+    void
+    forEachCap(const std::function<void(Capability &)> &fn)
+    {
+        for (auto &[sel, cap] : caps_)
+            fn(*cap);
+    }
+
   private:
     friend class CapMgr;
 
     dtu::ActId owner_;
-    CapSel next_ = 1;
+    CapSel next_;
     std::map<CapSel, std::unique_ptr<Capability>> caps_;
 };
 
 /**
- * The controller's view over all capability tables, with cross-table
- * revocation.
+ * A marked revocation: the local part of the subtree, pre-order, with
+ * every member's revoking flag set, plus the cross-shard edges that
+ * must be severed before the local caps may be reaped.
+ */
+struct RevokePlan
+{
+    Capability *root = nullptr;
+    bool keepRoot = false;
+    /** Local subtree, pre-order (root first); excludes subtrees that
+     *  were already marked by another in-progress revoke. */
+    std::vector<Capability *> caps;
+    /** Children of marked caps living on other shards. */
+    std::vector<RemoteRef> remoteChildren;
+    /** Remote parents of marked caps (share records to release). The
+     *  paired entry records which local cap held the reference. */
+    std::vector<std::pair<RemoteRef, RemoteRef>> remoteParents;
+};
+
+/**
+ * One shard's view over the capability tables of the activities it
+ * owns, with cross-table (same-shard) revocation. A default-built
+ * CapMgr is shard 0, which behaves exactly like the pre-sharding
+ * global manager.
  */
 class CapMgr
 {
   public:
+    explicit CapMgr(unsigned shard = 0) : shard_(shard) {}
+
+    unsigned shard() const { return shard_; }
+
     /** Create (or fetch) the table of an activity. */
     CapTable &tableOf(dtu::ActId act);
+
+    /** The table of @p act, or nullptr (never creates). */
+    CapTable *tableIfExists(dtu::ActId act);
 
     bool hasTable(dtu::ActId act) const;
 
@@ -175,13 +283,46 @@ class CapMgr
     void dropTable(dtu::ActId act,
                    const std::function<void(Capability &)> &on_revoke);
 
+    /**
+     * Phase one of a two-phase revoke: mark the local subtree rooted
+     * at (act, sel) and collect its cross-shard edges into @p plan.
+     * Returns false when there is nothing to do — the root does not
+     * exist or is already owned by another in-progress revoke (both
+     * make re-revocation idempotent). Subtrees already marked by
+     * another plan are skipped: that plan reaps them.
+     */
+    bool planRevoke(dtu::ActId act, CapSel sel, bool keep_root,
+                    RevokePlan *plan);
+
+    /**
+     * Phase two: reap the marked caps (leaves first), invoking
+     * @p on_revoke for each removed capability. Children that another
+     * plan owns are detached (parent pointer cleared) instead of
+     * freed. Returns the number removed.
+     */
+    std::size_t
+    executeRevoke(const RevokePlan &plan,
+                  const std::function<void(Capability &)> &on_revoke);
+
+    /** Visit every live table (invariant checks, fuzz oracles). */
+    void
+    forEachTable(const std::function<void(CapTable &)> &fn)
+    {
+        for (auto &t : tables_)
+            if (t)
+                fn(*t);
+    }
+
   private:
     friend class CapTable;
 
     static void collectSubtree(Capability &cap,
                                std::vector<Capability *> &out);
 
-    std::map<dtu::ActId, std::unique_ptr<CapTable>> tables_;
+    unsigned shard_ = 0;
+    /** Flat, ActId-indexed (hot path: every syscall resolves the
+     *  caller's table; dtu::ActId is 16-bit so the spine stays small). */
+    std::vector<std::unique_ptr<CapTable>> tables_;
 };
 
 } // namespace m3v::os

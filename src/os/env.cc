@@ -296,6 +296,19 @@ Env::syscall(SyscallReq req, SyscallResp *resp)
     *resp = podFrom<SyscallResp>(respb);
 }
 
+sim::Task
+Env::trySyscall(SyscallReq req, SyscallResp *resp, dtu::Error *err)
+{
+    if (syscSep_ == dtu::kInvalidEp)
+        sim::panic("%s: syscall without syscall gates", name_.c_str());
+    Bytes respb;
+    Error e = Error::Aborted;
+    co_await call(syscSep_, syscRep_, podBytes(req), &respb, &e);
+    *err = e;
+    if (e == Error::None)
+        *resp = podFrom<SyscallResp>(respb);
+}
+
 //
 // MuxEnv
 //
@@ -364,6 +377,29 @@ BareEnv::waitImpl(dtu::EpId ep)
         co_return;
     }
     waiting_ = true;
+    co_await thread_->externalWait();
+}
+
+sim::Task
+BareEnv::waitEpsUntil(const std::vector<dtu::EpId> &eps,
+                      sim::Tick deadline)
+{
+    sim::EventQueue &eq = dtu_->eventQueue();
+    for (dtu::EpId ep : eps)
+        if (dtu_->unread(act_, ep) > 0)
+            co_return;
+    if (eq.now() >= deadline)
+        co_return;
+    waiting_ = true;
+    // Timeout alarm: wakes the thread at the deadline unless a
+    // message notification got there first (the handle is inert after
+    // it fires, and a stale alarm is just a spurious wakeup).
+    eq.schedule(deadline - eq.now(), [this] {
+        if (waiting_) {
+            waiting_ = false;
+            thread_->wake();
+        }
+    });
     co_await thread_->externalWait();
 }
 

@@ -137,6 +137,15 @@ class Env
 
     sim::Task syscall(SyscallReq req, SyscallResp *resp);
 
+    /**
+     * Like syscall(), but a transport failure (e.g. the caller's
+     * endpoints were reset because it was killed mid-call) surfaces
+     * as @p err instead of a panic. For code that must survive its
+     * own activity's crash, such as fault-injection tests.
+     */
+    sim::Task trySyscall(SyscallReq req, SyscallResp *resp,
+                         dtu::Error *err);
+
     //
     // Scheduling.
     //
@@ -202,6 +211,16 @@ class BareEnv : public Env
 
     /** EPs this context receives on (for the poll check). */
     void addRecvEp(dtu::EpId ep) { reps_.push_back(ep); }
+
+    /**
+     * Block until one of @p eps has an unread message or the simulated
+     * clock reaches @p deadline, whichever happens first. Wakeups may
+     * be spurious (a message on another EP); callers re-check state.
+     * The cross-shard controller call loop uses this to bound its
+     * reply wait while staying responsive to incoming peer requests.
+     */
+    sim::Task waitEpsUntil(const std::vector<dtu::EpId> &eps,
+                           sim::Tick deadline);
 
     sim::Task yield() override;
     sim::Task exit() override;

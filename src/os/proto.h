@@ -45,9 +45,38 @@ podFrom(const Bytes &b)
     return v;
 }
 
-/** Capability selector within an activity's capability table. */
+/**
+ * Capability selector within an activity's capability table.
+ *
+ * The selector space is partitioned per controller shard (Corey-style
+ * explicit partitioning): the top byte carries the id of the shard
+ * whose tables allocated the selector, the low 24 bits are the
+ * shard-local value. Shard 0 selectors are numerically identical to
+ * the pre-sharding scheme, so single-controller configurations (every
+ * paper-sized platform) produce byte-identical selector streams.
+ */
 using CapSel = std::uint32_t;
 constexpr CapSel kInvalidSel = ~0u;
+
+/** Bit position of the shard id inside a CapSel. */
+constexpr unsigned kCapSelShardShift = 24;
+/** Mask of the shard-local part of a CapSel. */
+constexpr CapSel kCapSelLocalMask = (1u << kCapSelShardShift) - 1;
+
+/** Shard that allocated @p sel (owner of the backing table). */
+constexpr unsigned
+selShard(CapSel sel)
+{
+    return sel >> kCapSelShardShift;
+}
+
+/** Compose a selector from shard id and shard-local value. */
+constexpr CapSel
+makeSel(unsigned shard, CapSel local)
+{
+    return (static_cast<CapSel>(shard) << kCapSelShardShift) |
+           (local & kCapSelLocalMask);
+}
 
 /** System calls handled by the controller (paper section 3.3). */
 struct SyscallReq
@@ -65,6 +94,16 @@ struct SyscallReq
         MapFor,      ///< install a page mapping for another activity
                      ///< (controller forwards it to that TileMux as a
                      ///< sidecall, paper section 4.3)
+        CreateAct,   ///< create a controller-side activity record on a
+                     ///< tile (arg0); the caller receives its activity
+                     ///< capability. Used by control-plane storms: the
+                     ///< activity owns a capability table but no
+                     ///< execution context.
+        Obtain,      ///< pull a copy of a capability out of another
+                     ///< activity's table (arg0 = that activity's cap,
+                     ///< arg1 = source selector) into the caller's
+        DestroyAct,  ///< revoke an activity capability (arg0) and drop
+                     ///< the activity's whole capability table
     };
 
     Op op = Op::Noop;

@@ -1,5 +1,7 @@
 #include "os/system.h"
 
+#include <cstdlib>
+#include <set>
 #include <utility>
 
 #include "sim/log.h"
@@ -32,12 +34,27 @@ appWrapper(MuxEnv *env, std::function<sim::Task(MuxEnv &)> body)
 System::System(sim::EventQueue &eq, SystemParams params)
     : eq_(eq), params_(std::move(params))
 {
+    // Resolve the controller shard count first: it adds tiles to the
+    // platform. Explicit param > M3V_CTRL_SHARDS env > automatic.
+    unsigned shards = params_.ctrlShards;
+    if (shards == 0) {
+        if (const char *e = std::getenv("M3V_CTRL_SHARDS")) {
+            int v = std::atoi(e);
+            if (v > 0)
+                shards = static_cast<unsigned>(v);
+        }
+    }
+    if (shards == 0)
+        shards = autoCtrlShards(params_.userTiles);
+    shards = std::min(std::max(1u, shards), params_.userTiles);
+    shardMap_ = ShardMap{shards, params_.userTiles};
+
     // Platform bring-up sizes the fabric before building it: when the
     // full tile complement would over-subscribe the configured mesh,
     // grow it to the forTiles() geometry (timing parameters kept)
     // rather than hit the typed config error at finalize().
     unsigned total = params_.userTiles + 1 + params_.memTiles +
-                     params_.accelTiles;
+                     params_.accelTiles + (shards - 1);
     std::size_t cap =
         static_cast<std::size_t>(params_.noc.meshCols) *
         params_.noc.meshRows * params_.noc.maxTilesPerRouter;
@@ -93,7 +110,26 @@ System::System(sim::EventQueue &eq, SystemParams params)
             params_.accel));
     }
 
+    // Extra controller tiles for shards 1..n-1 (appended after the
+    // accelerators so every pre-shard tile id is unchanged).
+    for (unsigned s = 1; s < shards; s++) {
+        auto cname = "ctrl" + std::to_string(s);
+        xCores_.push_back(std::make_unique<tile::Core>(
+            eq, cname + ".core", params_.ctrlModel, ctrlTileOf(s)));
+        xDtus_.push_back(std::make_unique<dtu::Dtu>(
+            eq, cname + ".dtu", *noc_, ctrlTileOf(s),
+            params_.ctrlModel.freqHz, params_.dtuTiming));
+    }
+
     noc_->finalize();
+
+    // The shared tile-to-DTU table every controller shard uses for
+    // privileged cleanup (endpoint sweeps, credit reclaim).
+    for (unsigned i = 0; i < params_.userTiles; i++)
+        dtuMap_.set(userTile(i), vdtus_[i].get());
+    dtuMap_.set(ctrlTile(), ctrlDtu_.get());
+    for (unsigned s = 1; s < shards; s++)
+        dtuMap_.set(ctrlTileOf(s), xDtus_[s - 1].get());
 
     // Per-tile PMP windows out of memory tile 0 (section 4.3: the
     // first endpoint is a per-tile region, set up by the controller).
@@ -107,7 +143,10 @@ System::System(sim::EventQueue &eq, SystemParams params)
                                  params_.perTilePmp, kPermRW));
     }
 
-    // Controller: syscall receive EP + bare environment + main loop.
+    // Controllers: per shard a syscall receive EP + bare environment
+    // + main loop. Shard 0 keeps the pre-shard names ("ctrl.core",
+    // "ctrl", metric prefix "ctrl.kernel.") so single-controller
+    // platforms are byte-identical to the unsharded system.
     ctrlThread_ = std::make_unique<tile::Thread>(*ctrlCore_,
                                                  "ctrl.thread", 0);
     ctrlEnv_ = std::make_unique<BareEnv>("ctrl", *ctrlThread_,
@@ -115,39 +154,54 @@ System::System(sim::EventQueue &eq, SystemParams params)
     ctrlDtu_->configEp(params_.ctrl.syscallRep,
                        Endpoint::makeRecv(kCtrlAct, 128, 64));
     controller_ = std::make_unique<Controller>(
-        *ctrlEnv_, caps_,
-        [this](noc::TileId t) -> dtu::Dtu * {
-            if (t < params_.userTiles)
-                return vdtus_[t].get();
-            if (t == ctrlTile())
-                return ctrlDtu_.get();
-            return nullptr;
-        },
-        params_.ctrl);
-    // Sidecall channels: controller -> each TileMux (EP 4 on the user
-    // tile) with replies on controller EP 5.
+        *ctrlEnv_, caps_, dtuMap_, params_.ctrl, shardMap_, 0);
+    for (unsigned s = 1; s < shards; s++) {
+        auto cname = "ctrl" + std::to_string(s);
+        xThreads_.push_back(std::make_unique<tile::Thread>(
+            *xCores_[s - 1], cname + ".thread", 0));
+        xEnvs_.push_back(std::make_unique<BareEnv>(
+            cname, *xThreads_[s - 1], *xDtus_[s - 1], kCtrlAct));
+        xDtus_[s - 1]->configEp(params_.ctrl.syscallRep,
+                                Endpoint::makeRecv(kCtrlAct, 128,
+                                                   64));
+        xCaps_.push_back(std::make_unique<CapMgr>(s));
+        xCtrls_.push_back(std::make_unique<Controller>(
+            *xEnvs_[s - 1], *xCaps_[s - 1], dtuMap_, params_.ctrl,
+            shardMap_, s));
+    }
+
+    // Sidecall channels: each quadrant's controller -> its TileMux
+    // instances (EP 4 on the user tile) with replies on controller
+    // EP 5. The per-tile send EP index restarts at each quadrant, so
+    // the single-shard layout is exactly the pre-shard one.
     constexpr EpId kSidecallRep = 4;   // on user tiles
-    constexpr EpId kCtrlSideReply = 5; // on the controller tile
+    constexpr EpId kCtrlSideReply = 5; // on the controller tiles
     constexpr EpId kCtrlFirstSideSep = 8;
-    ctrlDtu_->configEp(kCtrlSideReply,
-                       Endpoint::makeRecv(kCtrlAct, 64, 8));
-    controller_->setSidecallReplyEp(kCtrlSideReply);
+    for (unsigned s = 0; s < shards; s++) {
+        dtu::Dtu *d = s == 0 ? ctrlDtu_.get() : xDtus_[s - 1].get();
+        d->configEp(kCtrlSideReply,
+                    Endpoint::makeRecv(kCtrlAct, 64, 8));
+        controllerOf(s).setSidecallReplyEp(kCtrlSideReply);
+    }
     for (unsigned i = 0; i < params_.userTiles; i++) {
-        EpId sep = static_cast<EpId>(kCtrlFirstSideSep + i);
+        unsigned s = shardMap_.shardOfTile(userTile(i));
+        dtu::Dtu *d = s == 0 ? ctrlDtu_.get() : xDtus_[s - 1].get();
+        EpId sep = static_cast<EpId>(
+            kCtrlFirstSideSep + (i - shardMap_.quadrantBegin(s)));
         vdtus_[i]->configEp(kSidecallRep,
                             Endpoint::makeRecv(dtu::kTileMuxAct, 64,
                                                4));
-        ctrlDtu_->configEp(
-            sep, Endpoint::makeSend(kCtrlAct, userTile(i),
-                                    kSidecallRep, i, 2));
-        controller_->setSidecallChannel(userTile(i), sep);
+        d->configEp(sep, Endpoint::makeSend(kCtrlAct, userTile(i),
+                                            kSidecallRep, i, 2));
+        controllerOf(s).setSidecallChannel(userTile(i), sep);
 
         core::TileMux *mux = muxes_[i].get();
         core::VDtu *vd = vdtus_[i].get();
-        // Watchdog/crash upcall: the controller reaps the dead
-        // activity's endpoints, capabilities, and credits.
-        mux->setCrashHandler([this](ActId id) {
-            controller_->reapActivity(id);
+        Controller *ctl = &controllerOf(s);
+        // Watchdog/crash upcall: the tile's owning controller shard
+        // reaps the dead activity's endpoints, caps, and credits.
+        mux->setCrashHandler([ctl](ActId id) {
+            ctl->reapActivity(id);
         });
         mux->setSidecallEp(
             kSidecallRep,
@@ -169,8 +223,53 @@ System::System(sim::EventQueue &eq, SystemParams params)
             });
     }
 
+    // Controller-to-controller channels (sharded platforms only):
+    // per shard a request ring (EP 6), a reply ring (EP 7), and one
+    // send EP per peer after the sidecall send EPs. Peer credits are
+    // sized so all senders together cannot overrun the ring.
+    if (shards > 1) {
+        const EpId req_rep = params_.ctrl.ctrlReqRep;
+        const EpId rep_rep = params_.ctrl.ctrlReplyRep;
+        unsigned pcred = std::min<unsigned>(
+            8, std::max<unsigned>(2, 64 / (shards - 1)));
+        for (unsigned s = 0; s < shards; s++) {
+            dtu::Dtu *d =
+                s == 0 ? ctrlDtu_.get() : xDtus_[s - 1].get();
+            d->configEp(req_rep,
+                        Endpoint::makeRecv(kCtrlAct, 512, 64));
+            d->configEp(rep_rep,
+                        Endpoint::makeRecv(kCtrlAct, 512, 16));
+        }
+        for (unsigned s = 0; s < shards; s++) {
+            dtu::Dtu *d =
+                s == 0 ? ctrlDtu_.get() : xDtus_[s - 1].get();
+            unsigned quad = shardMap_.quadrantEnd(s) -
+                            shardMap_.quadrantBegin(s);
+            for (unsigned p = 0; p < shards; p++) {
+                if (p == s)
+                    continue;
+                EpId sep = static_cast<EpId>(kCtrlFirstSideSep +
+                                             quad + p);
+                if (sep >= dtu::kNumEps)
+                    sim::fatal("System: controller %u out of "
+                               "endpoints for peer channels",
+                               s);
+                d->configEp(sep,
+                            Endpoint::makeSend(kCtrlAct,
+                                               ctrlTileOf(p),
+                                               req_rep, s, pcred,
+                                               512));
+                controllerOf(s).setPeerChannel(p, sep);
+            }
+        }
+    }
+
     ctrlThread_->start(controller_->run());
     ctrlCore_->dispatch(ctrlThread_.get());
+    for (unsigned s = 1; s < shards; s++) {
+        xThreads_[s - 1]->start(xCtrls_[s - 1]->run());
+        xCores_[s - 1]->dispatch(xThreads_[s - 1].get());
+    }
 }
 
 System::~System() = default;
@@ -191,16 +290,18 @@ System::createApp(unsigned tile_idx, const std::string &name,
     // Message buffer page.
     app->env->setMsgBuf(mapPages(app.get(), 1, kPermRW));
 
-    // Syscall channel: send gate to the controller + reply EP.
+    // Syscall channel: send gate to the tile's owning controller
+    // shard + reply EP.
+    unsigned shard = shardMap_.shardOfTile(userTile(tile_idx));
     EpId sep = allocEp(tile_idx);
     EpId rep = allocEp(tile_idx);
     vdtus_[tile_idx]->configEp(
-        sep, Endpoint::makeSend(id, ctrlTile(),
+        sep, Endpoint::makeSend(id, ctrlTileOf(shard),
                                 params_.ctrl.syscallRep, id, 1));
     vdtus_[tile_idx]->configEp(rep, Endpoint::makeRecv(id, 128, 2));
     app->env->setSyscallGates(sep, rep);
 
-    controller_->registerActivity(id, userTile(tile_idx));
+    controllerOf(shard).registerActivity(id, userTile(tile_idx));
 
     App *ptr = app.get();
     apps_.push_back(std::move(app));
@@ -237,8 +338,10 @@ System::makeRgate(App *app, std::size_t slot_size, std::size_t slots)
     r.ep = h.ep;
     r.slotSize = slot_size;
     r.slots = slots;
-    h.sel = controller_->grantRgate(app->act->id(), r);
-    if (Capability *cap = caps_.tableOf(app->act->id()).get(h.sel)) {
+    unsigned s = shardMap_.shardOfTile(userTile(app->tileIdx));
+    h.sel = controllerOf(s).grantRgate(app->act->id(), r);
+    if (Capability *cap =
+            capsOf(s).tableOf(app->act->id()).get(h.sel)) {
         cap->activated = true;
         cap->actTile = userTile(app->tileIdx);
         cap->actEp = h.ep;
@@ -263,9 +366,10 @@ System::makeSgate(App *sender, App *recv_owner, EpId rep,
     s.target.ep = rep;
     s.label = label;
     s.credits = credits;
-    h.sel = controller_->grantSgate(sender->act->id(), s);
+    unsigned sh = shardMap_.shardOfTile(userTile(sender->tileIdx));
+    h.sel = controllerOf(sh).grantSgate(sender->act->id(), s);
     if (Capability *cap =
-            caps_.tableOf(sender->act->id()).get(h.sel)) {
+            capsOf(sh).tableOf(sender->act->id()).get(h.sel)) {
         cap->activated = true;
         cap->actTile = userTile(sender->tileIdx);
         cap->actEp = h.ep;
@@ -285,10 +389,12 @@ System::makeMgate(App *app, std::size_t size, std::uint8_t perms,
     vdtus_[app->tileIdx]->configEp(
         h.ep, Endpoint::makeMem(app->act->id(), memTileId(mem_idx),
                                 h.addr, size, perms));
-    h.sel = controller_->grantMem(
+    unsigned s = shardMap_.shardOfTile(userTile(app->tileIdx));
+    h.sel = controllerOf(s).grantMem(
         app->act->id(),
         MemObj{memTileId(mem_idx), h.addr, size, perms});
-    if (Capability *cap = caps_.tableOf(app->act->id()).get(h.sel)) {
+    if (Capability *cap =
+            capsOf(s).tableOf(app->act->id()).get(h.sel)) {
         cap->activated = true;
         cap->actTile = userTile(app->tileIdx);
         cap->actEp = h.ep;
@@ -299,7 +405,8 @@ System::makeMgate(App *app, std::size_t size, std::uint8_t perms,
 CapSel
 System::grantActCap(App *holder, App *target)
 {
-    return controller_->grantActivity(
+    unsigned s = shardMap_.shardOfTile(userTile(holder->tileIdx));
+    return controllerOf(s).grantActivity(
         holder->act->id(),
         ActObj{target->act->id(), userTile(target->tileIdx)});
 }
@@ -312,6 +419,144 @@ System::allocTilePhys(unsigned tile_idx, std::size_t pages)
     if (pmpBump_[tile_idx] > params_.perTilePmp)
         sim::fatal("System: tile %u PMP window exhausted", tile_idx);
     return pa;
+}
+
+void
+registerControllerInvariants(sim::Invariants &inv, System &sys)
+{
+    // Selector disjointness: shard s only mints selectors carrying s
+    // in the shard byte, and an activity's table lives on exactly one
+    // shard (its home quadrant's).
+    inv.addCheck(
+        "ctrl.shard.selectors",
+        [&sys](sim::Invariants &iv) {
+            std::set<dtu::ActId> seen;
+            for (unsigned s = 0; s < sys.ctrlShards(); s++) {
+                sys.capsOf(s).forEachTable([&](CapTable &t) {
+                    if (!seen.insert(t.owner()).second) {
+                        iv.fail("activity %u owns capability tables "
+                                "on two controller shards",
+                                t.owner());
+                    }
+                    t.forEachCap([&](Capability &c) {
+                        if (selShard(c.sel()) != s) {
+                            iv.fail("shard %u holds cap sel 0x%x "
+                                    "(shard byte %u)",
+                                    s, c.sel(), selShard(c.sel()));
+                        }
+                    });
+                });
+            }
+        },
+        sim::Invariants::When::QuiescentOnly);
+
+    // Cross-shard message conservation: at quiescence every RPC was
+    // acked or charged to a timeout, every one-way notification that
+    // left a controller was handled by its peer, and no obtain is
+    // still waiting for its capability.
+    inv.addCheck(
+        "ctrl.shard.messages",
+        [&sys](sim::Invariants &iv) {
+            std::uint64_t oneway_sent = 0, oneway_handled = 0;
+            for (unsigned s = 0; s < sys.ctrlShards(); s++) {
+                Controller &c = sys.controllerOf(s);
+                if (c.xshardSent() !=
+                    c.xshardAcked() + c.xshardTimeouts()) {
+                    iv.fail("shard %u: %llu cross-shard calls sent "
+                            "but %llu acked + %llu timed out",
+                            s,
+                            static_cast<unsigned long long>(
+                                c.xshardSent()),
+                            static_cast<unsigned long long>(
+                                c.xshardAcked()),
+                            static_cast<unsigned long long>(
+                                c.xshardTimeouts()));
+                }
+                if (c.pendingObtains() != 0) {
+                    iv.fail("shard %u: %zu obtains still pending at "
+                            "quiescence",
+                            s, c.pendingObtains());
+                }
+                oneway_sent += c.onewaySent();
+                oneway_handled += c.onewayHandled();
+            }
+            if (oneway_sent != oneway_handled) {
+                iv.fail("%llu one-way notifications sent but %llu "
+                        "handled",
+                        static_cast<unsigned long long>(oneway_sent),
+                        static_cast<unsigned long long>(
+                            oneway_handled));
+            }
+        },
+        sim::Invariants::When::QuiescentOnly);
+
+    // Share-record pairing: a capability is reachable from another
+    // shard only through a matched (remoteChildren, remoteParent)
+    // record pair. An abandoned call (timeout) or dropped one-way
+    // legitimately orphans one side, so the check stands down when
+    // any shard saw either.
+    inv.addCheck(
+        "ctrl.shard.shares",
+        [&sys](sim::Invariants &iv) {
+            for (unsigned s = 0; s < sys.ctrlShards(); s++) {
+                Controller &c = sys.controllerOf(s);
+                if (c.xshardTimeouts() != 0 ||
+                    c.onewayDropped() != 0)
+                    return;
+            }
+            for (unsigned s = 0; s < sys.ctrlShards(); s++) {
+                sys.capsOf(s).forEachTable([&](CapTable &t) {
+                    t.forEachCap([&](Capability &c) {
+                        for (const RemoteRef &r : c.remoteChildren) {
+                            CapTable *pt = sys.capsOf(r.shard)
+                                               .tableIfExists(r.act);
+                            Capability *rc =
+                                pt ? pt->get(r.sel) : nullptr;
+                            RemoteRef back{
+                                static_cast<std::uint8_t>(s),
+                                t.owner(), c.sel()};
+                            if (!rc || !rc->hasRemoteParent ||
+                                !(rc->remoteParent == back)) {
+                                iv.fail(
+                                    "shard %u cap (%u, 0x%x) has a "
+                                    "remote child record for shard "
+                                    "%u (%u, 0x%x) with no matching "
+                                    "remote parent",
+                                    s, t.owner(), c.sel(), r.shard,
+                                    r.act, r.sel);
+                            }
+                        }
+                        if (c.hasRemoteParent) {
+                            const RemoteRef &p = c.remoteParent;
+                            CapTable *pt = sys.capsOf(p.shard)
+                                               .tableIfExists(p.act);
+                            Capability *pc =
+                                pt ? pt->get(p.sel) : nullptr;
+                            RemoteRef self{
+                                static_cast<std::uint8_t>(s),
+                                t.owner(), c.sel()};
+                            bool linked = false;
+                            if (pc) {
+                                for (const RemoteRef &r :
+                                     pc->remoteChildren)
+                                    if (r == self)
+                                        linked = true;
+                            }
+                            if (!linked) {
+                                iv.fail(
+                                    "shard %u cap (%u, 0x%x) claims "
+                                    "a remote parent on shard %u "
+                                    "(%u, 0x%x) that does not record "
+                                    "it",
+                                    s, t.owner(), c.sel(), p.shard,
+                                    p.act, p.sel);
+                            }
+                        }
+                    });
+                });
+            }
+        },
+        sim::Invariants::When::QuiescentOnly);
 }
 
 dtu::VirtAddr

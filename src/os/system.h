@@ -27,6 +27,7 @@
 #include "os/accel.h"
 #include "os/controller.h"
 #include "os/env.h"
+#include "sim/invariants.h"
 #include "tile/core.h"
 
 namespace m3v::os {
@@ -51,6 +52,16 @@ struct SystemParams
     AccelParams accel{};
 
     noc::NocParams noc{};
+
+    /**
+     * Controller shard count (DESIGN.md section 4i): 0 = automatic —
+     * the M3V_CTRL_SHARDS environment variable if set, otherwise
+     * autoCtrlShards() (1 below 64 user tiles, so every paper-sized
+     * config keeps the single controller and its byte-identical
+     * behavior; 4–16 for 64–1024 tiles). Shards 1..n-1 run on extra
+     * controller tiles appended after the accelerator tiles.
+     */
+    unsigned ctrlShards = 0;
 
     /**
      * Grow the mesh automatically when the platform's total tile
@@ -135,6 +146,20 @@ class System
         return params_.userTiles + 1 + params_.memTiles + i;
     }
 
+    /** Number of controller shards (resolved at construction). */
+    unsigned ctrlShards() const { return shardMap_.shards; }
+    const ShardMap &shardMap() const { return shardMap_; }
+
+    /** Tile of controller shard @p s (shard 0 is ctrlTile()). */
+    noc::TileId
+    ctrlTileOf(unsigned s) const
+    {
+        if (s == 0)
+            return ctrlTile();
+        return params_.userTiles + 1 + params_.memTiles +
+               params_.accelTiles + (s - 1);
+    }
+
     noc::Noc &fabric() { return *noc_; }
     tile::Core &core(unsigned i) { return *cores_[i]; }
     core::VDtu &vdtu(unsigned i) { return *vdtus_[i]; }
@@ -145,6 +170,20 @@ class System
     Controller &controller() { return *controller_; }
     CapMgr &caps() { return caps_; }
     sim::EventQueue &eventQueue() { return eq_; }
+
+    /** Controller shard @p s (0 is controller()). */
+    Controller &
+    controllerOf(unsigned s)
+    {
+        return s == 0 ? *controller_ : *xCtrls_.at(s - 1);
+    }
+
+    /** Capability manager of shard @p s (0 is caps()). */
+    CapMgr &
+    capsOf(unsigned s)
+    {
+        return s == 0 ? caps_ : *xCaps_.at(s - 1);
+    }
 
     //
     // Boot-time setup.
@@ -192,10 +231,16 @@ class System
      */
     dtu::PhysAddr allocTilePhys(unsigned tile_idx, std::size_t pages);
 
-    /** Number of messages the controller has processed. */
-    std::uint64_t syscalls() const
+    /** Number of messages the controllers have processed (summed
+     *  over all shards; equals the single controller's count on
+     *  paper-sized configs). */
+    std::uint64_t
+    syscalls() const
     {
-        return controller_->syscallsHandled();
+        std::uint64_t n = controller_->syscallsHandled();
+        for (const auto &c : xCtrls_)
+            n += c->syscallsHandled();
+        return n;
     }
 
   private:
@@ -208,6 +253,11 @@ class System
     std::vector<std::unique_ptr<dtu::MemoryTile>> memTiles_;
     std::vector<std::unique_ptr<AccelTile>> accels_;
 
+    /** Resolved shard layout and the shared tile-to-DTU table (must
+     *  outlive the controllers, which keep a pointer into it). */
+    ShardMap shardMap_;
+    DtuMap dtuMap_;
+
     std::unique_ptr<tile::Core> ctrlCore_;
     std::unique_ptr<dtu::Dtu> ctrlDtu_;
     std::unique_ptr<tile::Thread> ctrlThread_;
@@ -215,12 +265,36 @@ class System
     std::unique_ptr<Controller> controller_;
     CapMgr caps_;
 
+    /** Controller shards 1..n-1 (their tiles, DTUs, managers). */
+    std::vector<std::unique_ptr<tile::Core>> xCores_;
+    std::vector<std::unique_ptr<dtu::Dtu>> xDtus_;
+    std::vector<std::unique_ptr<tile::Thread>> xThreads_;
+    std::vector<std::unique_ptr<BareEnv>> xEnvs_;
+    std::vector<std::unique_ptr<CapMgr>> xCaps_;
+    std::vector<std::unique_ptr<Controller>> xCtrls_;
+
     dtu::ActId nextAct_ = 2; // 1 is the controller
     std::vector<dtu::EpId> nextEp_;
     /** Per-tile bump pointer inside the PMP window. */
     std::vector<dtu::PhysAddr> pmpBump_;
     std::vector<std::unique_ptr<App>> apps_;
 };
+
+/**
+ * Register the sharded-controller conservation laws on @p inv
+ * (DESIGN.md section 4i), evaluated at quiescence:
+ *  - selector disjointness: every capability held by shard s carries
+ *    s in its selector's shard byte, and no activity owns tables on
+ *    two shards;
+ *  - message conservation: every cross-shard request was acked or
+ *    timed out, every one-way notification that left a controller was
+ *    handled by its peer, and no obtain is left pending;
+ *  - share-record pairing: a capability is reachable from another
+ *    shard only through a matched (remoteChildren, remoteParent)
+ *    record pair (skipped when timeouts/drops occurred — an abandoned
+ *    call legitimately orphans one side).
+ */
+void registerControllerInvariants(sim::Invariants &inv, System &sys);
 
 } // namespace m3v::os
 

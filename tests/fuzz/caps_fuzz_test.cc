@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Capability-fuzz smoke for CI: a few sharded-model scenarios plus
+ * one jobs=1-vs-4 digest differential. The standalone fuzz_driver
+ * (--caps=N) runs longer campaigns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "caps_fuzz.h"
+
+namespace m3v::fuzz {
+namespace {
+
+std::string
+joined(const CapsOutcome &out)
+{
+    std::string s;
+    for (const std::string &e : out.errors)
+        s += e + "\n";
+    return s;
+}
+
+TEST(CapsFuzzTest, ScenariosMatchShardedModel)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        CapsOutcome out = runCapsScenario(seed, 60);
+        EXPECT_FALSE(out.failed()) << "seed " << seed << ":\n"
+                                   << joined(out);
+        EXPECT_GT(out.opsOk, 100u) << "seed " << seed;
+    }
+}
+
+TEST(CapsFuzzTest, JobsDifferentialDigestParity)
+{
+    CapsOutcome out = runCapsDifferential(7, 40, 4);
+    EXPECT_FALSE(out.failed()) << joined(out);
+    EXPECT_GT(out.opsOk, 0u);
+}
+
+} // namespace
+} // namespace m3v::fuzz

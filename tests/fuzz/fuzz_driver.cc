@@ -4,6 +4,7 @@
  *
  *   fuzz_driver [--seeds=N] [--seqs=M] [--diff=D] [--faults=off|on|both]
  *               [--buggy] [--inv-stride=S] [--seed-base=B]
+ *               [--caps=N] [--caps-ops=M]
  *               [--replay=FILE] [--shrink-out=FILE] [--jobs=J] [-v]
  *
  * Default mode: for each of N seed streams, run M generated scenarios
@@ -21,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "caps_fuzz.h"
 #include "fuzz.h"
 
 namespace {
@@ -30,6 +32,8 @@ struct Options
     std::uint64_t seeds = 5;
     std::uint64_t seqs = 2100;
     std::uint64_t diff = 0;
+    std::uint64_t caps = 0;
+    std::uint64_t capsOps = 60;
     std::uint64_t seedBase = 1;
     std::uint64_t invStride = 1;
     unsigned jobs = 4;
@@ -67,6 +71,12 @@ parseArgs(int argc, char **argv, Options &opt)
                 return false;
         } else if ((v = val("--diff="))) {
             if (!parseU64(v, opt.diff))
+                return false;
+        } else if ((v = val("--caps="))) {
+            if (!parseU64(v, opt.caps))
+                return false;
+        } else if ((v = val("--caps-ops="))) {
+            if (!parseU64(v, opt.capsOps))
                 return false;
         } else if ((v = val("--seed-base="))) {
             if (!parseU64(v, opt.seedBase))
@@ -205,10 +215,40 @@ main(int argc, char **argv)
             std::fprintf(stderr, "seed stream %llu done\n",
                          static_cast<unsigned long long>(stream));
     }
+    std::uint64_t capsOk = 0;
+    for (std::uint64_t i = 0; i < opt.caps; i++) {
+        CapsOutcome out =
+            runCapsScenario(opt.seedBase + i, opt.capsOps);
+        ran++;
+        capsOk += out.opsOk;
+        if (out.failed()) {
+            std::fprintf(stderr,
+                         "FAIL: caps scenario seed=%llu\n",
+                         static_cast<unsigned long long>(
+                             opt.seedBase + i));
+            for (const std::string &e : out.errors)
+                std::fprintf(stderr, "  %s\n", e.c_str());
+            return 1;
+        }
+    }
+    if (opt.caps > 0) {
+        // One jobs=1-vs-4 digest differential over four cells.
+        CapsOutcome out =
+            runCapsDifferential(opt.seedBase, opt.capsOps, 4);
+        ran += 8;
+        capsOk += out.opsOk;
+        if (out.failed()) {
+            std::fprintf(stderr, "FAIL: caps differential\n");
+            for (const std::string &e : out.errors)
+                std::fprintf(stderr, "  %s\n", e.c_str());
+            return 1;
+        }
+    }
     std::printf("fuzz: %llu scenarios ok (%llu sends acked, "
-                "%llu messages received)\n",
+                "%llu messages received, %llu cap ops)\n",
                 static_cast<unsigned long long>(ran),
                 static_cast<unsigned long long>(sendsOk),
-                static_cast<unsigned long long>(recvs));
+                static_cast<unsigned long long>(recvs),
+                static_cast<unsigned long long>(capsOk));
     return 0;
 }
